@@ -1,0 +1,92 @@
+"""Section 7.2 timing narrative — simulated crowd wall clock.
+
+The paper's real-crowd run reports "60% of the errors ... were
+identified and corrected within an hour ... 90% was fixed within
+another hour, and the whole experiment completed within 3.5 hours."
+This benchmark replays an actual Q3 cleaning log through the
+discrete-event crowd simulator and checks the same qualitative
+profile: a fast first hour, a long tail, and a large speedup of the
+parallel dispatch policy (§6.2) over sequential dispatch.
+"""
+
+import random
+
+from repro.core.qoco import QOCO, QOCOConfig
+from repro.crowdsim.simulator import compare_policies
+from repro.experiments.harness import plant_errors
+from repro.experiments.reporting import render_table
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.workloads import Q3
+
+HOUR = 3600.0
+
+
+def test_crowd_wall_clock_profile(benchmark, worldcup_gt):
+    def run():
+        errors = plant_errors(worldcup_gt, Q3, n_wrong=5, n_missing=5, seed=301)
+        dirty = errors.dirty.copy()
+        oracle = AccountingOracle(PerfectOracle(worldcup_gt))
+        QOCO(dirty, oracle, QOCOConfig(seed=301)).clean(Q3)
+        return compare_policies(
+            oracle.log, n_experts=10, votes_per_closed=3,
+            median_latency=120.0, seed=301,
+        )
+
+    timelines = benchmark.pedantic(run, rounds=1, iterations=1)
+    parallel = timelines["parallel"]
+    sequential = timelines["sequential"]
+
+    rows = [
+        ("policy", "makespan (h)", "60% done (h)", "90% done (h)"),
+    ]
+    table_rows = []
+    for name, timeline in (("parallel", parallel), ("sequential", sequential)):
+        table_rows.append(
+            (
+                name,
+                f"{timeline.makespan / HOUR:.2f}",
+                f"{timeline.time_to_fraction(0.6) / HOUR:.2f}",
+                f"{timeline.time_to_fraction(0.9) / HOUR:.2f}",
+            )
+        )
+    print()
+    print(render_table(rows[0], table_rows))
+
+    # Shape: parallel dispatch is much faster, and most of the work lands
+    # early (the paper's 60%-within-an-hour profile).
+    assert parallel.makespan < sequential.makespan
+    assert parallel.time_to_fraction(0.6) < 0.75 * parallel.makespan
+    benchmark.extra_info["parallel_makespan_h"] = parallel.makespan / HOUR
+    benchmark.extra_info["sequential_makespan_h"] = sequential.makespan / HOUR
+
+
+def test_parallel_algorithm_rounds(benchmark, worldcup_gt):
+    """Appendix B: the round-based main loop needs far fewer crowd
+    latencies than the sequential loop needs questions."""
+    from repro.core.parallel import ParallelQOCO
+
+    def run():
+        errors = plant_errors(worldcup_gt, Q3, n_wrong=5, n_missing=5, seed=302)
+        sequential_db = errors.dirty.copy()
+        sequential_oracle = AccountingOracle(PerfectOracle(worldcup_gt))
+        QOCO(sequential_db, sequential_oracle, QOCOConfig(seed=302)).clean(Q3)
+
+        parallel_db = errors.dirty.copy()
+        parallel_oracle = AccountingOracle(PerfectOracle(worldcup_gt))
+        report = ParallelQOCO(parallel_db, parallel_oracle, seed=302).clean(Q3)
+        from repro.query.evaluator import evaluate
+
+        assert evaluate(Q3, parallel_db) == evaluate(Q3, sequential_db)
+        return {
+            "sequential_questions": sequential_oracle.log.question_count,
+            "parallel_questions": parallel_oracle.log.question_count,
+            "parallel_rounds": report.rounds,
+            "peak_width": report.peak_width,
+        }
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(["metric", "value"], sorted(outcome.items())))
+    assert outcome["parallel_rounds"] < outcome["sequential_questions"] / 2
+    benchmark.extra_info.update(outcome)

@@ -1,0 +1,85 @@
+"""Benchmarks for the §2/§9 extension cleaners (UCQ, negation, COUNT).
+
+Not paper figures — these keep the extension paths honest at the full
+Soccer scale: each benchmark cleans a planted error through the richer
+view language and asserts convergence.
+"""
+
+import random
+
+import pytest
+
+from repro.aggregates.count import AggregateQOCO, CountView
+from repro.core.negation import remove_wrong_answer_with_negation
+from repro.core.ucq import UnionQOCO
+from repro.db.tuples import fact
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_query
+from repro.query.union import parse_union
+
+FINALISTS = parse_union(
+    """
+    finalists(x) :- games(d, x, y, "Final", r).
+    finalists(x) :- games(d, y, x, "Final", r).
+    """
+)
+
+TITLES = parse_query('titles(x, d) :- games(d, x, y, "Final", u).')
+
+NEVER_WON = parse_query(
+    'q(x) :- games(d, y, x, "Final", r), not games(e, x, z, "Final", u).'
+)
+
+
+def test_ucq_cleaning(benchmark, worldcup_gt):
+    def run():
+        dirty = worldcup_gt.copy()
+        dirty.insert(fact("games", "01.01.2031", "XXX", "GER", "Final", "1:0"))
+        dirty.insert(fact("games", "02.01.2031", "GER", "XXX", "Final", "2:0"))
+        oracle = AccountingOracle(PerfectOracle(worldcup_gt))
+        UnionQOCO(dirty, oracle, seed=0).clean(FINALISTS)
+        return dirty, oracle
+
+    dirty, oracle = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert FINALISTS.answers(dirty) == FINALISTS.answers(worldcup_gt)
+    benchmark.extra_info["questions"] = oracle.log.question_count
+
+
+def test_negation_cleaning(benchmark, worldcup_gt):
+    def run():
+        dirty = worldcup_gt.copy()
+        # ARG appears as a never-winner if its titles vanish
+        for game in sorted(dirty.facts("games")):
+            if game.values[1] == "ARG" and game.values[3] == "Final":
+                dirty.delete(game)
+        wrong = sorted(
+            evaluate(NEVER_WON, dirty) - evaluate(NEVER_WON, worldcup_gt)
+        )
+        oracle = AccountingOracle(PerfectOracle(worldcup_gt))
+        for answer in wrong:
+            if answer in evaluate(NEVER_WON, dirty):
+                remove_wrong_answer_with_negation(
+                    NEVER_WON, dirty, answer, oracle, random.Random(0)
+                )
+        return dirty, oracle
+
+    dirty, oracle = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert evaluate(NEVER_WON, dirty) == evaluate(NEVER_WON, worldcup_gt)
+    benchmark.extra_info["questions"] = oracle.log.question_count
+
+
+def test_aggregate_cleaning(benchmark, worldcup_gt):
+    view = CountView(TITLES, group_arity=1)
+
+    def run():
+        dirty = worldcup_gt.copy()
+        dirty.insert(fact("games", "03.01.2031", "ESP", "NED", "Final", "1:0"))
+        oracle = AccountingOracle(PerfectOracle(worldcup_gt))
+        AggregateQOCO(dirty, oracle, seed=0).clean_group(view, ("ESP",))
+        return dirty, oracle
+
+    dirty, oracle = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert view.evaluate(dirty)[("ESP",)] == view.evaluate(worldcup_gt)[("ESP",)]
+    benchmark.extra_info["questions"] = oracle.log.question_count

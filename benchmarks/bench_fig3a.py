@@ -1,0 +1,24 @@
+"""Figure 3a — Deletion across queries (QOCO / QOCO− / Random).
+
+Regenerates the paper's panel: for Q1, Q2, Q3 with 5 wrong answers at
+the default noise profile, the stacked bars (results to verify /
+questions asked / questions avoided) per deletion strategy.
+
+Expected shape (paper Section 7.2): QOCO <= QOCO− <= Random, with the
+Random baseline avoiding nothing and the QOCO-vs-QOCO− gap appearing on
+the larger queries.
+"""
+
+from conftest import run_figure
+
+from repro.experiments.figures import fig3a
+
+QUESTIONS = 3
+
+
+def test_fig3a_deletion_multiple_queries(benchmark):
+    result = run_figure(benchmark, fig3a)
+    for group in ("Q1", "Q2", "Q3"):
+        rows = result.by_algorithm(group)
+        assert rows["QOCO"][QUESTIONS] <= rows["QOCO-"][QUESTIONS]
+        assert rows["QOCO"][QUESTIONS] < rows["Random"][QUESTIONS]

@@ -1,0 +1,27 @@
+"""Figure 3b — Insertion across queries (Provenance / MinCut / Random).
+
+Regenerates the paper's panel: for Q3, Q4, Q5 with 5 missing answers
+(noise skew 0%), the stacked bars (missing answers identified /
+questions / avoided) per split strategy.
+
+Expected shape: every split beats the naive whole-witness bound; the
+Provenance split is best (or tied); Min-Cut vs Random has no consistent
+winner.
+"""
+
+from conftest import run_figure
+
+from repro.experiments.figures import fig3b
+
+QUESTIONS = 3
+
+
+def test_fig3b_insertion_multiple_queries(benchmark):
+    result = run_figure(benchmark, fig3b)
+    totals = {"Provenance": 0, "MinCut": 0, "Random": 0}
+    for group in ("Q3", "Q4", "Q5"):
+        rows = result.by_algorithm(group)
+        for algorithm in totals:
+            totals[algorithm] += rows[algorithm][QUESTIONS]
+    assert totals["Provenance"] <= totals["MinCut"]
+    assert totals["Provenance"] <= totals["Random"]

@@ -1,0 +1,22 @@
+"""Figure 3c — Mixed cleaning across queries.
+
+Regenerates the paper's panel: Q1, Q2, Q3 with 5 wrong + 5 missing
+answers (skew 50%), Algorithm 3 with QOCO / QOCO− / Random deletion and
+the Provenance insertion algorithm.
+
+Expected shape: QOCO <= QOCO− <= Random in questions asked.
+"""
+
+from conftest import run_figure
+
+from repro.experiments.figures import fig3c
+
+QUESTIONS = 3
+
+
+def test_fig3c_mixed_multiple_queries(benchmark):
+    result = run_figure(benchmark, fig3c)
+    for group in ("Q1", "Q2", "Q3"):
+        rows = result.by_algorithm(group)
+        assert rows["QOCO"][QUESTIONS] <= rows["QOCO-"][QUESTIONS]
+        assert rows["QOCO"][QUESTIONS] <= rows["Random"][QUESTIONS]

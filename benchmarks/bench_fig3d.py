@@ -1,0 +1,22 @@
+"""Figure 3d — Deletion on Q3 with 2 / 5 / 10 wrong answers.
+
+Expected shape: QOCO's cost grows sub-linearly with the number of wrong
+answers, and the gap between QOCO and the Random baseline widens as the
+noise level grows.
+"""
+
+from conftest import run_figure
+
+from repro.experiments.figures import fig3d
+
+QUESTIONS = 3
+
+
+def test_fig3d_deletion_varying_wrong(benchmark):
+    result = run_figure(benchmark, fig3d)
+    gaps = []
+    for n in (2, 5, 10):
+        rows = result.by_algorithm(f"wrong={n}")
+        assert rows["QOCO"][QUESTIONS] <= rows["Random"][QUESTIONS]
+        gaps.append(rows["Random"][QUESTIONS] - rows["QOCO"][QUESTIONS])
+    assert gaps[0] <= gaps[-1]  # the gap widens with noise

@@ -1,0 +1,22 @@
+"""Figure 3e — Insertion on Q3 with 2 / 5 / 10 missing answers.
+
+Expected shape: cost grows with the number of missing answers for every
+split, the Provenance split stays best or tied.
+"""
+
+from conftest import run_figure
+
+from repro.experiments.figures import fig3e
+
+QUESTIONS = 3
+
+
+def test_fig3e_insertion_varying_missing(benchmark):
+    result = run_figure(benchmark, fig3e)
+    previous = 0
+    for n in (2, 5, 10):
+        rows = result.by_algorithm(f"missing={n}")
+        prov = rows["Provenance"][QUESTIONS]
+        assert prov <= rows["Random"][QUESTIONS]
+        assert prov >= previous
+        previous = prov

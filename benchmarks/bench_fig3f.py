@@ -1,0 +1,23 @@
+"""Figure 3f — Question-type distribution of the Mixed algorithm (Q3).
+
+Regenerates the stacked distribution of crowd question types (verify
+answers / verify tuples / fill missing) for (2,2), (5,5), (10,10)
+missing+wrong answers.
+
+Expected shape: tuple-verification and fill-missing work grows with the
+number of errors.
+"""
+
+from conftest import run_figure
+
+from repro.experiments.figures import fig3f
+
+VERIFY_TUPLES, FILL_MISSING = 2, 3
+
+
+def test_fig3f_question_type_distribution(benchmark):
+    result = run_figure(benchmark, fig3f)
+    tuples_col = [row[VERIFY_TUPLES] for row in result.rows]
+    fill_col = [row[FILL_MISSING] for row in result.rows]
+    assert tuples_col == sorted(tuples_col)
+    assert fill_col == sorted(fill_col)

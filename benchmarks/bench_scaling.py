@@ -1,0 +1,49 @@
+"""Scaling sweep: crowd cost is data-size invariant; runtime is not.
+
+The paper's efficiency claim is that question counts depend on the
+*errors*, not on the database size.  This benchmark scales the World Cup
+generator (squad sizes, group games) and checks that cleaning the same
+five planted wrong answers costs a near-constant number of questions
+while evaluation time grows with the data.
+"""
+
+import random
+import time
+
+from repro.datasets.worldcup import WorldCupConfig, worldcup_database
+from repro.datasets.noise import inject_result_errors
+from repro.experiments.harness import run_deletion
+from repro.experiments.reporting import render_table
+from repro.workloads import Q1
+
+
+def _scale(players_per_team, group_games):
+    return worldcup_database(
+        WorldCupConfig(
+            players_per_team=players_per_team, group_games_per_cup=group_games
+        )
+    )
+
+
+def test_scaling_question_counts(benchmark):
+    def run():
+        rows = []
+        for players, groups in ((8, 4), (23, 12), (40, 24)):
+            gt = _scale(players, groups)
+            errors = inject_result_errors(
+                gt, Q1, n_wrong=5, n_missing=0, rng=random.Random(401)
+            )
+            start = time.perf_counter()
+            bar = run_deletion(gt, Q1, errors, "QOCO", seed=401)
+            elapsed = time.perf_counter() - start
+            rows.append((len(gt), bar.questions, f"{elapsed * 1000:.0f}ms"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(["|D_G|", "questions", "cleaning time"], rows))
+    sizes = [row[0] for row in rows]
+    questions = [row[1] for row in rows]
+    assert sizes == sorted(sizes) and sizes[0] < sizes[-1]
+    # question counts stay within a small band while data grows ~3x
+    assert max(questions) <= 2 * max(1, min(questions))

@@ -1,0 +1,47 @@
+"""Section 7.2 parameter sweeps — cleanliness 60-95% and skewness 0-100%.
+
+The paper's figures show selected noise levels; its parameter section
+defines the full ranges.  These benchmarks sweep them on Q1 and check
+the text's trends: more noise (lower cleanliness) means more errors and
+more questions, and cleaning converges at every level.
+"""
+
+from repro.datasets.worldcup import worldcup_database
+from repro.experiments.reporting import render_table
+from repro.experiments.sweeps import sweep_cleanliness, sweep_skewness
+from repro.workloads import Q1
+
+QUESTIONS, CONVERGED = 3, 6
+
+
+def _protected(gt):
+    return set(gt.facts("stages"))
+
+
+def test_sweep_cleanliness(benchmark, worldcup_gt):
+    result = benchmark.pedantic(
+        lambda: sweep_cleanliness(
+            worldcup_gt, Q1, protected=_protected(worldcup_gt)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert all(row[CONVERGED] for row in result.rows)
+    # dirtier data costs at least as much as the cleanest level
+    costs = [row[QUESTIONS] for row in result.rows]
+    assert costs[0] >= costs[-1]
+
+
+def test_sweep_skewness(benchmark, worldcup_gt):
+    result = benchmark.pedantic(
+        lambda: sweep_skewness(
+            worldcup_gt, Q1, protected=_protected(worldcup_gt)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    assert all(row[CONVERGED] for row in result.rows)

@@ -1,0 +1,43 @@
+"""Microbenchmark: incremental view maintenance vs full recomputation.
+
+QOCO's monitor deployment keeps user views materialized while cleaning
+edits the base tables; incremental maintenance must beat recomputing
+``Q(D)`` per edit for that to scale.  Measured on the 5k-tuple Soccer
+database with the running-example view.
+"""
+
+import pytest
+
+from repro.db.tuples import fact
+from repro.query.evaluator import evaluate
+from repro.views.materialized import ViewManager
+from repro.workloads import EX1
+
+NEW_GAME = fact("games", "01.01.2030", "GER", "BRA", "Final", "2:1")
+
+
+def test_incremental_update(benchmark, worldcup_gt):
+    db = worldcup_gt.copy()
+    manager = ViewManager(db)
+    view = manager.register(EX1)
+
+    def toggle():
+        manager.insert(NEW_GAME)
+        manager.delete(NEW_GAME)
+        return view.answers()
+
+    answers = benchmark(toggle)
+    assert answers == evaluate(EX1, db)
+
+
+def test_full_recompute_baseline(benchmark, worldcup_gt):
+    db = worldcup_gt.copy()
+
+    def toggle():
+        db.insert(NEW_GAME)
+        first = evaluate(EX1, db)
+        db.delete(NEW_GAME)
+        return evaluate(EX1, db)
+
+    answers = benchmark(toggle)
+    assert answers == evaluate(EX1, worldcup_gt)

@@ -1,0 +1,25 @@
+"""Benchmark helpers: run each figure once, print it, keep its rows."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_figure(benchmark, figure_fn, **kwargs):
+    """Benchmark a figure driver (single round — these are experiments,
+    not microbenchmarks) and surface its rendered table."""
+    result = benchmark.pedantic(
+        lambda: figure_fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    benchmark.extra_info["figure"] = result.name
+    benchmark.extra_info["rows"] = [list(map(str, row)) for row in result.rows]
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture(scope="session")
+def worldcup_gt():
+    from repro.datasets.worldcup import worldcup_database
+
+    return worldcup_database()

@@ -1,0 +1,74 @@
+"""How long would the crowd take?  (Section 6.2 parallelism.)
+
+Replays a real QOCO cleaning session through the discrete-event crowd
+simulator: 10 experts with log-normal response latencies, 3 votes per
+closed question, under sequential vs parallel dispatch.  Reproduces the
+paper's timing narrative — most errors fixed early, a long tail, and a
+large win for posting independent questions together.
+
+Run with::
+
+    python examples/crowd_simulation.py [n_experts] [median_latency_s]
+"""
+
+import random
+import sys
+
+from repro import AccountingOracle, PerfectOracle, QOCO, QOCOConfig
+from repro.crowdsim import compare_policies
+from repro.datasets import inject_result_errors, worldcup_database
+from repro.experiments.reporting import render_table
+from repro.workloads import Q3
+
+HOUR = 3600.0
+
+
+def main() -> None:
+    n_experts = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    median_latency = float(sys.argv[2]) if len(sys.argv) > 2 else 120.0
+
+    print("Cleaning Q3 (5 wrong + 5 missing answers) with a perfect oracle...")
+    ground_truth = worldcup_database()
+    errors = inject_result_errors(
+        ground_truth, Q3, n_wrong=5, n_missing=5, rng=random.Random(42)
+    )
+    dirty = errors.dirty.copy()
+    oracle = AccountingOracle(PerfectOracle(ground_truth))
+    QOCO(dirty, oracle, QOCOConfig(seed=42)).clean(Q3)
+    print(f"  {oracle.log.question_count} crowd questions were asked\n")
+
+    print(
+        f"Simulating {n_experts} experts, median response "
+        f"{median_latency:.0f}s, 3 votes per closed question:\n"
+    )
+    timelines = compare_policies(
+        oracle.log,
+        n_experts=n_experts,
+        votes_per_closed=3,
+        median_latency=median_latency,
+        seed=42,
+    )
+
+    rows = []
+    for name in ("parallel", "sequential"):
+        timeline = timelines[name]
+        rows.append(
+            (
+                name,
+                f"{timeline.time_to_fraction(0.6) / HOUR:.2f}h",
+                f"{timeline.time_to_fraction(0.9) / HOUR:.2f}h",
+                f"{timeline.makespan / HOUR:.2f}h",
+            )
+        )
+    print(render_table(["dispatch", "60% done", "90% done", "all done"], rows))
+
+    speedup = timelines["sequential"].makespan / timelines["parallel"].makespan
+    print(
+        f"\nParallel dispatch finishes {speedup:.1f}x sooner — the paper's "
+        "crowd run showed\nthe same profile (60% within the first hour, "
+        "everything within 3.5 hours)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Richer view languages: unions, negation, and COUNT aggregates.
+
+The paper limits its exposition to conjunctive queries and lists
+unions (§2, "our results extend to..."), negation and aggregates (§9,
+future work) as extensions.  This example exercises all three on the
+Figure 1 database:
+
+1. a UCQ — World Cup *finalists* (winner or runner-up);
+2. a negated query — teams that reached a final but *never* won one;
+3. a COUNT view — titles per team.
+
+Run with::
+
+    python examples/richer_views.py
+"""
+
+import random
+
+from repro import AccountingOracle, PerfectOracle
+from repro.aggregates import AggregateQOCO, CountView
+from repro.core import UnionQOCO, remove_wrong_answer_with_negation
+from repro.datasets import figure1_dirty, figure1_ground_truth
+from repro.db import Database, fact
+from repro.query import evaluate, parse_query, parse_union
+
+
+def show(label, value):
+    print(f"  {label:<22} {value}")
+
+
+def main() -> None:
+    ground_truth = figure1_ground_truth()
+
+    # ------------------------------------------------------------------
+    print("1. Union of conjunctive queries — finalists (winner OR loser)")
+    finalists = parse_union(
+        """
+        finalists(x) :- games(d, x, y, "Final", r).
+        finalists(x) :- games(d, y, x, "Final", r).
+        """
+    )
+    dirty = figure1_dirty()
+    dirty.insert(fact("games", "01.01.1999", "XXX", "GER", "Final", "1:0"))
+    show("dirty result:", sorted(a[0] for a in finalists.answers(dirty)))
+    oracle = AccountingOracle(PerfectOracle(ground_truth))
+    UnionQOCO(dirty, oracle, seed=0).clean(finalists)
+    show("cleaned result:", sorted(a[0] for a in finalists.answers(dirty)))
+    show("questions:", oracle.log.question_count)
+
+    # ------------------------------------------------------------------
+    print("\n2. Safe negation — finalists who never won a title")
+    never_won = parse_query(
+        'nearly(x) :- games(d, y, x, "Final", r), not champions(x).'
+    )
+    # extend both DBs with a champions relation derived from the finals
+    from repro.db import RelationSchema
+
+    def with_champions(db: Database) -> Database:
+        schema = db.schema
+        if "champions" not in schema:
+            schema.add(RelationSchema("champions", ("team",)))
+        extended = Database(schema, db)
+        for game in extended.facts("games"):
+            if game.values[3] == "Final":
+                extended.insert(fact("champions", game.values[1]))
+        return extended
+
+    gt2 = with_champions(figure1_ground_truth())
+    dirty2 = with_champions(figure1_dirty())
+    show("dirty result:", sorted(a[0] for a in evaluate(never_won, dirty2)))
+    show("true result:", sorted(a[0] for a in evaluate(never_won, gt2)))
+    oracle2 = AccountingOracle(PerfectOracle(gt2))
+    wrong = evaluate(never_won, dirty2) - evaluate(never_won, gt2)
+    for answer in sorted(wrong):
+        remove_wrong_answer_with_negation(
+            never_won, dirty2, answer, oracle2, random.Random(0)
+        )
+    show("after cleanup:", sorted(a[0] for a in evaluate(never_won, dirty2)))
+
+    # ------------------------------------------------------------------
+    print("\n3. COUNT aggregate — titles per team")
+    titles = parse_query('titles(x, d) :- games(d, x, y, "Final", u).')
+    title_counts = CountView(titles, group_arity=1)
+    dirty3 = figure1_dirty()
+    show("dirty counts:", dict(sorted(title_counts.evaluate(dirty3).items())))
+    oracle3 = AccountingOracle(PerfectOracle(ground_truth))
+    AggregateQOCO(dirty3, oracle3, seed=0).clean(title_counts)
+    show("cleaned counts:", dict(sorted(title_counts.evaluate(dirty3).items())))
+    show(
+        "matches truth:",
+        title_counts.evaluate(dirty3) == title_counts.evaluate(ground_truth),
+    )
+
+
+if __name__ == "__main__":
+    main()

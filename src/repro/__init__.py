@@ -1,0 +1,106 @@
+"""QOCO — query-oriented data cleaning with oracles.
+
+A full reproduction of Bergman, Milo, Novgorodov and Tan,
+"Query-Oriented Data Cleaning with Oracles", SIGMOD 2015.
+
+Quickstart::
+
+    from repro import (
+        Database, PerfectOracle, AccountingOracle, QOCO, QOCOConfig,
+        parse_query, worldcup_database,
+    )
+
+    ground_truth = worldcup_database()
+    dirty = ...                       # your scraped/dirty instance
+    oracle = AccountingOracle(PerfectOracle(ground_truth))
+    query = parse_query('q(x) :- games(d, x, y, "Final", u), teams(x, "EU").')
+    report = QOCO(dirty, oracle).clean(query)
+    print(report.summary())
+"""
+
+from .core import (
+    QOCO,
+    CleaningReport,
+    DeletionError,
+    InsertionError,
+    MinCutSplit,
+    NaiveSplit,
+    ProvenanceSplit,
+    QOCOConfig,
+    QOCODeletion,
+    QOCOMinusDeletion,
+    RandomDeletion,
+    RandomSplit,
+    crowd_add_missing_answer,
+    crowd_remove_wrong_answer,
+)
+from .db import Database, Edit, Fact, RelationSchema, Schema, delete, fact, insert
+from .oracle import (
+    AccountingOracle,
+    Chao92Estimator,
+    Crowd,
+    ExactCompletion,
+    ImperfectOracle,
+    InteractionLog,
+    MajorityVote,
+    Oracle,
+    PerfectOracle,
+    QuestionKind,
+)
+from .query import Atom, Inequality, Query, Var, evaluate, parse_query, witnesses_for
+from .datasets import (
+    NoiseSpec,
+    dbgroup_database,
+    inject_result_errors,
+    make_dirty,
+    worldcup_database,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccountingOracle",
+    "Atom",
+    "Chao92Estimator",
+    "CleaningReport",
+    "Crowd",
+    "Database",
+    "DeletionError",
+    "Edit",
+    "ExactCompletion",
+    "Fact",
+    "ImperfectOracle",
+    "Inequality",
+    "InsertionError",
+    "InteractionLog",
+    "MajorityVote",
+    "MinCutSplit",
+    "NaiveSplit",
+    "NoiseSpec",
+    "Oracle",
+    "PerfectOracle",
+    "ProvenanceSplit",
+    "QOCO",
+    "QOCOConfig",
+    "QOCODeletion",
+    "QOCOMinusDeletion",
+    "Query",
+    "QuestionKind",
+    "RandomDeletion",
+    "RandomSplit",
+    "RelationSchema",
+    "Schema",
+    "Var",
+    "crowd_add_missing_answer",
+    "crowd_remove_wrong_answer",
+    "dbgroup_database",
+    "delete",
+    "evaluate",
+    "fact",
+    "inject_result_errors",
+    "insert",
+    "make_dirty",
+    "parse_query",
+    "witnesses_for",
+    "worldcup_database",
+]

@@ -1,0 +1,5 @@
+"""COUNT aggregate views and their cleaning (§9 extension, scoped)."""
+
+from .count import AggregateQOCO, CountView, Group
+
+__all__ = ["AggregateQOCO", "CountView", "Group"]

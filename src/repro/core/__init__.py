@@ -1,0 +1,68 @@
+"""QOCO's cleaning algorithms (Algorithms 1-3) and split strategies."""
+
+from .deletion import (
+    DELETION_STRATEGIES,
+    DeletionError,
+    DeletionStrategy,
+    QOCODeletion,
+    QOCOMinusDeletion,
+    RandomDeletion,
+    crowd_remove_wrong_answer,
+)
+from .insertion import InsertionConfig, InsertionError, crowd_add_missing_answer
+from .composite import crowd_remove_wrong_answer_composite
+from .constraints import ConstraintCleaner, ConstraintRepairError, RepairReport
+from .heuristics import ResponsibilityDeletion, TrustScoreDeletion, frequency_trust
+from .negation import (
+    add_missing_answer_with_negation,
+    remove_wrong_answer_with_negation,
+)
+from .parallel import ParallelQOCO, ParallelReport, RoundScheduler
+from .qoco import QOCO, QOCOConfig
+from .session import CleaningReport
+from .ucq import UnionQOCO, add_missing_answer_union, remove_wrong_answer_union
+from .split import (
+    SPLIT_STRATEGIES,
+    MinCutSplit,
+    NaiveSplit,
+    ProvenanceSplit,
+    RandomSplit,
+    SplitStrategy,
+)
+
+__all__ = [
+    "CleaningReport",
+    "ConstraintCleaner",
+    "ConstraintRepairError",
+    "RepairReport",
+    "ResponsibilityDeletion",
+    "TrustScoreDeletion",
+    "crowd_remove_wrong_answer_composite",
+    "frequency_trust",
+    "DELETION_STRATEGIES",
+    "DeletionError",
+    "DeletionStrategy",
+    "InsertionConfig",
+    "InsertionError",
+    "MinCutSplit",
+    "NaiveSplit",
+    "ParallelQOCO",
+    "ParallelReport",
+    "ProvenanceSplit",
+    "RoundScheduler",
+    "QOCO",
+    "QOCOConfig",
+    "QOCODeletion",
+    "QOCOMinusDeletion",
+    "RandomDeletion",
+    "RandomSplit",
+    "SPLIT_STRATEGIES",
+    "SplitStrategy",
+    "UnionQOCO",
+    "add_missing_answer_union",
+    "add_missing_answer_with_negation",
+    "remove_wrong_answer_with_negation",
+    "crowd_add_missing_answer",
+    "crowd_remove_wrong_answer",
+    "remove_wrong_answer_union",
+]

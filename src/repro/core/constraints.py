@@ -1,0 +1,169 @@
+"""Constraint-driven cleaning (the paper's §9 extension, active side).
+
+Constraints give QOCO a *query-free* error trigger: a violated key or
+foreign key proves the database differs from the ground truth without
+any user flagging a view error.  The crowd interaction follows the
+Section 4/5 playbook:
+
+* **key violation** ``{a, b}`` — since ``D_G`` satisfies the key, at
+  least one fact is false: the pair is a two-element witness, handled
+  with the same greedy most-frequent-first verification (and a fact
+  found false resolves every violation it participates in at once);
+* **FK violation** (dangling child) — either the child is false or the
+  parent is missing: one ``TRUE(child)?`` question decides which; a
+  missing parent is completed via ``COMPL`` over a one-atom query (the
+  FK columns are already bound, so the crowd fills only the remaining
+  attributes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..db.constraints import ConstraintSet, ForeignKeyViolation, KeyViolation
+from ..db.database import Database
+from ..db.edits import Edit, delete, insert
+from ..db.tuples import Fact
+from ..oracle.base import AccountingOracle
+from ..provenance.witness import most_frequent_fact
+from ..query.ast import Atom, Query, Var
+
+
+class ConstraintRepairError(RuntimeError):
+    """Raised when the crowd's answers cannot resolve a violation."""
+
+
+@dataclass
+class RepairReport:
+    """Outcome of one constraint-repair run."""
+
+    edits: list[Edit] = field(default_factory=list)
+    resolved_key_violations: int = 0
+    resolved_fk_violations: int = 0
+    unresolved: list[str] = field(default_factory=list)
+
+
+class ConstraintCleaner:
+    """Repairs constraint violations by interacting with the oracle."""
+
+    def __init__(
+        self,
+        database: Database,
+        oracle: AccountingOracle,
+        constraints: ConstraintSet,
+        rng: Optional[random.Random] = None,
+        max_rounds: int = 10,
+    ) -> None:
+        constraints.validate_against(database)
+        self.database = database
+        self.oracle = oracle
+        self.constraints = constraints
+        self.rng = rng if rng is not None else random.Random()
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------
+    def repair(self) -> RepairReport:
+        """Resolve all violations (or record the unresolvable ones)."""
+        report = RepairReport()
+        for _ in range(self.max_rounds):
+            progressed = False
+            key_violations = self.constraints.key_violations(self.database)
+            if key_violations:
+                progressed |= self._repair_keys(key_violations, report)
+            fk_violations = self.constraints.foreign_key_violations(self.database)
+            if fk_violations:
+                progressed |= self._repair_foreign_keys(fk_violations, report)
+            if self.constraints.is_satisfied(self.database):
+                break
+            if not progressed:
+                break
+        for violation in self.constraints.violations(self.database):
+            report.unresolved.append(str(violation))
+        return report
+
+    # ------------------------------------------------------------------
+    def _repair_keys(
+        self, violations: list[KeyViolation], report: RepairReport
+    ) -> bool:
+        """Hitting-set style resolution of conflicting pairs."""
+        sets = [violation.facts for violation in violations]
+        progressed = False
+        while sets:
+            fact = most_frequent_fact(sets)
+            assert fact is not None
+            if self.oracle.verify_fact(fact):
+                # the true fact survives; its partners must be false
+                partners = sorted(
+                    {next(iter(s - {fact})) for s in sets if fact in s}, key=repr
+                )
+                resolved_any = False
+                for partner in partners:
+                    if self.oracle.verify_fact(partner):
+                        report.unresolved.append(
+                            f"both {fact} and {partner} affirmed despite key conflict"
+                        )
+                        continue
+                    self._apply(delete(partner), report)
+                    resolved_any = True
+                removed = {s for s in sets if fact in s}
+                report.resolved_key_violations += len(removed)
+                sets = [s for s in sets if fact not in s]
+                progressed |= resolved_any
+            else:
+                self._apply(delete(fact), report)
+                report.resolved_key_violations += sum(1 for s in sets if fact in s)
+                sets = [s for s in sets if fact not in s]
+                progressed = True
+        return progressed
+
+    def _repair_foreign_keys(
+        self, violations: list[ForeignKeyViolation], report: RepairReport
+    ) -> bool:
+        progressed = False
+        for violation in violations:
+            child = violation.child_fact
+            if child not in self.database:
+                continue  # fixed as a side effect of an earlier repair
+            if not self.oracle.verify_fact(child):
+                self._apply(delete(child), report)
+                report.resolved_fk_violations += 1
+                progressed = True
+                continue
+            parent_fact = self._complete_parent(violation)
+            if parent_fact is None:
+                report.unresolved.append(str(violation))
+                continue
+            self._apply(insert(parent_fact), report)
+            report.resolved_fk_violations += 1
+            progressed = True
+        return progressed
+
+    def _complete_parent(self, violation: ForeignKeyViolation) -> Optional[Fact]:
+        """Ask the crowd to complete the missing parent tuple.
+
+        Builds the one-atom query ``parent(bound..., v_i...)`` with the FK
+        columns bound, and poses ``COMPL``; when the FK covers the whole
+        parent tuple the fact is fully determined and no question is
+        needed.
+        """
+        pattern = violation.parent_pattern(self.database)
+        terms = tuple(
+            value if value is not None else Var(f"v{i}")
+            for i, value in enumerate(pattern)
+        )
+        atom = Atom(violation.foreign_key.parent, terms)
+        if atom.is_ground():
+            return Fact(atom.relation, tuple(atom.terms))  # type: ignore[arg-type]
+        head = tuple(t for t in terms if isinstance(t, Var))
+        query = Query(head=head, atoms=(atom,), name=f"fk:{atom.relation}")
+        completion = self.oracle.complete_assignment(query, {})
+        if completion is None:
+            return None
+        ground = atom.substitute(completion)
+        return Fact(ground.relation, tuple(ground.terms))  # type: ignore[arg-type]
+
+    def _apply(self, edit: Edit, report: RepairReport) -> None:
+        if edit.apply(self.database):
+            report.edits.append(edit)

@@ -1,0 +1,226 @@
+"""Removing a wrong answer (Section 4, Algorithm 1) and its baselines.
+
+The witnesses of the wrong answer form a set system over facts; the
+false facts to delete form a hitting set of it.  QOCO's greedy strategy
+asks about the most frequent fact first and — via Theorem 4.5 — stops
+asking as soon as a unique minimal hitting set exists (the singleton
+rule), inferring the remaining deletions for free.
+
+Baselines (Section 7.2):
+
+* ``QOCO−`` — same greedy order but without the unique-minimal-hitting-
+  set detection: it keeps verifying facts until every witness is
+  destroyed.
+* ``Random`` — the naive baseline, which "verifies all tuples of all
+  witnesses" in random order.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from ..db.database import Database
+from ..db.edits import Edit, delete
+from ..db.tuples import Fact
+from ..oracle.base import AccountingOracle
+from ..provenance.witness import most_frequent_fact
+from ..query.ast import Query
+from ..query.evaluator import Answer, Evaluator
+
+
+class DeletionError(RuntimeError):
+    """Raised when a wrong answer cannot be removed (e.g. crowd insists
+    every fact of some witness is true)."""
+
+
+class DeletionStrategy(ABC):
+    """How to pick the next fact to verify, and whether to use Thm 4.5."""
+
+    name: str = "abstract"
+    #: Apply the singleton rule (unique-minimal-hitting-set inference)?
+    infer_singletons: bool = False
+
+    @abstractmethod
+    def choose(self, sets: list[frozenset], rng: random.Random) -> Fact:
+        """The next fact to ask the crowd about."""
+
+
+class QOCODeletion(DeletionStrategy):
+    """Algorithm 1: most-frequent fact + singleton inference."""
+
+    name = "QOCO"
+    infer_singletons = True
+
+    def choose(self, sets: list[frozenset], rng: random.Random) -> Fact:
+        fact = most_frequent_fact(sets)
+        assert fact is not None
+        return fact
+
+
+class QOCOMinusDeletion(DeletionStrategy):
+    """QOCO without Theorem 4.5: greedy order, no free inference."""
+
+    name = "QOCO-"
+    infer_singletons = False
+
+    def choose(self, sets: list[frozenset], rng: random.Random) -> Fact:
+        fact = most_frequent_fact(sets)
+        assert fact is not None
+        return fact
+
+
+class RandomDeletion(DeletionStrategy):
+    """Uniformly random fact among the remaining witnesses' tuples."""
+
+    name = "Random"
+    infer_singletons = False
+
+    def choose(self, sets: list[frozenset], rng: random.Random) -> Fact:
+        pool = sorted({f for s in sets for f in s}, key=repr)
+        return rng.choice(pool)
+
+
+def crowd_remove_wrong_answer(
+    query: Query,
+    database: Database,
+    answer: Answer,
+    oracle: AccountingOracle,
+    strategy: Optional[DeletionStrategy] = None,
+    rng: Optional[random.Random] = None,
+    apply: bool = True,
+    witnesses: Optional[list[frozenset]] = None,
+) -> list[Edit]:
+    """Algorithm 1: derive (and by default apply) deletion edits that
+    remove *answer* from ``Q(D)``.
+
+    Returns the list of deletion edits.  With a perfect oracle the edits
+    are guaranteed to destroy every witness; with an imperfect crowd a
+    witness may survive (all its facts "verified" true), in which case a
+    :class:`DeletionError` is raised and the caller's iterative loop is
+    expected to retry.
+
+    *witnesses* overrides the witness system (used by the UCQ extension,
+    which feeds the union of the per-disjunct systems).
+    """
+    strategy = strategy if strategy is not None else QOCODeletion()
+    rng = rng if rng is not None else random.Random()
+
+    if witnesses is None:
+        witnesses = [
+            frozenset(w) for w in Evaluator(query, database).witnesses(answer)
+        ]
+    sets: list[frozenset] = list(witnesses)
+    # Facts already known false (from earlier questions this run) destroy
+    # their witnesses for free; known-true facts can be pre-pruned.
+    sets, edits = _prune_with_knowledge(sets, oracle)
+
+    if isinstance(strategy, RandomDeletion):
+        edits += _verify_everything(sets, oracle, rng)
+        if apply:
+            database.apply(edits)
+        return edits
+
+    while sets:
+        if strategy.infer_singletons:
+            sets, inferred = _consume_singletons(sets, oracle)
+            edits += inferred
+            if not sets:
+                break
+        if any(not s for s in sets):
+            raise DeletionError(
+                f"answer {answer!r} has a witness whose facts were all deemed true"
+            )
+        fact = strategy.choose(sets, rng)
+        if oracle.verify_fact(fact):
+            sets = [s - {fact} for s in sets]
+            if any(not s for s in sets):
+                raise DeletionError(
+                    f"answer {answer!r} has a witness whose facts were all deemed true"
+                )
+        else:
+            edits.append(delete(fact))
+            sets = [s for s in sets if fact not in s]
+
+    if apply:
+        database.apply(edits)
+    return edits
+
+
+def _prune_with_knowledge(
+    sets: list[frozenset], oracle: AccountingOracle
+) -> tuple[list[frozenset], list[Edit]]:
+    """Apply cached oracle knowledge before asking anything."""
+    edits: list[Edit] = []
+    pruned: list[frozenset] = []
+    known_false = set()
+    for s in sets:
+        for fact in s:
+            if oracle.known_fact_value(fact) is False:
+                known_false.add(fact)
+    for s in sets:
+        if s & known_false:
+            continue
+        trimmed = frozenset(
+            f for f in s if oracle.known_fact_value(f) is not True
+        )
+        pruned.append(trimmed)
+    edits += [delete(f) for f in sorted(known_false, key=repr)]
+    return pruned, edits
+
+
+def _consume_singletons(
+    sets: list[frozenset], oracle: AccountingOracle
+) -> tuple[list[frozenset], list[Edit]]:
+    """Algorithm 1 lines 2-4: delete singleton facts without asking.
+
+    Because the wrong answer has at least one false fact per witness and
+    all other facts of a singleton's witness were verified true, the
+    singleton's fact must be false (Theorem 4.5) — remember it as such.
+    """
+    edits: list[Edit] = []
+    changed = True
+    while changed:
+        changed = False
+        singles = sorted(
+            {next(iter(s)) for s in sets if len(s) == 1}, key=repr
+        )
+        if not singles:
+            break
+        for fact in singles:
+            edits.append(delete(fact))
+            oracle.remember_fact(fact, False)
+        survivors = [s for s in sets if not (s & set(singles))]
+        changed = len(survivors) != len(sets)
+        sets = survivors
+    return sets, edits
+
+
+def _verify_everything(
+    sets: list[frozenset], oracle: AccountingOracle, rng: random.Random
+) -> list[Edit]:
+    """The Random baseline: verify every distinct witness fact."""
+    pool = sorted({f for s in sets for f in s}, key=repr)
+    rng.shuffle(pool)
+    edits: list[Edit] = []
+    remaining = list(sets)
+    for fact in pool:
+        if oracle.verify_fact(fact):
+            remaining = [s - {fact} for s in remaining]
+        else:
+            edits.append(delete(fact))
+            remaining = [s for s in remaining if fact not in s]
+    # Any set still present had every member verified true — the witness
+    # cannot be destroyed (possible only with a lying crowd).
+    if remaining:
+        raise DeletionError("witnesses survived full verification")
+    return edits
+
+
+#: Registry used by the experiment harness.
+DELETION_STRATEGIES: dict[str, type[DeletionStrategy]] = {
+    "QOCO": QOCODeletion,
+    "QOCO-": QOCOMinusDeletion,
+    "Random": RandomDeletion,
+}

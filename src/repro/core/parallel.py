@@ -1,0 +1,359 @@
+"""The parallelized main loop (Section 6.2 and the paper's Appendix B).
+
+"We would like to be able to maximize the use of all available crowd
+members at any point, to speed up the computation.  Thus, we run the
+deletion and insertion parts in parallel ...  We further use parallel
+foreach loops, in both deletion and insertion components.  We verify the
+correctness of all tuples in Q(D) at the same time, or post together
+multiple completion questions."
+
+This module restructures Algorithms 1-3 into *rounds*: every active task
+(one per wrong/missing answer) contributes its next question to the
+round, the whole round is posted to the crowd together, and the answers
+advance every task at once.  The number of rounds is the wall-clock
+proxy (each round costs one crowd latency regardless of how many
+questions it carries) — the quantity the crowd simulator prices.
+
+Tasks are cooperative generators yielding question requests:
+
+* ``("verify_fact", fact)``                → bool
+* ``("verify_candidate", query, partial)`` → bool
+* ``("complete", query, partial)``         → assignment or None
+* ``("remember", fact, value)``            → None (free inference, no slot)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..db.database import Database
+from ..db.edits import Edit, delete, insert
+from ..oracle.base import AccountingOracle
+from ..query.ast import Query
+from ..query.evaluator import Answer, Evaluator
+from ..query.subquery import embed_answer, ground_atoms
+from .deletion import DeletionError
+from .insertion import (
+    InsertionConfig,
+    InsertionError,
+    _candidate_count,
+    _insert_witness,
+    _near_witness_score,
+)
+from .session import CleaningReport
+from .split import ProvenanceSplit, SplitStrategy
+
+Request = tuple
+Task = Generator[Request, object, list[Edit]]
+
+
+@dataclass
+class ParallelReport(CleaningReport):
+    """A cleaning report extended with the round (latency) accounting."""
+
+    rounds: int = 0
+    peak_width: int = 0
+
+
+# ---------------------------------------------------------------------------
+# task generators
+# ---------------------------------------------------------------------------
+
+
+def removal_task(witnesses: list[frozenset]) -> Task:
+    """Algorithm 1 as a round-per-question generator."""
+    sets = list(witnesses)
+    edits: list[Edit] = []
+    from ..provenance.witness import most_frequent_fact
+
+    while sets:
+        # singleton inference (Theorem 4.5) — free, no crowd slot
+        singles = sorted({next(iter(s)) for s in sets if len(s) == 1}, key=repr)
+        if singles:
+            for fact in singles:
+                edits.append(delete(fact))
+                yield ("remember", fact, False)
+            sets = [s for s in sets if not (s & set(singles))]
+            continue
+        if any(not s for s in sets):
+            raise DeletionError("a witness's facts were all deemed true")
+        fact = most_frequent_fact(sets)
+        truthful = yield ("verify_fact", fact)
+        if truthful:
+            sets = [s - {fact} for s in sets]
+            if any(not s for s in sets):
+                raise DeletionError("a witness's facts were all deemed true")
+        else:
+            edits.append(delete(fact))
+            sets = [s for s in sets if fact not in s]
+    return edits
+
+
+def insertion_task(
+    query: Query,
+    database: Database,
+    answer: Answer,
+    split: SplitStrategy,
+    rng: random.Random,
+    config: InsertionConfig,
+) -> Task:
+    """Algorithm 2 as a round-per-question generator.
+
+    Mutates *database* when the witness is determined (the same shared-
+    database semantics as the sequential algorithm).
+    """
+    from collections import deque
+
+    embedded = embed_answer(query, answer)
+    edits: list[Edit] = []
+    for fact in ground_atoms(embedded):
+        if fact not in database:
+            edit = insert(fact)
+            edit.apply(database)
+            edits.append(edit)
+
+    def present() -> bool:
+        return next(Evaluator(embedded, database).assignments(), None) is not None
+
+    if present():
+        return edits
+
+    queue = deque(split.split(embedded, database, rng))
+    asked: set[frozenset] = set()
+    processed = 0
+    embedded_vars = embedded.variables()
+
+    while queue and not present():
+        if processed >= config.max_subqueries:
+            break
+        index = min(
+            range(len(queue)),
+            key=lambda i: _candidate_count(
+                queue[i], database, config.max_candidates_per_subquery
+            ),
+        )
+        queue.rotate(-index)
+        current = queue.popleft()
+        processed += 1
+
+        candidates = []
+        seen_here: set[frozenset] = set()
+        for assignment in Evaluator(current, database).assignments():
+            candidate = {v: c for v, c in assignment.items() if v in embedded_vars}
+            key = frozenset(candidate.items())
+            if key in asked or key in seen_here:
+                continue
+            seen_here.add(key)
+            candidates.append(candidate)
+            if len(candidates) >= 4 * config.max_candidates_per_subquery:
+                break
+        candidates.sort(
+            key=lambda c: (
+                -_near_witness_score(embedded, c, database),
+                repr(sorted(c.items(), key=repr)),
+            )
+        )
+        for candidate in candidates[: config.max_candidates_per_subquery]:
+            asked.add(frozenset(candidate.items()))
+            affirmed = yield ("verify_candidate", embedded, candidate)
+            if not affirmed:
+                continue
+            if set(candidate) >= embedded_vars:
+                _insert_witness(embedded, candidate, database, edits)
+                return edits
+            completion = yield ("complete", embedded, candidate)
+            if completion is not None:
+                _insert_witness(embedded, completion, database, edits)
+                return edits
+        if split.can_split(current):
+            queue.extend(split.split(current, database, rng))
+
+    if present():
+        return edits
+    completion = yield ("complete", embedded, {})
+    if completion is None:
+        raise InsertionError(f"crowd provided no witness for {answer!r}")
+    _insert_witness(embedded, completion, database, edits)
+    return edits
+
+
+# ---------------------------------------------------------------------------
+# the round scheduler
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Running:
+    task: Task
+    pending: Optional[Request] = None
+    result: Optional[list[Edit]] = None
+    failed: bool = False
+
+
+class RoundScheduler:
+    """Advances every active task one question per round."""
+
+    def __init__(self, oracle: AccountingOracle) -> None:
+        self.oracle = oracle
+        self.rounds = 0
+        self.peak_width = 0
+
+    def run(self, tasks: list[Task]) -> list[Optional[list[Edit]]]:
+        """Run tasks to completion; results align with *tasks* (``None``
+        marks a task that failed with :class:`DeletionError`)."""
+        running = [_Running(task) for task in tasks]
+        for item in running:
+            self._advance(item, None)
+        while any(item.pending is not None for item in running):
+            batch = [item for item in running if item.pending is not None]
+            self.rounds += 1
+            self.peak_width = max(self.peak_width, len(batch))
+            # "post together": collect the whole round before advancing
+            answers = [
+                (item, self._answer(item.pending)) for item in batch
+            ]
+            for item, answer in answers:
+                self._advance(item, answer)
+        return [None if item.failed else (item.result or []) for item in running]
+
+    # -- internals -------------------------------------------------------
+    def _advance(self, item: _Running, answer) -> None:
+        try:
+            while True:
+                request = (
+                    item.task.send(answer) if answer is not None or item.pending
+                    else next(item.task)
+                )
+                if request[0] == "remember":
+                    _, fact, value = request
+                    self.oracle.remember_fact(fact, value)
+                    answer = None
+                    item.pending = ("remember",)  # mark as mid-task
+                    continue
+                item.pending = request
+                return
+        except StopIteration as stop:
+            item.pending = None
+            item.result = stop.value if stop.value is not None else []
+        except (DeletionError, InsertionError):
+            item.pending = None
+            item.failed = True
+
+    def _answer(self, request: Request):
+        kind = request[0]
+        if kind == "verify_fact":
+            return self.oracle.verify_fact(request[1])
+        if kind == "verify_candidate":
+            return self.oracle.verify_candidate(request[1], request[2])
+        if kind == "complete":
+            return self.oracle.complete_assignment(request[1], request[2])
+        raise ValueError(f"unknown request {request!r}")
+
+
+# ---------------------------------------------------------------------------
+# the parallel main loop
+# ---------------------------------------------------------------------------
+
+
+class ParallelQOCO:
+    """Algorithm 3 with the Appendix-B parallel modifications."""
+
+    def __init__(
+        self,
+        database: Database,
+        oracle: AccountingOracle,
+        split_strategy: Optional[SplitStrategy] = None,
+        insertion_config: Optional[InsertionConfig] = None,
+        completion_width: int = 4,
+        max_iterations: int = 10,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.database = database
+        self.oracle = (
+            oracle if isinstance(oracle, AccountingOracle) else AccountingOracle(oracle)
+        )
+        self.split_strategy = split_strategy or ProvenanceSplit()
+        self.insertion_config = insertion_config or InsertionConfig()
+        self.completion_width = completion_width
+        self.max_iterations = max_iterations
+        self.rng = random.Random(seed)
+
+    def clean(self, query: Query) -> ParallelReport:
+        report = ParallelReport(query_name=query.name, log=self.oracle.log)
+        scheduler = RoundScheduler(self.oracle)
+        verified: set[Answer] = set()
+        first = True
+        while first or (self._answers(query) - verified):
+            if report.iterations >= self.max_iterations:
+                report.converged = False
+                break
+            first = False
+            report.iterations += 1
+
+            # Wave 1: verify all unverified answers at the same time.
+            answers = sorted(self._answers(query) - verified, key=repr)
+            wrong: list[Answer] = []
+            if answers:
+                scheduler.rounds += 1
+                scheduler.peak_width = max(scheduler.peak_width, len(answers))
+                for answer in answers:
+                    if self.oracle.verify_answer(query, answer):
+                        verified.add(answer)
+                    else:
+                        wrong.append(answer)
+
+            # Wave 2: all removals in parallel.
+            if wrong:
+                evaluator = Evaluator(query, self.database)
+                tasks = []
+                for answer in wrong:
+                    witnesses = [frozenset(w) for w in evaluator.witnesses(answer)]
+                    tasks.append(removal_task(witnesses))
+                for answer, edits in zip(wrong, scheduler.run(tasks)):
+                    if edits is None:
+                        report.converged = False
+                        continue
+                    if edits:
+                        self.database.apply(edits)
+                        report.edits += edits
+                        report.wrong_answers_removed.append(answer)
+
+            # Waves 3+4, repeated: post `completion_width` completion
+            # questions together, insert the found answers in parallel,
+            # until a wave comes back empty.
+            for _ in range(self.max_iterations * 4):
+                missing: list[Answer] = []
+                known = set(self._answers(query))
+                scheduler.rounds += 1
+                for _ in range(self.completion_width):
+                    found = self.oracle.complete_result(query, known)
+                    if found is None:
+                        break
+                    known.add(found)
+                    if found not in self._answers(query):
+                        missing.append(found)
+                if not missing:
+                    break
+                tasks = [
+                    insertion_task(
+                        query, self.database, answer, self.split_strategy,
+                        self.rng, self.insertion_config,
+                    )
+                    for answer in missing
+                ]
+                for answer, edits in zip(missing, scheduler.run(tasks)):
+                    if edits is None:
+                        report.converged = False
+                        continue
+                    report.edits += edits
+                    report.missing_answers_added.append(answer)
+                    verified.add(answer)
+
+        report.rounds = scheduler.rounds
+        report.peak_width = scheduler.peak_width
+        return report
+
+    def _answers(self, query: Query) -> set[Answer]:
+        return Evaluator(query, self.database).answers()

@@ -1,0 +1,164 @@
+"""The main iterative cleaning loop (Section 6, Algorithm 3).
+
+Alternates a deletion phase (verify every unverified answer of ``Q(D)``,
+remove the wrong ones via Algorithm 1) with an insertion phase (pose
+``COMPL(Q(D))`` questions until the enumeration black-box declares the
+result complete, adding each missing answer via Algorithm 2), repeating
+while unverified answers appear — fixing one error class can surface new
+errors of the other class (Example 6.1), but Proposition 3.3 guarantees
+every edit moves ``D`` toward ``D_G``, so the loop converges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..db.database import Database
+from ..oracle.base import AccountingOracle, Oracle
+from ..oracle.enumeration import CompletionEstimator, ExactCompletion
+from ..query.ast import Query
+from ..query.evaluator import Answer, Evaluator
+from .deletion import DeletionError, DeletionStrategy, QOCODeletion, crowd_remove_wrong_answer
+from .insertion import InsertionConfig, InsertionError, crowd_add_missing_answer
+from .session import CleaningReport
+from .split import ProvenanceSplit, SplitStrategy
+
+
+@dataclass
+class QOCOConfig:
+    """Configuration of the main loop."""
+
+    #: Strategy for Algorithm 1 (deletion).
+    deletion_strategy: DeletionStrategy = field(default_factory=QOCODeletion)
+    #: Strategy for Algorithm 2's Split().
+    split_strategy: SplitStrategy = field(default_factory=ProvenanceSplit)
+    #: Factory for the enumeration black-box (fresh instance per phase).
+    estimator_factory: Callable[[], CompletionEstimator] = ExactCompletion
+    #: Algorithm 2 tuning.
+    insertion: InsertionConfig = field(default_factory=InsertionConfig)
+    #: Hard bound on outer iterations (convergence is guaranteed with a
+    #: perfect oracle; imperfect crowds need a stop).
+    max_iterations: int = 10
+    #: Bound on COMPL(Q(D)) questions per insertion phase.
+    max_completions_per_phase: int = 100
+    #: Minimize the view definition first (Chandra–Merlin core): redundant
+    #: body atoms inflate witnesses and crowd questions for free.
+    minimize_query: bool = False
+    #: Random seed for the strategies' tie-breaking.
+    seed: Optional[int] = None
+
+
+class QOCO:
+    """The QOCO cleaning system over one database and one oracle."""
+
+    def __init__(
+        self,
+        database: Database,
+        oracle: Oracle,
+        config: Optional[QOCOConfig] = None,
+    ) -> None:
+        self.database = database
+        self.config = config if config is not None else QOCOConfig()
+        self.oracle = (
+            oracle
+            if isinstance(oracle, AccountingOracle)
+            else AccountingOracle(oracle)
+        )
+        self.rng = random.Random(self.config.seed)
+
+    # ------------------------------------------------------------------
+    # Algorithm 3
+    # ------------------------------------------------------------------
+    def clean(self, query: Query) -> CleaningReport:
+        """Clean ``D`` w.r.t. *query* until ``Q(D) = Q(D_G)`` (with a
+        perfect oracle) or the iteration bound is hit."""
+        if self.config.minimize_query:
+            from ..query.minimize import minimize
+
+            query = minimize(query)
+        report = CleaningReport(query_name=query.name, log=self.oracle.log)
+        verified: set[Answer] = set()
+
+        first_iteration = True
+        while first_iteration or (self._answers(query) - verified):
+            if report.iterations >= self.config.max_iterations:
+                report.converged = False
+                break
+            if not first_iteration:
+                # Imperfect crowds: a wrong majority vote must not poison
+                # the retry — re-poll rather than trust the cached answer.
+                self.oracle.forget()
+            first_iteration = False
+            report.iterations += 1
+            report.converged = True
+            self._deletion_phase(query, verified, report)
+            self._insertion_phase(query, verified, report)
+        return report
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def _answers(self, query: Query) -> set[Answer]:
+        return Evaluator(query, self.database).answers()
+
+    def _deletion_phase(
+        self, query: Query, verified: set[Answer], report: CleaningReport
+    ) -> None:
+        """Algorithm 3, lines 2-6."""
+        for answer in sorted(self._answers(query) - verified, key=repr):
+            if answer not in self._answers(query):
+                continue  # removed as a side effect of an earlier deletion
+            if self.oracle.verify_answer(query, answer):
+                verified.add(answer)
+                continue
+            try:
+                edits = crowd_remove_wrong_answer(
+                    query,
+                    self.database,
+                    answer,
+                    self.oracle,
+                    strategy=self.config.deletion_strategy,
+                    rng=self.rng,
+                )
+            except DeletionError:
+                report.converged = False
+                continue
+            report.edits += edits
+            report.wrong_answers_removed.append(answer)
+
+    def _insertion_phase(
+        self, query: Query, verified: set[Answer], report: CleaningReport
+    ) -> None:
+        """Algorithm 3, lines 7-9."""
+        estimator = self.config.estimator_factory()
+        completions = 0
+        while (
+            not estimator.is_complete()
+            and completions < self.config.max_completions_per_phase
+        ):
+            current = self._answers(query)
+            missing = self.oracle.complete_result(query, current)
+            completions += 1
+            estimator.observe(missing)
+            if missing is None:
+                continue
+            if missing in current:
+                continue  # the crowd named an answer we already have
+            try:
+                edits = crowd_add_missing_answer(
+                    query,
+                    self.database,
+                    missing,
+                    self.oracle,
+                    split=self.config.split_strategy,
+                    rng=self.rng,
+                    config=self.config.insertion,
+                )
+            except InsertionError:
+                report.converged = False
+                continue
+            report.edits += edits
+            report.missing_answers_added.append(missing)
+            verified.add(missing)

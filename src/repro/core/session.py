@@ -1,0 +1,42 @@
+"""Cleaning reports and measurement helpers shared by the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..db.edits import Edit, EditKind
+from ..oracle.questions import InteractionLog
+from ..query.evaluator import Answer
+
+
+@dataclass
+class CleaningReport:
+    """The outcome of one cleaning run (one query)."""
+
+    query_name: str
+    edits: list[Edit] = field(default_factory=list)
+    iterations: int = 0
+    wrong_answers_removed: list[Answer] = field(default_factory=list)
+    missing_answers_added: list[Answer] = field(default_factory=list)
+    converged: bool = True
+    log: InteractionLog = field(default_factory=InteractionLog)
+
+    @property
+    def deletions(self) -> list[Edit]:
+        return [e for e in self.edits if e.kind is EditKind.DELETE]
+
+    @property
+    def insertions(self) -> list[Edit]:
+        return [e for e in self.edits if e.kind is EditKind.INSERT]
+
+    @property
+    def total_cost(self) -> int:
+        return self.log.total_cost
+
+    def summary(self) -> str:
+        return (
+            f"{self.query_name}: {len(self.wrong_answers_removed)} wrong removed, "
+            f"{len(self.missing_answers_added)} missing added, "
+            f"{len(self.deletions)}-/{len(self.insertions)}+ edits, "
+            f"{self.log.total_cost} question units in {self.iterations} iteration(s)"
+        )

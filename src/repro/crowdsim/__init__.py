@@ -1,0 +1,19 @@
+"""Discrete-event crowd latency/parallelism simulation (Section 6.2)."""
+
+from .simulator import (
+    AnswerEvent,
+    CrowdSimulator,
+    QuestionCompletion,
+    Timeline,
+    compare_policies,
+    lognormal_latency,
+)
+
+__all__ = [
+    "AnswerEvent",
+    "CrowdSimulator",
+    "QuestionCompletion",
+    "Timeline",
+    "compare_policies",
+    "lognormal_latency",
+]

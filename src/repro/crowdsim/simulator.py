@@ -1,0 +1,186 @@
+"""Discrete-event simulation of crowd latency and parallelism (§6.2).
+
+The paper parallelizes Algorithm 3 — "we verify the correctness of all
+tuples in Q(D) at the same time, or post together multiple completion
+questions" — and reports wall-clock behaviour for its real crowd ("60%
+of the errors ... within an hour ... the whole experiment completed
+within 3.5 hours").  This module reproduces that dimension: it replays
+an :class:`~repro.oracle.questions.InteractionLog` against a pool of
+simulated experts with stochastic response latencies, under either a
+sequential or a parallel dispatch policy, and yields the timeline.
+
+Dispatch model
+--------------
+* every closed question needs ``votes_per_closed`` expert answers (the
+  majority-vote sample), open questions one answer plus verification
+  already being separate log records;
+* **sequential** policy: one question at a time, its votes in parallel
+  (the system waits for the sample before moving on);
+* **parallel** policy: maximal runs of *independent* questions (same
+  question kind — the paper's parallel foreach loops) are dispatched
+  together, bounded only by the expert pool.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..oracle.questions import CLOSED_KINDS, Interaction, InteractionLog
+
+#: Samples one expert's response latency (seconds).
+LatencySampler = Callable[[random.Random], float]
+
+
+def lognormal_latency(median_seconds: float = 120.0, sigma: float = 0.8) -> LatencySampler:
+    """A heavy-tailed human response-time model (log-normal)."""
+    mu = math.log(median_seconds)
+
+    def sample(rng: random.Random) -> float:
+        return rng.lognormvariate(mu, sigma)
+
+    return sample
+
+
+@dataclass(frozen=True)
+class AnswerEvent:
+    """One expert answering one question once."""
+
+    question_index: int
+    expert: int
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class QuestionCompletion:
+    """A question fully answered (all its votes in)."""
+
+    question_index: int
+    completed_at: float
+
+
+@dataclass
+class Timeline:
+    """The simulated run: per-answer events and per-question completions."""
+
+    answers: list[AnswerEvent] = field(default_factory=list)
+    completions: list[QuestionCompletion] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        if not self.completions:
+            return 0.0
+        return max(c.completed_at for c in self.completions)
+
+    def completion_fraction(self, at_time: float) -> float:
+        """Fraction of questions answered by *at_time*."""
+        if not self.completions:
+            return 1.0
+        done = sum(1 for c in self.completions if c.completed_at <= at_time)
+        return done / len(self.completions)
+
+    def time_to_fraction(self, fraction: float) -> float:
+        """The moment the given fraction of questions was complete."""
+        if not self.completions:
+            return 0.0
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        ordered = sorted(c.completed_at for c in self.completions)
+        index = max(0, math.ceil(fraction * len(ordered)) - 1)
+        return ordered[index]
+
+
+class CrowdSimulator:
+    """Replays an interaction log against a simulated expert pool."""
+
+    def __init__(
+        self,
+        n_experts: int = 10,
+        votes_per_closed: int = 3,
+        latency: Optional[LatencySampler] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if n_experts < 1:
+            raise ValueError("need at least one expert")
+        if votes_per_closed < 1:
+            raise ValueError("need at least one vote per question")
+        self.n_experts = n_experts
+        self.votes_per_closed = votes_per_closed
+        self.latency = latency if latency is not None else lognormal_latency()
+        self.rng = rng if rng is not None else random.Random()
+
+    # ------------------------------------------------------------------
+    def replay(
+        self, records: Sequence[Interaction] | InteractionLog, parallel: bool = True
+    ) -> Timeline:
+        """Simulate answering the logged questions in order."""
+        if isinstance(records, InteractionLog):
+            records = records.records
+        batches = self._batches(records, parallel)
+        timeline = Timeline()
+        # expert availability: (free_at, expert_id)
+        experts = [(0.0, i) for i in range(self.n_experts)]
+        heapq.heapify(experts)
+        clock = 0.0
+        index = 0
+        for batch in batches:
+            batch_completions: list[float] = []
+            for record in batch:
+                votes = (
+                    self.votes_per_closed if record.kind in CLOSED_KINDS else 1
+                )
+                ends = []
+                for _ in range(votes):
+                    free_at, expert = heapq.heappop(experts)
+                    start = max(free_at, clock)
+                    end = start + self.latency(self.rng)
+                    heapq.heappush(experts, (end, expert))
+                    timeline.answers.append(
+                        AnswerEvent(index, expert, start, end)
+                    )
+                    ends.append(end)
+                completed = max(ends)
+                timeline.completions.append(QuestionCompletion(index, completed))
+                batch_completions.append(completed)
+                index += 1
+            # The next batch depends on this one's answers.
+            if batch_completions:
+                clock = max(batch_completions)
+        return timeline
+
+    def _batches(
+        self, records: Sequence[Interaction], parallel: bool
+    ) -> list[list[Interaction]]:
+        if not parallel:
+            return [[record] for record in records]
+        batches: list[list[Interaction]] = []
+        for record in records:
+            if batches and batches[-1][0].kind is record.kind:
+                batches[-1].append(record)
+            else:
+                batches.append([record])
+        return batches
+
+
+def compare_policies(
+    log: InteractionLog,
+    n_experts: int = 10,
+    votes_per_closed: int = 3,
+    median_latency: float = 120.0,
+    seed: int = 0,
+) -> dict[str, Timeline]:
+    """Replay a log under both policies with identical randomness setup."""
+    result = {}
+    for name, parallel in (("sequential", False), ("parallel", True)):
+        simulator = CrowdSimulator(
+            n_experts=n_experts,
+            votes_per_closed=votes_per_closed,
+            latency=lognormal_latency(median_latency),
+            rng=random.Random(seed),
+        )
+        result[name] = simulator.replay(log, parallel=parallel)
+    return result

@@ -1,0 +1,49 @@
+"""Datasets: World Cup and DBGroup generators, controlled noise."""
+
+from .dbgroup import DBGroupConfig, dbgroup_database, dbgroup_schema, seeded_errors
+from .figure1 import figure1_dirty, figure1_ground_truth
+from .noise import (
+    NoiseError,
+    NoiseSpec,
+    ResultErrors,
+    fabricate_fact,
+    inject_result_errors,
+    make_dirty,
+    measure_cleanliness,
+    measure_result_cleanliness,
+    measure_skewness,
+)
+from .worldcup import (
+    FINALS,
+    KNOCKOUT_STAGES,
+    TEAMS,
+    THIRD_PLACE,
+    WorldCupConfig,
+    worldcup_database,
+    worldcup_schema,
+)
+
+__all__ = [
+    "DBGroupConfig",
+    "FINALS",
+    "KNOCKOUT_STAGES",
+    "NoiseError",
+    "NoiseSpec",
+    "ResultErrors",
+    "TEAMS",
+    "THIRD_PLACE",
+    "WorldCupConfig",
+    "dbgroup_database",
+    "dbgroup_schema",
+    "fabricate_fact",
+    "figure1_dirty",
+    "figure1_ground_truth",
+    "inject_result_errors",
+    "make_dirty",
+    "measure_cleanliness",
+    "measure_result_cleanliness",
+    "measure_skewness",
+    "seeded_errors",
+    "worldcup_database",
+    "worldcup_schema",
+]

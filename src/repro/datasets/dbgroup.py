@@ -1,0 +1,227 @@
+"""The DBGroup database (Section 7.1).
+
+The paper's first case study is its own research-group database (~2000
+tuples, maintained for a decade) with four grant-report queries.  We
+synthesize a database of the same shape — members, publications,
+authorship, invited events, conference travel, grant topics — plus the
+small auxiliary relations that make the report queries expressible as
+conjunctive queries.  :func:`seeded_errors` plants the kind of mistakes
+the paper discovered (wrong keynote, wrongly-funded members, missing
+trips), so the case-study experiment can measure what QOCO finds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..db.database import Database
+from ..db.edits import Edit, delete, insert
+from ..db.schema import RelationSchema, Schema
+from ..db.tuples import Fact
+
+GRANTS = ("ERC", "ISF", "BSF")
+TOPICS_BY_GRANT = {
+    "ERC": ("crowdsourcing", "data-cleaning", "provenance", "crowd-mining"),
+    "ISF": ("query-optimization", "streams", "graphs"),
+    "BSF": ("privacy", "probabilistic-data", "text"),
+}
+STATUSES = ("student", "postdoc", "faculty", "alumni")
+CURRENT_STATUSES = ("student", "postdoc", "faculty")
+EVENT_KINDS = ("keynote", "tutorial", "talk")
+INVITED_KINDS = ("keynote", "tutorial")
+CONFERENCES = ("SIGMOD", "VLDB", "PODS", "ICDE", "EDBT", "ICDT", "WWW", "KDD")
+RECENT_YEARS = (2013, 2014, 2015)
+ALL_YEARS = tuple(range(2005, 2016))
+
+_MEMBER_NAMES = (
+    "Noa Levi", "Amir Cohen", "Yael Mizrahi", "Eitan Peretz", "Tamar Avram",
+    "Omer Biton", "Shira Katz", "Daniel Friedman", "Maya Golan", "Ron Azulay",
+    "Lior Shapiro", "Dana Harel", "Gil Oren", "Rivka Segal", "Adam Weiss",
+    "Talia Mor", "Yoav Barak", "Michal Sela", "Nadav Stern", "Efrat Gabay",
+    "Boaz Rosen", "Hila Navon", "Oren Malka", "Sigal Dagan", "Erez Tal",
+    "Anat Sharon", "Uri Shaked", "Vered Alon", "Yaniv Doron", "Orly Paz",
+    "Itay Zohar", "Gali Baruch", "Moti Eden", "Nurit Carmel", "Asaf Regev",
+    "Dorit Yaron", "Eli Brosh", "Ruth Amit", "Tomer Gavish", "Shani Lavi",
+    "Ariel Kedem", "Bat-El Noy", "Ohad Zur", "Keren Raviv", "Nir Dekel",
+    "Yifat Argaman", "Roi Ashur", "Smadar Ilan", "Tal Binyamin", "Gadi Naor",
+)
+
+_TITLE_WORDS = (
+    "Scalable", "Interactive", "Crowd-Powered", "Declarative", "Adaptive",
+    "Provenance-Aware", "Query-Driven", "Incremental", "Distributed",
+    "Probabilistic", "Efficient", "Principled",
+)
+_TITLE_OBJECTS = (
+    "Data Cleaning", "View Maintenance", "Query Answering", "Entity Resolution",
+    "Schema Matching", "Crowd Mining", "Stream Processing", "Graph Analytics",
+    "Data Integration", "Why-Not Explanations", "Top-k Search", "Data Repair",
+)
+
+
+def dbgroup_schema() -> Schema:
+    """The DBGroup database schema (members, publications, events...)."""
+    return Schema(
+        [
+            RelationSchema(
+                "members", ("name", "status", "funding"), ("member", "status", "grant")
+            ),
+            RelationSchema(
+                "publications", ("pid", "title", "year", "topic"),
+                ("pid", "title", "year", "topic"),
+            ),
+            RelationSchema("authored", ("member", "pid"), ("member", "pid")),
+            RelationSchema(
+                "events", ("eid", "kind", "topic", "year", "member"),
+                ("eid", "kind", "topic", "year", "member"),
+            ),
+            RelationSchema(
+                "trips", ("member", "conference", "year", "sponsor"),
+                ("member", "conference", "year", "grant"),
+            ),
+            RelationSchema("topics", ("topic", "grant"), ("topic", "grant")),
+            RelationSchema("event_kinds", ("kind", "cls"), ("kind", "cls")),
+            RelationSchema("statuses", ("status", "cls"), ("status", "cls")),
+            RelationSchema("recent_years", ("year",), ("year",)),
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class DBGroupConfig:
+    seed: int = 11
+    n_members: int = 50
+    n_publications: int = 420
+    n_events: int = 160
+    n_trips: int = 260
+    max_authors: int = 3
+
+
+def dbgroup_database(config: DBGroupConfig | None = None) -> Database:
+    """Generate the ground-truth DBGroup database (~2000 tuples)."""
+    config = config if config is not None else DBGroupConfig()
+    rng = random.Random(config.seed)
+    db = Database(dbgroup_schema())
+
+    # Auxiliary classification relations.
+    for grant, topics in TOPICS_BY_GRANT.items():
+        for topic in topics:
+            db.insert(Fact("topics", (topic, grant)))
+    for kind in EVENT_KINDS:
+        cls = "invited" if kind in INVITED_KINDS else "contributed"
+        db.insert(Fact("event_kinds", (kind, cls)))
+    for status in STATUSES:
+        cls = "current" if status in CURRENT_STATUSES else "past"
+        db.insert(Fact("statuses", (status, cls)))
+    for year in RECENT_YEARS:
+        db.insert(Fact("recent_years", (year,)))
+
+    # Members.
+    members = list(_MEMBER_NAMES[: config.n_members])
+    all_topics = [t for topics in TOPICS_BY_GRANT.values() for t in topics]
+    for name in members:
+        status = rng.choice(STATUSES)
+        funding = rng.choice(GRANTS + ("none",))
+        db.insert(Fact("members", (name, status, funding)))
+
+    # Publications and authorship.
+    for pid in range(1, config.n_publications + 1):
+        title = f"{rng.choice(_TITLE_WORDS)} {rng.choice(_TITLE_OBJECTS)} {pid}"
+        year = rng.choice(ALL_YEARS)
+        topic = rng.choice(all_topics)
+        db.insert(Fact("publications", (f"p{pid}", title, year, topic)))
+        for author in rng.sample(members, rng.randint(1, config.max_authors)):
+            db.insert(Fact("authored", (author, f"p{pid}")))
+
+    # Events (keynotes / tutorials / talks).
+    for eid in range(1, config.n_events + 1):
+        kind = rng.choice(EVENT_KINDS)
+        topic = rng.choice(all_topics)
+        year = rng.choice(ALL_YEARS)
+        member = rng.choice(members)
+        db.insert(Fact("events", (f"e{eid}", kind, topic, year, member)))
+
+    # Conference travel.
+    seen_trips: set[tuple] = set()
+    while len(seen_trips) < config.n_trips:
+        trip = (
+            rng.choice(members),
+            rng.choice(CONFERENCES),
+            rng.choice(ALL_YEARS),
+            rng.choice(GRANTS),
+        )
+        if trip in seen_trips:
+            continue
+        seen_trips.add(trip)
+        db.insert(Fact("trips", trip))
+
+    return db
+
+
+def seeded_errors(
+    ground_truth: Database, seed: int = 23
+) -> tuple[Database, list[Edit]]:
+    """A dirty copy of the DBGroup DB with the Section 7.1 error profile.
+
+    Plants: 1 fabricated keynote and 4 members wrongly recorded as
+    ERC-funded (wrong answers), and removes 1 keynote, 1 member's ERC
+    funding record and 5 ERC-sponsored recent trips (missing answers).
+    Returns the dirty database and the corruption edits applied to the
+    ground truth (so tests can check QOCO undoes exactly these).
+    """
+    rng = random.Random(seed)
+    dirty = ground_truth.copy()
+    corruption: list[Edit] = []
+
+    def apply(edit: Edit) -> None:
+        if edit.apply(dirty):
+            corruption.append(edit)
+
+    # Wrong: a keynote that never happened, on an ERC topic in a recent year.
+    apply(insert(Fact("events", ("e999", "keynote", "crowdsourcing", 2014, "Noa Levi"))))
+
+    # Wrong: four members wrongly marked as ERC-funded (their true funding
+    # rows removed, false ERC rows inserted => both a wrong and a missing
+    # answer source for Q2).
+    candidates = sorted(
+        f for f in ground_truth.facts("members") if f.values[2] != "ERC"
+    )
+    rng.shuffle(candidates)
+    for member_fact in candidates[:4]:
+        name, status, funding = member_fact.values
+        apply(delete(member_fact))
+        apply(insert(Fact("members", (name, status, "ERC"))))
+
+    # Missing: a real invited keynote dropped.
+    keynotes = sorted(
+        f
+        for f in ground_truth.facts("events")
+        if f.values[1] == "keynote" and f.values[3] in RECENT_YEARS
+    )
+    if keynotes:
+        apply(delete(keynotes[0]))
+
+    # Missing: one member's ERC funding row dropped entirely.
+    erc_members = sorted(
+        f
+        for f in ground_truth.facts("members")
+        if f.values[2] == "ERC" and f.values[1] in CURRENT_STATUSES
+    )
+    if erc_members:
+        apply(delete(erc_members[0]))
+
+    # Missing: five ERC-sponsored recent student trips dropped.
+    student_names = {
+        f.values[0] for f in ground_truth.facts("members") if f.values[1] == "student"
+    }
+    erc_trips = sorted(
+        f
+        for f in ground_truth.facts("trips")
+        if f.values[3] == "ERC"
+        and f.values[2] in RECENT_YEARS
+        and f.values[0] in student_names
+    )
+    for trip in erc_trips[:5]:
+        apply(delete(trip))
+
+    return dirty, corruption

@@ -1,0 +1,103 @@
+"""The paper's Figure 1 running example, as a concrete instance pair.
+
+Reconstructs the small World Cup fragment of Figure 1: the dirty
+database ``D`` (with the dark-gray false tuples — Spain's fabricated
+final wins, BRA/NED's wrong continents, Totti's phantom goal) and the
+ground truth ``D_G`` (with the light-gray missing tuples — ``Teams(ITA,
+EU)`` and the true 1978/1994/1998 finals).
+
+Every worked example of the paper plays out on this pair:
+
+* Example 2.1/2.2 — ``Q1(D) = {(GER), (ESP)}``;
+* Example 4.6   — (ESP) is a wrong answer with six witnesses;
+* Example 5.4   — (Pirlo) is missing because ``Teams(ITA, EU)`` is;
+* Example 6.1   — inserting ``Teams(ITA, EU)`` surfaces the wrong
+  answer (Totti) as a side effect.
+
+The test suite asserts each of these narratives verbatim.
+"""
+
+from __future__ import annotations
+
+from ..db.database import Database
+from ..db.tuples import Fact, facts
+from .worldcup import worldcup_schema
+
+#: The six finals that are correct in both D and D_G.
+TRUE_FINALS = [
+    ("13.07.2014", "GER", "ARG", "Final", "1:0"),
+    ("11.07.2010", "ESP", "NED", "Final", "1:0"),
+    ("09.07.2006", "ITA", "FRA", "Final", "5:3"),
+    ("30.06.2002", "BRA", "GER", "Final", "2:0"),
+    ("08.07.1990", "GER", "ARG", "Final", "1:0"),
+    ("11.07.1982", "ITA", "GER", "Final", "4:1"),
+]
+
+#: The dark-gray Games rows of Figure 1: Spain's fabricated wins.
+FALSE_FINALS = [
+    ("12.07.1998", "ESP", "NED", "Final", "4:2"),
+    ("17.07.1994", "ESP", "NED", "Final", "3:1"),
+    ("25.06.1978", "ESP", "NED", "Final", "1:0"),
+]
+
+#: What those finals actually were (present only in D_G).
+MISSING_FINALS = [
+    ("12.07.1998", "FRA", "BRA", "Final", "3:0"),
+    ("17.07.1994", "BRA", "ITA", "Final", "3:2"),
+    ("25.06.1978", "ARG", "NED", "Final", "3:1"),
+]
+
+TRUE_TEAMS = [("GER", "EU"), ("ESP", "EU"), ("FRA", "EU")]
+FALSE_TEAMS = [("BRA", "EU"), ("NED", "SA")]
+MISSING_TEAMS = [("ITA", "EU"), ("NED", "EU"), ("BRA", "SA"), ("ARG", "SA")]
+
+PLAYERS = [
+    ("Mario Goetze", "GER", 1992, "GER"),
+    ("Andrea Pirlo", "ITA", 1979, "ITA"),
+    ("Francesco Totti", "ITA", 1976, "ITA"),
+]
+
+TRUE_GOALS = [("Mario Goetze", "13.07.2014"), ("Andrea Pirlo", "09.07.2006")]
+FALSE_GOALS = [("Francesco Totti", "09.07.2006")]
+
+STAGES = [("Final", "KO"), ("Semifinal", "KO"), ("Group", "GROUP")]
+
+
+def figure1_dirty() -> Database:
+    """The dirty database ``D`` of Figure 1."""
+    db = Database(worldcup_schema())
+    for fact in facts("games", TRUE_FINALS) + facts("games", FALSE_FINALS):
+        db.insert(fact)
+    for fact in facts("teams", TRUE_TEAMS) + facts("teams", FALSE_TEAMS):
+        db.insert(fact)
+    for fact in facts("players", PLAYERS):
+        db.insert(fact)
+    for fact in facts("goals", TRUE_GOALS) + facts("goals", FALSE_GOALS):
+        db.insert(fact)
+    for fact in facts("stages", STAGES):
+        db.insert(fact)
+    return db
+
+
+def figure1_ground_truth() -> Database:
+    """The ground truth ``D_G`` of Figure 1."""
+    db = Database(worldcup_schema())
+    for fact in facts("games", TRUE_FINALS) + facts("games", MISSING_FINALS):
+        db.insert(fact)
+    for fact in facts("teams", TRUE_TEAMS) + facts("teams", MISSING_TEAMS):
+        db.insert(fact)
+    for fact in facts("players", PLAYERS):
+        db.insert(fact)
+    for fact in facts("goals", TRUE_GOALS):
+        db.insert(fact)
+    for fact in facts("stages", STAGES):
+        db.insert(fact)
+    return db
+
+
+#: The Teams(ESP, EU) fact — true, and in every witness of the wrong
+#: answer (ESP) (Example 4.6's ``t3``).
+ESP_EU = Fact("teams", ("ESP", "EU"))
+
+#: The fact whose absence hides (Pirlo) from Q2's output (Example 5.4).
+ITA_EU = Fact("teams", ("ITA", "EU"))

@@ -1,0 +1,32 @@
+"""Relational substrate: schemas, facts, databases, edits, constraints, IO."""
+
+from .constraints import ConstraintSet, ForeignKey, Key
+from .database import ANY, Database
+from .edits import Edit, EditKind, apply_edits, delete, insert
+from .io import load_csv, load_json, save_csv, save_json
+from .schema import RelationSchema, Schema, SchemaError
+from .tuples import Constant, Fact, fact, facts
+
+__all__ = [
+    "ANY",
+    "Constant",
+    "ConstraintSet",
+    "Database",
+    "Edit",
+    "EditKind",
+    "Fact",
+    "ForeignKey",
+    "Key",
+    "RelationSchema",
+    "Schema",
+    "SchemaError",
+    "apply_edits",
+    "delete",
+    "fact",
+    "facts",
+    "insert",
+    "load_csv",
+    "load_json",
+    "save_csv",
+    "save_json",
+]

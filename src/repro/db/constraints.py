@@ -1,0 +1,175 @@
+"""Key and foreign-key constraints (the paper's §9 extension).
+
+"We plan to investigate how constraints such as key and foreign key
+constraints can be incorporated into our framework.  The presence of
+such constraints will require a more nuanced calculation of the
+(potential) interactions with the crowd, that take into account the
+dependencies among tuples and possible constraints violation."
+
+This module supplies the machinery: constraint declarations, violation
+detection, and the dependency reasoning QOCO needs —
+
+* a **key violation** is a pair of facts agreeing on the key but not
+  elsewhere; since ``D_G`` satisfies the constraints, *at least one of
+  the two is false* — exactly the shape of a two-element witness, so the
+  hitting-set treatment of Section 4 applies;
+* a **foreign-key violation** is a child fact with no matching parent;
+  either the child is false (delete) or the parent is missing (insert),
+  which is a one-question disjunction for the crowd.
+
+:class:`repro.core.constraints.ConstraintCleaner` turns violations into
+crowd questions and edits.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from .database import Database
+from .schema import SchemaError
+from .tuples import Constant, Fact
+
+
+@dataclass(frozen=True)
+class Key:
+    """``positions`` functionally determine the whole tuple of ``relation``."""
+
+    relation: str
+    positions: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.positions:
+            raise SchemaError("a key needs at least one position")
+        if len(set(self.positions)) != len(self.positions):
+            raise SchemaError("duplicate key positions")
+
+    def key_of(self, fact: Fact) -> tuple[Constant, ...]:
+        return tuple(fact.values[p] for p in self.positions)
+
+    def __str__(self) -> str:
+        cols = ",".join(map(str, self.positions))
+        return f"key({self.relation}[{cols}])"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``child[child_positions] ⊆ parent[parent_positions]``."""
+
+    child: str
+    child_positions: tuple[int, ...]
+    parent: str
+    parent_positions: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.child_positions) != len(self.parent_positions):
+            raise SchemaError("foreign key position lists differ in length")
+        if not self.child_positions:
+            raise SchemaError("a foreign key needs at least one position")
+
+    def child_key(self, fact: Fact) -> tuple[Constant, ...]:
+        return tuple(fact.values[p] for p in self.child_positions)
+
+    def __str__(self) -> str:
+        c = ",".join(map(str, self.child_positions))
+        p = ",".join(map(str, self.parent_positions))
+        return f"fk({self.child}[{c}] -> {self.parent}[{p}])"
+
+
+@dataclass(frozen=True)
+class KeyViolation:
+    """Two facts sharing a key: at least one is false in ``D_G``."""
+
+    key: Key
+    facts: frozenset[Fact]
+
+    def __str__(self) -> str:
+        a, b = sorted(self.facts, key=repr)
+        return f"{self.key}: {a} vs {b}"
+
+
+@dataclass(frozen=True)
+class ForeignKeyViolation:
+    """A child fact with no matching parent in the database."""
+
+    foreign_key: ForeignKey
+    child_fact: Fact
+
+    def parent_pattern(self, database: Database) -> list[Optional[Constant]]:
+        arity = database.schema.arity(self.foreign_key.parent)
+        pattern: list[Optional[Constant]] = [None] * arity
+        for child_pos, parent_pos in zip(
+            self.foreign_key.child_positions, self.foreign_key.parent_positions
+        ):
+            pattern[parent_pos] = self.child_fact.values[child_pos]
+        return pattern
+
+    def __str__(self) -> str:
+        return f"{self.foreign_key}: dangling {self.child_fact}"
+
+
+class ConstraintSet:
+    """A collection of keys and foreign keys with violation detection."""
+
+    def __init__(
+        self,
+        keys: Iterable[Key] = (),
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> None:
+        self.keys = tuple(keys)
+        self.foreign_keys = tuple(foreign_keys)
+
+    def validate_against(self, database: Database) -> None:
+        """Check the declarations fit the schema (positions in range)."""
+        for key in self.keys:
+            arity = database.schema.arity(key.relation)
+            if any(not 0 <= p < arity for p in key.positions):
+                raise SchemaError(f"{key} positions out of range")
+        for fk in self.foreign_keys:
+            child_arity = database.schema.arity(fk.child)
+            parent_arity = database.schema.arity(fk.parent)
+            if any(not 0 <= p < child_arity for p in fk.child_positions):
+                raise SchemaError(f"{fk} child positions out of range")
+            if any(not 0 <= p < parent_arity for p in fk.parent_positions):
+                raise SchemaError(f"{fk} parent positions out of range")
+
+    # -- violations -------------------------------------------------------
+    def key_violations(self, database: Database) -> list[KeyViolation]:
+        """All conflicting fact pairs, one violation per pair."""
+        violations: list[KeyViolation] = []
+        for key in self.keys:
+            groups: dict[tuple, list[Fact]] = defaultdict(list)
+            for fact in database.facts(key.relation):
+                groups[key.key_of(fact)].append(fact)
+            for facts in groups.values():
+                if len(facts) < 2:
+                    continue
+                ordered = sorted(facts, key=repr)
+                for i in range(len(ordered)):
+                    for j in range(i + 1, len(ordered)):
+                        violations.append(
+                            KeyViolation(key, frozenset({ordered[i], ordered[j]}))
+                        )
+        return violations
+
+    def foreign_key_violations(self, database: Database) -> list[ForeignKeyViolation]:
+        """All dangling child facts."""
+        violations: list[ForeignKeyViolation] = []
+        for fk in self.foreign_keys:
+            parent_index: set[tuple] = {
+                tuple(f.values[p] for p in fk.parent_positions)
+                for f in database.facts(fk.parent)
+            }
+            for child_fact in sorted(database.facts(fk.child), key=repr):
+                if fk.child_key(child_fact) not in parent_index:
+                    violations.append(ForeignKeyViolation(fk, child_fact))
+        return violations
+
+    def violations(self, database: Database):
+        return self.key_violations(database) + self.foreign_key_violations(database)
+
+    def is_satisfied(self, database: Database) -> bool:
+        return not self.key_violations(database) and not self.foreign_key_violations(
+            database
+        )

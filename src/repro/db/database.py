@@ -1,0 +1,205 @@
+"""In-memory database instances.
+
+A :class:`Database` is a set of facts over a :class:`~repro.db.schema.Schema`
+with per-position hash indexes so the query evaluator can bind atoms without
+scanning whole relations.  It also implements the paper's notion of distance
+between instances (size of the symmetric difference, Section 3.2) which
+underpins Proposition 3.3 ("every oracle-derived edit moves D closer to
+D_G").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .edits import Edit, EditKind
+from .schema import Schema, SchemaError
+from .tuples import Constant, Fact
+
+#: Wildcard marker in match patterns.
+ANY = None
+
+Pattern = Sequence[Optional[Constant]]
+
+
+class Database:
+    """A mutable set of facts with secondary indexes.
+
+    Facts are validated against the schema on insertion (relation must
+    exist, arity must match).  All mutation goes through :meth:`insert` /
+    :meth:`delete` (or :class:`~repro.db.edits.Edit`), keeping the indexes
+    consistent.
+    """
+
+    def __init__(self, schema: Schema, facts: Iterable[Fact] = ()) -> None:
+        self.schema = schema
+        self._relations: dict[str, set[Fact]] = {name: set() for name in schema.names}
+        # _index[relation][position][value] -> set of facts
+        self._index: dict[str, list[dict[Constant, set[Fact]]]] = {
+            name: [defaultdict(set) for _ in range(schema.arity(name))]
+            for name in schema.names
+        }
+        for f in facts:
+            self.insert(f)
+
+    # ------------------------------------------------------------------
+    # basic set interface
+    # ------------------------------------------------------------------
+    def __contains__(self, f: object) -> bool:
+        if not isinstance(f, Fact):
+            return False
+        relation = self._relations.get(f.relation)
+        return relation is not None and f in relation
+
+    def __len__(self) -> int:
+        return sum(len(r) for r in self._relations.values())
+
+    def __iter__(self) -> Iterator[Fact]:
+        for relation in self._relations.values():
+            yield from relation
+
+    def facts(self, relation: str) -> frozenset[Fact]:
+        """All facts of *relation* (a snapshot; safe to iterate and mutate)."""
+        self._check_relation(relation)
+        return frozenset(self._relations[relation])
+
+    def size(self, relation: str) -> int:
+        self._check_relation(relation)
+        return len(self._relations[relation])
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def insert(self, f: Fact) -> bool:
+        """Insert a fact; return ``True`` if the database changed."""
+        self._validate(f)
+        relation = self._relations[f.relation]
+        if f in relation:
+            return False
+        relation.add(f)
+        for position, value in enumerate(f.values):
+            self._index[f.relation][position][value].add(f)
+        return True
+
+    def delete(self, f: Fact) -> bool:
+        """Delete a fact; return ``True`` if the database changed."""
+        self._validate(f)
+        relation = self._relations[f.relation]
+        if f not in relation:
+            return False
+        relation.discard(f)
+        for position, value in enumerate(f.values):
+            bucket = self._index[f.relation][position][value]
+            bucket.discard(f)
+            if not bucket:
+                del self._index[f.relation][position][value]
+        return True
+
+    def apply(self, edits: Iterable[Edit]) -> int:
+        """Apply a sequence of edits; return the number that changed D."""
+        changed = 0
+        for edit in edits:
+            if edit.kind is EditKind.INSERT:
+                changed += self.insert(edit.fact)
+            else:
+                changed += self.delete(edit.fact)
+        return changed
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def match(self, relation: str, pattern: Pattern) -> Iterator[Fact]:
+        """Facts of *relation* matching *pattern* (``None`` = wildcard).
+
+        Uses the position index on the most selective bound position and
+        verifies the remaining positions, so fully unbound patterns cost a
+        scan and bound ones a hash lookup.
+        """
+        self._check_relation(relation)
+        if len(pattern) != self.schema.arity(relation):
+            raise SchemaError(
+                f"pattern arity {len(pattern)} != arity of {relation!r}"
+            )
+        bound = [(i, v) for i, v in enumerate(pattern) if v is not ANY]
+        if not bound:
+            yield from self._relations[relation]
+            return
+        # Smallest candidate bucket first.
+        buckets = []
+        for position, value in bound:
+            bucket = self._index[relation][position].get(value)
+            if bucket is None:
+                return
+            buckets.append(bucket)
+        smallest = min(buckets, key=len)
+        for f in smallest:
+            if all(f.values[i] == v for i, v in bound):
+                yield f
+
+    def count_matches(self, relation: str, pattern: Pattern) -> int:
+        return sum(1 for _ in self.match(relation, pattern))
+
+    # ------------------------------------------------------------------
+    # domains and comparison
+    # ------------------------------------------------------------------
+    def active_domain(self, relation: str | None = None, position: int | None = None) -> set[Constant]:
+        """Constants appearing in the database.
+
+        With *relation* and *position* the domain is restricted to that
+        column; with only *relation* to that relation; with neither, the
+        whole instance.
+        """
+        if relation is None:
+            return {value for f in self for value in f.values}
+        self._check_relation(relation)
+        if position is None:
+            return {value for f in self._relations[relation] for value in f.values}
+        return set(self._index[relation][position])
+
+    def domain_values(self, domain_tag: str) -> set[Constant]:
+        """Constants from every column whose schema domain tag matches."""
+        values: set[Constant] = set()
+        for rel_schema in self.schema:
+            for position, tag in enumerate(rel_schema.domains):
+                if tag == domain_tag:
+                    values |= self.active_domain(rel_schema.name, position)
+        return values
+
+    def difference(self, other: "Database") -> set[Fact]:
+        """Facts in ``self`` but not in *other*."""
+        return {f for f in self if f not in other}
+
+    def symmetric_difference(self, other: "Database") -> set[Fact]:
+        return self.difference(other) | other.difference(self)
+
+    def distance(self, other: "Database") -> int:
+        """``|D − D'|``: size of the symmetric difference (Section 3.2)."""
+        return len(self.symmetric_difference(other))
+
+    def copy(self) -> "Database":
+        return Database(self.schema, self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{name}:{len(r)}" for name, r in self._relations.items())
+        return f"Database({sizes})"
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_relation(self, relation: str) -> None:
+        if relation not in self._relations:
+            raise SchemaError(f"unknown relation {relation!r}")
+
+    def _validate(self, f: Fact) -> None:
+        self._check_relation(f.relation)
+        expected = self.schema.arity(f.relation)
+        if f.arity != expected:
+            raise SchemaError(
+                f"fact {f} has arity {f.arity}, relation {f.relation!r} expects {expected}"
+            )

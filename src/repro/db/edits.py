@@ -1,0 +1,64 @@
+"""Database edits.
+
+Section 3.1: an *insertion edit* ``R(t)+`` inserts tuple ``t`` into relation
+``R``; a *deletion edit* ``R(t)-`` removes it.  Edits are idempotent —
+inserting a present fact or deleting an absent one leaves the database
+unchanged (``D ⊕ e = D``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Iterable
+
+from .tuples import Fact
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .database import Database
+
+
+class EditKind(Enum):
+    INSERT = "+"
+    DELETE = "-"
+
+
+@dataclass(frozen=True)
+class Edit:
+    """A single idempotent edit ``R(t)+`` or ``R(t)-``."""
+
+    kind: EditKind
+    fact: Fact
+
+    def apply(self, database: "Database") -> bool:
+        """Apply in place; return ``True`` if the database changed."""
+        if self.kind is EditKind.INSERT:
+            return database.insert(self.fact)
+        return database.delete(self.fact)
+
+    def inverted(self) -> "Edit":
+        """The edit that undoes this one (on a database it changed)."""
+        kind = EditKind.DELETE if self.kind is EditKind.INSERT else EditKind.INSERT
+        return Edit(kind, self.fact)
+
+    def __str__(self) -> str:
+        return f"{self.fact}{self.kind.value}"
+
+
+def insert(fact: Fact) -> Edit:
+    """The insertion edit ``fact+``."""
+    return Edit(EditKind.INSERT, fact)
+
+
+def delete(fact: Fact) -> Edit:
+    """The deletion edit ``fact-``."""
+    return Edit(EditKind.DELETE, fact)
+
+
+def apply_edits(database: "Database", edits: Iterable[Edit]) -> int:
+    """Apply *edits* in sequence (``D ⊕ e1 ⊕ ... ⊕ ek``); count changes."""
+    changed = 0
+    for edit in edits:
+        if edit.apply(database):
+            changed += 1
+    return changed

@@ -1,0 +1,144 @@
+"""Loading and saving databases (CSV directories and JSON files).
+
+The paper's prototype sat on MySQL; a downstream user of this library
+needs a way to bring their own tables.  Two interchangeable formats:
+
+* **CSV directory** — one ``<relation>.csv`` per relation with a header
+  row of attribute names, plus ``_schema.json`` describing relations,
+  attributes and domain tags;
+* **single JSON file** — the same content in one document (handy for
+  fixtures and small exports).
+
+Values are stored as strings in CSV; a sidecar type row is avoided by
+round-tripping through :func:`coerce_value` (ints and floats are
+recognized, everything else stays a string) — matching how the datasets
+in this package use constants.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from .database import Database
+from .schema import RelationSchema, Schema, SchemaError
+from .tuples import Constant, Fact
+
+SCHEMA_FILE = "_schema.json"
+
+PathLike = Union[str, Path]
+
+
+def coerce_value(text: str) -> Constant:
+    """Parse a CSV cell back into int/float/str."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _schema_to_dict(schema: Schema) -> dict:
+    return {
+        "relations": [
+            {
+                "name": rel.name,
+                "attributes": list(rel.attributes),
+                "domains": list(rel.domains),
+            }
+            for rel in schema
+        ]
+    }
+
+
+def _schema_from_dict(data: dict) -> Schema:
+    relations = []
+    for spec in data.get("relations", []):
+        relations.append(
+            RelationSchema(
+                spec["name"],
+                tuple(spec["attributes"]),
+                tuple(spec.get("domains", ())),
+            )
+        )
+    return Schema(relations)
+
+
+# ---------------------------------------------------------------------------
+# CSV directory format
+# ---------------------------------------------------------------------------
+
+
+def save_csv(database: Database, directory: PathLike) -> None:
+    """Write one CSV per relation plus ``_schema.json``."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    with open(path / SCHEMA_FILE, "w", encoding="utf-8") as handle:
+        json.dump(_schema_to_dict(database.schema), handle, indent=2)
+    for rel in database.schema:
+        with open(path / f"{rel.name}.csv", "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(rel.attributes)
+            for fact in sorted(database.facts(rel.name), key=repr):
+                writer.writerow([str(v) for v in fact.values])
+
+
+def load_csv(directory: PathLike) -> Database:
+    """Load a database saved by :func:`save_csv`."""
+    path = Path(directory)
+    schema_path = path / SCHEMA_FILE
+    if not schema_path.exists():
+        raise SchemaError(f"no {SCHEMA_FILE} in {path}")
+    with open(schema_path, encoding="utf-8") as handle:
+        schema = _schema_from_dict(json.load(handle))
+    database = Database(schema)
+    for rel in schema:
+        table = path / f"{rel.name}.csv"
+        if not table.exists():
+            continue  # empty relation
+        with open(table, newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is not None and tuple(header) != rel.attributes:
+                raise SchemaError(
+                    f"{table}: header {header} != schema attributes {rel.attributes}"
+                )
+            for row in reader:
+                if len(row) != rel.arity:
+                    raise SchemaError(f"{table}: row {row} has wrong arity")
+                database.insert(Fact(rel.name, tuple(coerce_value(v) for v in row)))
+    return database
+
+
+# ---------------------------------------------------------------------------
+# single-file JSON format
+# ---------------------------------------------------------------------------
+
+
+def save_json(database: Database, file_path: PathLike) -> None:
+    """Write the whole database (schema + facts) to one JSON document."""
+    document = _schema_to_dict(database.schema)
+    document["facts"] = {
+        rel.name: [list(fact.values) for fact in sorted(database.facts(rel.name), key=repr)]
+        for rel in database.schema
+    }
+    with open(file_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+
+
+def load_json(file_path: PathLike) -> Database:
+    """Load a database saved by :func:`save_json`."""
+    with open(file_path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    schema = _schema_from_dict(document)
+    database = Database(schema)
+    for relation, rows in document.get("facts", {}).items():
+        for row in rows:
+            database.insert(Fact(relation, tuple(row)))
+    return database

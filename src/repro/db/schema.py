@@ -1,0 +1,124 @@
+"""Relational schemas.
+
+The paper (Section 2) assumes a relational schema ``S = {R_1, ..., R_m}``
+of relation symbols, each with a fixed arity.  We additionally give every
+attribute a name so that datasets and error reports stay readable, and an
+optional *domain tag* so that noise injection and the naive enumeration
+strategy (Proposition 3.4) can draw replacement values from the right
+active domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or facts that do not fit a schema."""
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation symbol with named attributes.
+
+    Parameters
+    ----------
+    name:
+        Relation symbol, e.g. ``"games"``.
+    attributes:
+        Attribute names, e.g. ``("date", "winner", ...)``.  The arity of
+        the relation is ``len(attributes)``.
+    domains:
+        Optional per-attribute domain tags.  Attributes sharing a tag are
+        assumed to draw values from the same active domain (used by the
+        noise model to fabricate plausible false facts).  Defaults to one
+        distinct tag per attribute.
+    """
+
+    name: str
+    attributes: tuple[str, ...]
+    domains: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name!r} must have at least one attribute")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"relation {self.name!r} has duplicate attribute names")
+        if not self.domains:
+            object.__setattr__(
+                self, "domains", tuple(f"{self.name}.{a}" for a in self.attributes)
+            )
+        elif len(self.domains) != len(self.attributes):
+            raise SchemaError(
+                f"relation {self.name!r}: {len(self.domains)} domain tags for "
+                f"{len(self.attributes)} attributes"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def attribute_index(self, attribute: str) -> int:
+        """Position of *attribute*, raising :class:`SchemaError` if absent."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class Schema:
+    """A finite set of relation schemas, addressable by name."""
+
+    def __init__(self, relations: Sequence[RelationSchema] = ()) -> None:
+        self._relations: dict[str, RelationSchema] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: RelationSchema) -> None:
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def arity(self, name: str) -> int:
+        return self.relation(name).arity
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(r) for r in self)
+        return f"Schema({body})"
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Sequence[str]]) -> "Schema":
+        """Build a schema from ``{relation: [attribute, ...]}``."""
+        return cls([RelationSchema(name, tuple(attrs)) for name, attrs in spec.items()])

@@ -1,0 +1,63 @@
+"""Experiment harness: one driver per table/figure of the paper."""
+
+from .figures import (
+    ALL_FIGURES,
+    FigureResult,
+    dbgroup_case_study,
+    fig3a,
+    fig3b,
+    fig3c,
+    fig3d,
+    fig3e,
+    fig3f,
+    fig4,
+)
+from .harness import (
+    BAR_HEADERS,
+    BarMeasurement,
+    MixedMeasurement,
+    deletion_upper_bound,
+    insertion_upper_bound,
+    plant_errors,
+    run_deletion,
+    run_insertion,
+    run_mixed,
+)
+from .export import export_figures, figure_to_csv, figure_to_dict, load_exported
+from .metrics import RepairQuality, edit_is_correct, repair_quality
+from .reporting import render_category_stack, render_figure, render_table
+from .sweeps import sweep_cleanliness, sweep_skewness
+
+__all__ = [
+    "ALL_FIGURES",
+    "BAR_HEADERS",
+    "BarMeasurement",
+    "FigureResult",
+    "MixedMeasurement",
+    "dbgroup_case_study",
+    "deletion_upper_bound",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig3d",
+    "fig3e",
+    "fig3f",
+    "fig4",
+    "insertion_upper_bound",
+    "plant_errors",
+    "RepairQuality",
+    "edit_is_correct",
+    "export_figures",
+    "figure_to_csv",
+    "figure_to_dict",
+    "load_exported",
+    "render_category_stack",
+    "render_figure",
+    "render_table",
+    "repair_quality",
+    "run_deletion",
+    "run_insertion",
+    "run_mixed",
+    "sweep_cleanliness",
+    "sweep_skewness",
+]

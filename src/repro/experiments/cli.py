@@ -1,0 +1,68 @@
+"""Command-line entry point: regenerate every figure of the paper.
+
+Usage::
+
+    qoco-experiments               # run all figures
+    qoco-experiments fig3a fig4    # run selected figures
+    python -m repro.experiments.cli --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .figures import ALL_FIGURES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="qoco-experiments",
+        description="Reproduce the QOCO (SIGMOD'15) evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIGURE",
+        help="figure ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available figures and exit"
+    )
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        help="also write per-figure CSVs and results.json into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in ALL_FIGURES:
+            print(name)
+        return 0
+
+    selected = args.figures or list(ALL_FIGURES)
+    unknown = [name for name in selected if name not in ALL_FIGURES]
+    if unknown:
+        parser.error(f"unknown figure(s): {', '.join(unknown)}")
+
+    results = []
+    for name in selected:
+        start = time.perf_counter()
+        result = ALL_FIGURES[name]()
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{name} completed in {elapsed:.2f}s]\n")
+        results.append(result)
+
+    if args.export:
+        from .export import export_figures
+
+        path = export_figures(results, args.export)
+        print(f"[results exported to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

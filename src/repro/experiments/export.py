@@ -1,0 +1,62 @@
+"""Exporting experiment results (CSV / JSON) for external plotting.
+
+``qoco-experiments --export DIR`` writes every figure's rows to
+``DIR/<figure>.csv`` and a combined ``results.json``, so the tables can
+be re-plotted with any tool without re-running the experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from .figures import FigureResult
+
+PathLike = Union[str, Path]
+
+
+def figure_to_csv(result: FigureResult, file_path: PathLike) -> None:
+    """Write one figure's rows as CSV with a header."""
+    with open(file_path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        for row in result.rows:
+            writer.writerow([str(value) for value in row])
+
+
+def figure_to_dict(result: FigureResult) -> dict:
+    """One figure's rows/notes as a JSON-serializable dict."""
+    return {
+        "name": result.name,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(map(_jsonable, row)) for row in result.rows],
+        "notes": list(result.notes),
+    }
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def export_figures(results: Iterable[FigureResult], directory: PathLike) -> Path:
+    """Write per-figure CSVs and a combined JSON; return the directory."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    combined = []
+    for result in results:
+        figure_to_csv(result, path / f"{result.name}.csv")
+        combined.append(figure_to_dict(result))
+    with open(path / "results.json", "w", encoding="utf-8") as handle:
+        json.dump(combined, handle, indent=2)
+    return path
+
+
+def load_exported(directory: PathLike) -> list[dict]:
+    """Read back a ``results.json`` written by :func:`export_figures`."""
+    with open(Path(directory) / "results.json", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,455 @@
+"""Per-figure experiment drivers (Section 7.2, Figures 3-4; Section 7.1).
+
+Each ``figN`` function reproduces one panel of the paper's evaluation:
+it generates the ground truth, plants the panel's noise profile, runs
+every algorithm of the panel, and returns a :class:`FigureResult` with
+the same rows the paper plots (lower bound / questions / avoided per
+algorithm and group).  Absolute numbers differ from the paper (different
+concrete data), but the comparative shape is asserted by the test suite
+and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.qoco import QOCO, QOCOConfig
+from ..datasets.dbgroup import dbgroup_database, seeded_errors
+from ..datasets.worldcup import worldcup_database
+from ..db.database import Database
+from ..oracle.aggregator import MajorityVote
+from ..oracle.base import AccountingOracle
+from ..oracle.crowd import Crowd
+from ..oracle.imperfect import ImperfectOracle
+from ..oracle.perfect import PerfectOracle
+from ..query.evaluator import Evaluator
+from ..workloads.dbgroup_queries import DBGROUP_QUERIES
+from ..workloads.soccer_queries import SOCCER_QUERIES
+from .harness import (
+    BAR_HEADERS,
+    BarMeasurement,
+    plant_errors,
+    run_deletion,
+    run_insertion,
+    run_mixed,
+)
+from .reporting import render_category_stack, render_figure
+
+DELETION_ALGOS = ("QOCO", "QOCO-", "Random")
+INSERTION_ALGOS = ("Provenance", "MinCut", "Random")
+
+
+@dataclass
+class FigureResult:
+    """Rows + rendering for one reproduced figure."""
+
+    name: str
+    title: str
+    headers: Sequence[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        rows = self.rows
+        headers = self.headers
+        if tuple(self.headers) == tuple(BAR_HEADERS):
+            # Append a proportional stacked bar (lower/questions/avoided),
+            # mirroring the paper's Figure 3 visuals in plain text.
+            from .reporting import render_stacked_bar
+
+            headers = tuple(self.headers) + ("profile  (#lower =questions .avoided)",)
+            rows = [
+                row
+                + (
+                    render_stacked_bar(
+                        [row[2], row[3], row[4]], row[2] + row[3] + row[4]
+                    ),
+                )
+                for row in self.rows
+            ]
+        return render_figure(f"{self.name}: {self.title}", headers, rows, self.notes)
+
+    def by_algorithm(self, group: str) -> dict[str, tuple]:
+        """``{algorithm: row}`` within one group (for shape assertions)."""
+        result = {}
+        for row in self.rows:
+            if row[0] == group:
+                result[row[1]] = row
+        return result
+
+
+def _ground_truth(cache: dict = {}) -> Database:
+    """The Soccer ground truth, generated once per process."""
+    if "db" not in cache:
+        cache["db"] = worldcup_database()
+    return cache["db"]
+
+
+# ---------------------------------------------------------------------------
+# Figure 3a — Deletion, multiple queries
+# ---------------------------------------------------------------------------
+
+
+def fig3a(
+    queries: Sequence[str] = ("Q1", "Q2", "Q3"),
+    n_wrong: int = 5,
+    seed: int = 101,
+) -> FigureResult:
+    """Deletion cost across queries for QOCO / QOCO− / Random."""
+    gt = _ground_truth()
+    result = FigureResult(
+        "fig3a", "Deletion - multiple queries (perfect oracle)", BAR_HEADERS
+    )
+    for query_name in queries:
+        query = SOCCER_QUERIES[query_name]
+        errors = plant_errors(gt, query, n_wrong=n_wrong, n_missing=0, seed=seed)
+        for algorithm in DELETION_ALGOS:
+            bar = run_deletion(gt, query, errors, algorithm, seed=seed)
+            result.rows.append((query_name,) + bar.as_row()[1:])
+    result.notes.append(f"{n_wrong} wrong answers per query, skew=100%")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 3b — Insertion, multiple queries
+# ---------------------------------------------------------------------------
+
+
+def fig3b(
+    queries: Sequence[str] = ("Q3", "Q4", "Q5"),
+    n_missing: int = 5,
+    seed: int = 102,
+) -> FigureResult:
+    """Insertion cost across queries for Provenance / MinCut / Random."""
+    gt = _ground_truth()
+    result = FigureResult(
+        "fig3b", "Insertion - multiple queries (perfect oracle)", BAR_HEADERS
+    )
+    for query_name in queries:
+        query = SOCCER_QUERIES[query_name]
+        errors = plant_errors(gt, query, n_wrong=0, n_missing=n_missing, seed=seed)
+        for algorithm in INSERTION_ALGOS:
+            bar = run_insertion(gt, query, errors, algorithm, seed=seed)
+            result.rows.append((query_name,) + bar.as_row()[1:])
+    result.notes.append(f"{n_missing} missing answers per query, skew=0%")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 3c — Mixed, multiple queries
+# ---------------------------------------------------------------------------
+
+
+def fig3c(
+    queries: Sequence[str] = ("Q1", "Q2", "Q3"),
+    n_wrong: int = 5,
+    n_missing: int = 5,
+    seed: int = 103,
+) -> FigureResult:
+    """Mixed cleaning across queries: Mixed(QOCO) / QOCO− / Random
+    deletion, all with the Provenance insertion algorithm."""
+    gt = _ground_truth()
+    result = FigureResult(
+        "fig3c", "Mixed - multiple queries (perfect oracle)", BAR_HEADERS
+    )
+    for query_name in queries:
+        query = SOCCER_QUERIES[query_name]
+        errors = plant_errors(gt, query, n_wrong=n_wrong, n_missing=n_missing, seed=seed)
+        for algorithm in DELETION_ALGOS:
+            mixed = run_mixed(
+                gt, query, errors, strategy_name=algorithm, seed=seed
+            )
+            result.rows.append((query_name,) + mixed.bar.as_row()[1:])
+    result.notes.append(
+        f"{n_wrong} wrong + {n_missing} missing answers per query, skew=50%"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 3d — Deletion vs number of wrong answers (Q3)
+# ---------------------------------------------------------------------------
+
+
+def fig3d(
+    wrong_counts: Sequence[int] = (2, 5, 10),
+    query_name: str = "Q3",
+    seed: int = 104,
+) -> FigureResult:
+    """Deletion cost on Q3 as the number of wrong answers grows."""
+    gt = _ground_truth()
+    query = SOCCER_QUERIES[query_name]
+    result = FigureResult(
+        "fig3d", f"Deletion - varying #wrong answers ({query_name})", BAR_HEADERS
+    )
+    for n_wrong in wrong_counts:
+        errors = plant_errors(gt, query, n_wrong=n_wrong, n_missing=0, seed=seed)
+        for algorithm in DELETION_ALGOS:
+            bar = run_deletion(gt, query, errors, algorithm, seed=seed)
+            result.rows.append((f"wrong={n_wrong}",) + bar.as_row()[1:])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 3e — Insertion vs number of missing answers (Q3)
+# ---------------------------------------------------------------------------
+
+
+def fig3e(
+    missing_counts: Sequence[int] = (2, 5, 10),
+    query_name: str = "Q3",
+    seed: int = 105,
+) -> FigureResult:
+    """Insertion cost on Q3 as the number of missing answers grows."""
+    gt = _ground_truth()
+    query = SOCCER_QUERIES[query_name]
+    result = FigureResult(
+        "fig3e", f"Insertion - varying #missing answers ({query_name})", BAR_HEADERS
+    )
+    for n_missing in missing_counts:
+        errors = plant_errors(gt, query, n_wrong=0, n_missing=n_missing, seed=seed)
+        for algorithm in INSERTION_ALGOS:
+            bar = run_insertion(gt, query, errors, algorithm, seed=seed)
+            result.rows.append((f"missing={n_missing}",) + bar.as_row()[1:])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 3f — Mixed: distribution of question types (Q3)
+# ---------------------------------------------------------------------------
+
+FIG3F_HEADERS = (
+    "setting",
+    "verify_answers",
+    "verify_tuples",
+    "fill_missing",
+    "total",
+)
+
+
+def fig3f(
+    error_counts: Sequence[tuple[int, int]] = ((2, 2), (5, 5), (10, 10)),
+    query_name: str = "Q3",
+    seed: int = 106,
+) -> FigureResult:
+    """Question-type distribution of the Mixed algorithm on Q3."""
+    gt = _ground_truth()
+    query = SOCCER_QUERIES[query_name]
+    result = FigureResult(
+        "fig3f", f"Mixed - types of questions ({query_name})", FIG3F_HEADERS
+    )
+    for n_missing, n_wrong in error_counts:
+        errors = plant_errors(
+            gt, query, n_wrong=n_wrong, n_missing=n_missing, seed=seed
+        )
+        mixed = run_mixed(gt, query, errors, seed=seed)
+        cats = mixed.categories
+        result.rows.append(
+            (
+                f"{n_missing} missing, {n_wrong} wrong",
+                cats["verify_answers"],
+                cats["verify_tuples"],
+                cats["fill_missing"],
+                sum(cats.values()),
+            )
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — Real (imperfect) expert crowd
+# ---------------------------------------------------------------------------
+
+FIG4_HEADERS = (
+    "group",
+    "algorithm",
+    "verify_answers",
+    "verify_tuples",
+    "fill_missing",
+    "total",
+    "residual_errors",
+)
+
+
+def fig4(
+    queries: Sequence[str] = ("Q2", "Q3"),
+    n_wrong: int = 5,
+    n_missing: int = 5,
+    n_experts: int = 3,
+    error_rate: float = 0.1,
+    n_trials: int = 3,
+    seed: int = 107,
+) -> FigureResult:
+    """Mixed cleaning with a majority-vote crowd of imperfect experts.
+
+    Counts *crowd answers* (per Section 7's convention), split into the
+    Figure 4 stack categories, for QOCO / QOCO− / Random deletion with
+    Provenance insertion.  Numbers are means over *n_trials* independent
+    crowds (single runs vary a lot: one wrong majority vote triggers a
+    whole extra verification round).
+    """
+    gt = _ground_truth()
+    result = FigureResult(
+        "fig4",
+        f"Real experts crowd ({n_experts} members, p_err={error_rate}, "
+        f"mean of {n_trials} trials)",
+        FIG4_HEADERS,
+    )
+    for query_name in queries:
+        query = SOCCER_QUERIES[query_name]
+        errors = plant_errors(
+            gt, query, n_wrong=n_wrong, n_missing=n_missing, seed=seed
+        )
+        for algorithm in DELETION_ALGOS:
+            totals = {key: 0.0 for key in ("va", "vt", "fm", "all", "residual")}
+            for trial in range(n_trials):
+                stats, residual = _run_crowd_trial(
+                    gt,
+                    query,
+                    errors,
+                    algorithm,
+                    n_experts,
+                    error_rate,
+                    seed=seed * 7919 + trial * 104729 + _algo_offset(algorithm),
+                )
+                totals["va"] += stats["verify_answers"]
+                totals["vt"] += stats["verify_tuples"]
+                totals["fm"] += stats["fill_missing"]
+                totals["all"] += sum(stats.values())
+                totals["residual"] += residual
+            result.rows.append(
+                (
+                    query_name,
+                    algorithm,
+                    round(totals["va"] / n_trials, 1),
+                    round(totals["vt"] / n_trials, 1),
+                    round(totals["fm"] / n_trials, 1),
+                    round(totals["all"] / n_trials, 1),
+                    round(totals["residual"] / n_trials, 2),
+                )
+            )
+    result.notes.append(
+        "counts are crowd member answers (majority vote, early stop at 2)"
+    )
+    return result
+
+
+def _algo_offset(algorithm: str) -> int:
+    """A stable per-algorithm seed offset (hash() is salted per process)."""
+    return sum(ord(c) for c in algorithm)
+
+
+def _run_crowd_trial(
+    gt: Database,
+    query,
+    errors,
+    algorithm: str,
+    n_experts: int,
+    error_rate: float,
+    seed: int,
+) -> tuple[dict[str, int], int]:
+    from .harness import make_split, make_strategy
+
+    rng = random.Random(seed)
+    members = [
+        ImperfectOracle(gt, error_rate, random.Random(rng.randrange(1 << 30)))
+        for _ in range(n_experts)
+    ]
+    crowd = Crowd(members, MajorityVote(sample_size=n_experts))
+    dirty = errors.dirty.copy()
+    accounting = AccountingOracle(crowd)
+    config = QOCOConfig(
+        deletion_strategy=make_strategy(algorithm),
+        split_strategy=make_split("Provenance"),
+        seed=seed,
+        max_iterations=6,
+    )
+    QOCO(dirty, accounting, config).clean(query)
+    residual = len(
+        Evaluator(query, dirty).answers() ^ Evaluator(query, gt).answers()
+    )
+    return dict(crowd.stats.answers), residual
+
+
+# ---------------------------------------------------------------------------
+# Section 7.1 — the DBGroup case study
+# ---------------------------------------------------------------------------
+
+DBGROUP_HEADERS = (
+    "query",
+    "wrong_found",
+    "missing_found",
+    "deletions",
+    "insertions",
+    "questions",
+    "result_matches_gt",
+)
+
+
+def dbgroup_case_study(seed: int = 108) -> FigureResult:
+    """Run the four grant-report queries over the seeded-dirty DBGroup DB.
+
+    Reproduces the Section 7.1 narrative: QOCO discovers the planted
+    wrong and missing answers and repairs the underlying database.
+    """
+    gt = dbgroup_database()
+    dirty, _corruption = seeded_errors(gt, seed=seed)
+    oracle = AccountingOracle(PerfectOracle(gt))
+    result = FigureResult("dbgroup", "DBGroup case study (Section 7.1)", DBGROUP_HEADERS)
+    system = QOCO(dirty, oracle, QOCOConfig(seed=seed))
+    for name, query in DBGROUP_QUERIES.items():
+        before = oracle.log.total_cost
+        report = system.clean(query)
+        questions = oracle.log.total_cost - before
+        matches = (
+            Evaluator(query, dirty).answers() == Evaluator(query, gt).answers()
+        )
+        result.rows.append(
+            (
+                name,
+                len(report.wrong_answers_removed),
+                len(report.missing_answers_added),
+                len(report.deletions),
+                len(report.insertions),
+                questions,
+                matches,
+            )
+        )
+    return result
+
+
+def sweep_cleanliness_q1(seed: int = 401) -> FigureResult:
+    """CLI wrapper: the §7.2 cleanliness sweep (60-95%) on Q1."""
+    from .sweeps import sweep_cleanliness
+
+    gt = _ground_truth()
+    return sweep_cleanliness(
+        gt, SOCCER_QUERIES["Q1"], protected=set(gt.facts("stages")), seed=seed
+    )
+
+
+def sweep_skewness_q1(seed: int = 402) -> FigureResult:
+    """CLI wrapper: the §7.2 skewness sweep (0-100%) on Q1."""
+    from .sweeps import sweep_skewness
+
+    gt = _ground_truth()
+    return sweep_skewness(
+        gt, SOCCER_QUERIES["Q1"], protected=set(gt.facts("stages")), seed=seed
+    )
+
+
+#: All figure drivers, for the CLI and the benchmark suite.
+ALL_FIGURES: dict[str, Callable[[], FigureResult]] = {
+    "fig3a": fig3a,
+    "fig3b": fig3b,
+    "fig3c": fig3c,
+    "fig3d": fig3d,
+    "fig3e": fig3e,
+    "fig3f": fig3f,
+    "fig4": fig4,
+    "dbgroup": dbgroup_case_study,
+    "sweep-cleanliness": sweep_cleanliness_q1,
+    "sweep-skewness": sweep_skewness_q1,
+}

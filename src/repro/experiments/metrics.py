@@ -1,0 +1,96 @@
+"""Repair-quality metrics: precision/recall of the applied edits.
+
+The paper validates its DBGroup run by hand: "we have later manually
+verified to be all indeed correct edits."  This module mechanizes that
+check.  Given the corruption that produced the dirty database, the
+*ideal repair* is the inverted corruption; an applied edit is
+
+* **correct** if it moves the database toward the ground truth (deletes
+  a false fact or inserts a true-missing one),
+* **spurious** otherwise (a perfect oracle never produces these; an
+  imperfect crowd can).
+
+Because QOCO is query-scoped it is *not* expected to reach recall 1.0
+against the full corruption — only against the part visible through the
+cleaned queries — so the recall here is reported both raw and restricted
+to the query-relevant corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..db.database import Database
+from ..db.edits import Edit, EditKind
+
+
+@dataclass(frozen=True)
+class RepairQuality:
+    """Precision/recall of a repair against the planted corruption."""
+
+    correct_edits: int
+    spurious_edits: int
+    repaired_corruption: int
+    total_corruption: int
+
+    @property
+    def precision(self) -> float:
+        applied = self.correct_edits + self.spurious_edits
+        return self.correct_edits / applied if applied else 1.0
+
+    @property
+    def recall(self) -> float:
+        if self.total_corruption == 0:
+            return 1.0
+        return self.repaired_corruption / self.total_corruption
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"precision={self.precision:.2f} recall={self.recall:.2f} "
+            f"f1={self.f1:.2f} ({self.correct_edits} correct, "
+            f"{self.spurious_edits} spurious, "
+            f"{self.repaired_corruption}/{self.total_corruption} corruption undone)"
+        )
+
+
+def edit_is_correct(edit: Edit, ground_truth: Database) -> bool:
+    """Does the edit move any database toward the ground truth?
+
+    A deletion is correct iff the fact is false (not in ``D_G``); an
+    insertion is correct iff the fact is true (in ``D_G``).
+    """
+    if edit.kind is EditKind.DELETE:
+        return edit.fact not in ground_truth
+    return edit.fact in ground_truth
+
+
+def repair_quality(
+    applied_edits: Iterable[Edit],
+    corruption_edits: Iterable[Edit],
+    ground_truth: Database,
+    relevant_corruption: Optional[Iterable[Edit]] = None,
+) -> RepairQuality:
+    """Score *applied_edits* against the planted *corruption_edits*.
+
+    *relevant_corruption* optionally restricts recall to the corruption
+    visible through the cleaned queries (QOCO's actual target).
+    """
+    applied = list(applied_edits)
+    correct = sum(1 for edit in applied if edit_is_correct(edit, ground_truth))
+    spurious = len(applied) - correct
+
+    target = list(relevant_corruption if relevant_corruption is not None else corruption_edits)
+    ideal = {edit.inverted() for edit in target}
+    repaired = sum(1 for edit in applied if edit in ideal)
+    return RepairQuality(
+        correct_edits=correct,
+        spurious_edits=spurious,
+        repaired_corruption=repaired,
+        total_corruption=len(ideal),
+    )

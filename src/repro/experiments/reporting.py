@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results.
+
+The paper's figures are stacked bar charts; we render each as an ASCII
+table plus a proportional text bar so the "shape" (who wins, by how
+much) is visible directly in terminal output and in the benchmark logs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_BAR_WIDTH = 40
+_SEGMENT_CHARS = ("#", "=", ".")  # lower bound / questions / avoided
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A simple aligned table."""
+    cells = [list(map(str, headers))] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        line = "  ".join(value.ljust(width) for value, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_stacked_bar(segments: Sequence[int], total: int) -> str:
+    """One proportional stacked bar (lower/questions/avoided)."""
+    if total <= 0:
+        return ""
+    bar = []
+    for value, char in zip(segments, _SEGMENT_CHARS):
+        width = round(_BAR_WIDTH * value / total)
+        bar.append(char * width)
+    return "".join(bar)
+
+
+def render_figure(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: Sequence[str] = (),
+) -> str:
+    """A titled table with optional footnotes."""
+    parts = [title, "=" * len(title), render_table(headers, rows)]
+    for note in notes:
+        parts.append(f"  {note}")
+    return "\n".join(parts) + "\n"
+
+
+def render_category_stack(stacks: Mapping[str, Mapping[str, int]]) -> str:
+    """Rows of category->count stacks (Figures 3f / 4)."""
+    categories = sorted({c for stack in stacks.values() for c in stack})
+    headers = ["setting"] + categories + ["total"]
+    rows = []
+    for label, stack in stacks.items():
+        values = [stack.get(c, 0) for c in categories]
+        rows.append([label] + values + [sum(values)])
+    return render_table(headers, rows)

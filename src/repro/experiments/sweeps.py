@@ -1,0 +1,140 @@
+"""Parameter sweeps over the Section 7.2 noise knobs.
+
+The paper varies *degree of data cleanliness* from 60% to 95% (default
+80%) and *noise skewness* from 0% to 100%; the figures show selected
+points, and the text summarizes the trends.  These drivers sweep the
+full ranges and report total cleaning cost, edits, and convergence per
+level — the raw material behind Figures 3d/3e.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.qoco import QOCO, QOCOConfig
+from ..datasets.noise import NoiseSpec, make_dirty
+from ..db.database import Database
+from ..oracle.base import AccountingOracle
+from ..oracle.perfect import PerfectOracle
+from ..query.ast import Query
+from ..query.evaluator import Evaluator
+from .figures import FigureResult
+
+SWEEP_HEADERS = (
+    "level",
+    "wrong",
+    "missing",
+    "questions",
+    "cost",
+    "edits",
+    "converged",
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    level: float
+    wrong: int
+    missing: int
+    questions: int
+    cost: int
+    edits: int
+    converged: bool
+
+    def as_row(self) -> tuple:
+        return (
+            f"{self.level:.2f}",
+            self.wrong,
+            self.missing,
+            self.questions,
+            self.cost,
+            self.edits,
+            self.converged,
+        )
+
+
+def _run_point(
+    ground_truth: Database,
+    query: Query,
+    spec: NoiseSpec,
+    protected: set,
+    seed: int,
+) -> SweepPoint:
+    rng = random.Random(seed)
+    dirty = make_dirty(ground_truth, spec, rng, protected=protected)
+    true_answers = Evaluator(query, ground_truth).answers()
+    dirty_answers = Evaluator(query, dirty).answers()
+    wrong = len(dirty_answers - true_answers)
+    missing = len(true_answers - dirty_answers)
+
+    oracle = AccountingOracle(PerfectOracle(ground_truth))
+    report = QOCO(dirty, oracle, QOCOConfig(seed=seed, max_iterations=25)).clean(query)
+    converged = (
+        report.converged
+        and Evaluator(query, dirty).answers() == true_answers
+    )
+    return SweepPoint(
+        level=0.0,  # overwritten by callers
+        wrong=wrong,
+        missing=missing,
+        questions=oracle.log.question_count,
+        cost=oracle.log.total_cost,
+        edits=len(report.edits),
+        converged=converged,
+    )
+
+
+def sweep_cleanliness(
+    ground_truth: Database,
+    query: Query,
+    levels: Sequence[float] = (0.6, 0.7, 0.8, 0.9, 0.95),
+    skewness: float = 0.5,
+    protected: set | None = None,
+    seed: int = 401,
+) -> FigureResult:
+    """Mixed cleaning cost as data cleanliness varies (paper's 60-95%)."""
+    protected = protected if protected is not None else set()
+    result = FigureResult(
+        "sweep-cleanliness",
+        f"{query.name}: cost vs data cleanliness (skew={skewness:.0%})",
+        SWEEP_HEADERS,
+    )
+    for level in levels:
+        point = _run_point(
+            ground_truth,
+            query,
+            NoiseSpec(cleanliness=level, skewness=skewness),
+            protected,
+            seed,
+        )
+        result.rows.append((f"{level:.2f}",) + point.as_row()[1:])
+    return result
+
+
+def sweep_skewness(
+    ground_truth: Database,
+    query: Query,
+    levels: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    cleanliness: float = 0.9,
+    protected: set | None = None,
+    seed: int = 402,
+) -> FigureResult:
+    """Mixed cleaning cost as noise skewness varies (0% .. 100%)."""
+    protected = protected if protected is not None else set()
+    result = FigureResult(
+        "sweep-skewness",
+        f"{query.name}: cost vs noise skewness (cleanliness={cleanliness:.0%})",
+        SWEEP_HEADERS,
+    )
+    for level in levels:
+        point = _run_point(
+            ground_truth,
+            query,
+            NoiseSpec(cleanliness=cleanliness, skewness=level),
+            protected,
+            seed,
+        )
+        result.rows.append((f"{level:.2f}",) + point.as_row()[1:])
+    return result

@@ -1,0 +1,37 @@
+"""NP-hardness reductions (Theorems 4.2 and 5.2) and a DPLL solver."""
+
+from .reductions import (
+    CleaningInstance,
+    D_CONST,
+    element_fact,
+    hitting_set_to_deletion,
+    one3sat_to_insertion,
+    witness_to_sat_assignment,
+)
+from .sat import (
+    Clause,
+    Formula,
+    SatError,
+    clause_satisfying_rows,
+    clause_variables,
+    is_satisfying,
+    solve,
+    validate_formula,
+)
+
+__all__ = [
+    "Clause",
+    "CleaningInstance",
+    "D_CONST",
+    "Formula",
+    "SatError",
+    "clause_satisfying_rows",
+    "clause_variables",
+    "element_fact",
+    "hitting_set_to_deletion",
+    "is_satisfying",
+    "one3sat_to_insertion",
+    "solve",
+    "validate_formula",
+    "witness_to_sat_assignment",
+]

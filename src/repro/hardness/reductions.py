@@ -1,0 +1,155 @@
+"""The NP-hardness reductions of Theorems 4.2 and 5.2, as constructions.
+
+These build actual cleaning instances (schema, dirty ``D``, ground truth
+``D_G``, query, target answer) from Hitting-Set and One-3SAT inputs,
+following the proofs in the paper's appendix verbatim.  The test suite
+runs the cleaning algorithms on the constructed instances and checks the
+correspondences the proofs claim:
+
+* Theorem 4.2 — deletion-question sets for the answer ``(d)`` correspond
+  to hitting sets of ``(U, S)``;
+* Theorem 5.2 — witnesses for the missing answer ``(d)`` w.r.t. ``D_G``
+  correspond to satisfying assignments of the 3CNF formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..db.database import Database
+from ..db.schema import RelationSchema, Schema
+from ..db.tuples import Constant, Fact
+from ..query.ast import Atom, Query, Var
+from .sat import Clause, Formula, clause_variables, clause_satisfying_rows, validate_formula
+
+#: The distinguished constant of both reductions.
+D_CONST = "d"
+
+
+@dataclass(frozen=True)
+class CleaningInstance:
+    """A constructed EDIT GENERATION instance."""
+
+    schema: Schema
+    dirty: Database
+    ground_truth: Database
+    query: Query
+    target_answer: tuple[Constant, ...]
+
+
+def hitting_set_to_deletion(
+    universe: Sequence[Hashable], sets: Sequence[frozenset]
+) -> CleaningInstance:
+    """Theorem 4.2: reduce Hitting Set ``(U, S)`` to answer deletion.
+
+    * one unary relation ``R_i`` per element ``u_i`` with facts
+      ``R_i(u_i)`` and ``R_i(d)``;
+    * relation ``R(Z, A, X_1..X_|U|)`` holding the characteristic vector
+      of every ``S_j`` (position *i* holds ``u_i`` if ``u_i ∈ S_j``,
+      else ``d``);
+    * ``D_G = {R_1(d), ..., R_|U|(d)}``;
+    * ``Q(z) :- R(z, y, w_1..w_|U|), R_1(w_1), ..., R_|U|(w_|U|)``.
+
+    ``(d)`` is then a wrong answer of ``Q(D)``, with one witness per
+    ``S_j``, and minimal question sets removing it correspond to minimal
+    hitting sets.
+    """
+    if not universe:
+        raise ValueError("universe must be non-empty")
+    if len(set(universe)) != len(universe):
+        raise ValueError("universe has duplicate elements")
+    elements = [str(u) for u in universe]
+    for j, s in enumerate(sets):
+        if not s:
+            raise ValueError(f"set {j} is empty (instance unhittable)")
+        if not set(str(e) for e in s) <= set(elements):
+            raise ValueError(f"set {j} contains elements outside the universe")
+
+    relations = [
+        RelationSchema(f"r{i + 1}", ("x",)) for i in range(len(elements))
+    ]
+    wide = RelationSchema(
+        "r", ("z", "a") + tuple(f"x{i + 1}" for i in range(len(elements)))
+    )
+    schema = Schema(relations + [wide])
+
+    dirty = Database(schema)
+    ground_truth = Database(schema)
+    for i, element in enumerate(elements):
+        dirty.insert(Fact(f"r{i + 1}", (element,)))
+        dirty.insert(Fact(f"r{i + 1}", (D_CONST,)))
+        ground_truth.insert(Fact(f"r{i + 1}", (D_CONST,)))
+    for j, s in enumerate(sets):
+        members = {str(e) for e in s}
+        vector = tuple(
+            element if element in members else D_CONST for element in elements
+        )
+        dirty.insert(Fact("r", (D_CONST, f"s{j + 1}") + vector))
+
+    z, y = Var("z"), Var("y")
+    ws = [Var(f"w{i + 1}") for i in range(len(elements))]
+    atoms = [Atom("r", (z, y) + tuple(ws))]
+    atoms += [Atom(f"r{i + 1}", (ws[i],)) for i in range(len(elements))]
+    query = Query(head=(z,), atoms=tuple(atoms), name="hitting")
+
+    return CleaningInstance(schema, dirty, ground_truth, query, (D_CONST,))
+
+
+def element_fact(index: int, element: Hashable) -> Fact:
+    """The fact ``R_{index+1}(u)`` whose deletion "hits" element *u*."""
+    return Fact(f"r{index + 1}", (str(element),))
+
+
+def one3sat_to_insertion(formula: Formula) -> CleaningInstance:
+    """Theorem 5.2: reduce One-3SAT to answer insertion.
+
+    * one relation ``R_i(A, vars of clause i)`` per clause;
+    * ``D`` is empty; ``D_G`` holds, per clause, one fact
+      ``R_i(d, values...)`` for every satisfying row of the clause;
+    * ``Q(x) :- R_1(x, X...), ..., R_m(x, X...)`` with the SAT variables
+      shared across clause atoms.
+
+    ``(d)`` is a missing answer iff the formula is satisfiable, and each
+    of its witnesses w.r.t. ``D_G`` encodes a satisfying assignment.
+    """
+    n_vars = validate_formula(formula)
+    if n_vars == 0 or not formula:
+        raise ValueError("formula must have at least one clause")
+
+    relations = []
+    for i, clause in enumerate(formula):
+        columns = ("a",) + tuple(f"v{v}" for v in clause_variables(clause))
+        relations.append(RelationSchema(f"c{i + 1}", columns))
+    schema = Schema(relations)
+
+    dirty = Database(schema)
+    ground_truth = Database(schema)
+    for i, clause in enumerate(formula):
+        for row in clause_satisfying_rows(clause):
+            ground_truth.insert(Fact(f"c{i + 1}", (D_CONST,) + row))
+
+    x = Var("x")
+    atoms = []
+    for i, clause in enumerate(formula):
+        terms: tuple = (x,) + tuple(Var(f"X{v}") for v in clause_variables(clause))
+        atoms.append(Atom(f"c{i + 1}", terms))
+    query = Query(head=(x,), atoms=tuple(atoms), name="one3sat")
+
+    return CleaningInstance(schema, dirty, ground_truth, query, (D_CONST,))
+
+
+def witness_to_sat_assignment(
+    formula: Formula, assignment_values: dict[str, Constant]
+) -> dict[int, bool]:
+    """Decode a query assignment of the reduction back to a SAT assignment.
+
+    *assignment_values* maps variable names (``"X3"``) to 0/1 constants.
+    """
+    result: dict[int, bool] = {}
+    for clause in formula:
+        for var in clause_variables(clause):
+            name = f"X{var}"
+            if name in assignment_values:
+                result[var] = bool(assignment_values[name])
+    return result

@@ -1,0 +1,144 @@
+"""A small DPLL SAT solver.
+
+Used to validate the One-3SAT → insertion-question reduction of
+Theorem 5.2: the reduction maps a satisfiable 3CNF formula to a cleaning
+instance, and the tests check that satisfying assignments and witnesses
+for the missing answer correspond exactly.
+
+Literals use the DIMACS convention: variable ``i`` (1-based) appears as
+``+i``, its negation as ``-i``.  A clause is a tuple of literals; a
+formula is a sequence of clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+Literal = int
+Clause = tuple[Literal, ...]
+Formula = Sequence[Clause]
+
+
+class SatError(ValueError):
+    """Raised for malformed formulas (zero literals, empty clauses...)."""
+
+
+def validate_formula(formula: Formula) -> int:
+    """Check the formula and return the number of variables."""
+    max_var = 0
+    for clause in formula:
+        if not clause:
+            raise SatError("empty clause")
+        for literal in clause:
+            if literal == 0:
+                raise SatError("literal 0 is not allowed")
+            max_var = max(max_var, abs(literal))
+    return max_var
+
+
+def _simplify(formula: list[Clause], literal: Literal) -> Optional[list[Clause]]:
+    """Assign *literal* true; return the reduced formula or ``None`` on
+    an empty clause (conflict)."""
+    result: list[Clause] = []
+    for clause in formula:
+        if literal in clause:
+            continue
+        if -literal in clause:
+            reduced = tuple(l for l in clause if l != -literal)
+            if not reduced:
+                return None
+            result.append(reduced)
+        else:
+            result.append(clause)
+    return result
+
+
+def solve(formula: Formula) -> Optional[dict[int, bool]]:
+    """A satisfying assignment ``{var: value}``, or ``None`` if UNSAT.
+
+    All variables mentioned in the formula are assigned (unconstrained
+    ones default to ``False``).
+    """
+    n_vars = validate_formula(formula)
+    assignment: dict[int, bool] = {}
+
+    def dpll(clauses: list[Clause]) -> bool:
+        # Unit propagation.
+        while True:
+            unit = next((c[0] for c in clauses if len(c) == 1), None)
+            if unit is None:
+                break
+            assignment[abs(unit)] = unit > 0
+            reduced = _simplify(clauses, unit)
+            if reduced is None:
+                return False
+            clauses = reduced
+        if not clauses:
+            return True
+        # Pure literal elimination.
+        literals = {l for c in clauses for l in c}
+        pure = next((l for l in sorted(literals, key=abs) if -l not in literals), None)
+        if pure is not None:
+            assignment[abs(pure)] = pure > 0
+            reduced = _simplify(clauses, pure)
+            return reduced is not None and dpll(reduced)
+        # Branch on the first literal of the first clause.
+        literal = clauses[0][0]
+        for choice in (literal, -literal):
+            saved = dict(assignment)
+            assignment[abs(choice)] = choice > 0
+            reduced = _simplify(clauses, choice)
+            if reduced is not None and dpll(reduced):
+                return True
+            assignment.clear()
+            assignment.update(saved)
+        return False
+
+    if not dpll([tuple(c) for c in formula]):
+        return None
+    for var in range(1, n_vars + 1):
+        assignment.setdefault(var, False)
+    return assignment
+
+
+def is_satisfying(formula: Formula, assignment: dict[int, bool]) -> bool:
+    """Whether *assignment* satisfies every clause."""
+    for clause in formula:
+        if not any(
+            assignment.get(abs(l), False) == (l > 0) for l in clause
+        ):
+            return False
+    return True
+
+
+def clause_satisfying_rows(clause: Clause) -> list[tuple[int, ...]]:
+    """All 0/1 rows over the clause's variables that satisfy it.
+
+    Columns follow the clause's literal order (by variable occurrence);
+    a variable repeated in the clause gets one column.  Used by the
+    Theorem 5.2 reduction to populate the ground truth relation of the
+    clause (e.g. 7 of the 8 rows for a clause over 3 distinct vars).
+    """
+    variables: list[int] = []
+    for literal in clause:
+        var = abs(literal)
+        if var not in variables:
+            variables.append(var)
+    rows = []
+    for bits in range(2 ** len(variables)):
+        values = {
+            var: bool((bits >> i) & 1) for i, var in enumerate(variables)
+        }
+        if is_satisfying([clause], values):
+            rows.append(tuple(int(values[v]) for v in variables))
+    return rows
+
+
+def clause_variables(clause: Clause) -> list[int]:
+    """Distinct variables of a clause in literal order."""
+    variables: list[int] = []
+    for literal in clause:
+        var = abs(literal)
+        if var not in variables:
+            variables.append(var)
+    return variables

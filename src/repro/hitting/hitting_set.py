@@ -1,0 +1,168 @@
+"""Hitting sets (Definition 4.3, Theorem 4.5).
+
+The deletion algorithm views the witnesses of a wrong answer as a set
+system; the false tuples it must find form a hitting set of that system.
+This module provides:
+
+* :func:`unique_minimal_hitting_set` — the Theorem 4.5 test: a unique
+  minimal hitting set exists iff the elements of the singleton sets
+  already hit every set; when it does, no crowd questions are needed.
+* :func:`greedy_hitting_set` — the classic most-frequent-element greedy
+  (ln n approximation), used by baselines and tests.
+* :func:`exact_minimum_hitting_set` — branch-and-bound exact solver used
+  as a test oracle and to validate the NP-hardness reduction.
+* :func:`all_minimal_hitting_sets` — exhaustive enumeration on small
+  instances (test oracle for the uniqueness condition).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import combinations
+from typing import FrozenSet, Hashable, Iterable, Optional, Sequence, TypeVar
+
+Element = TypeVar("Element", bound=Hashable)
+SetSystem = Sequence[frozenset]
+
+
+def normalize(sets: Iterable[Iterable[Element]]) -> list[frozenset]:
+    """Freeze and deduplicate a set system, dropping nothing else.
+
+    An empty member set is kept: it makes the system unhittable and every
+    consumer must see that.
+    """
+    seen: set[frozenset] = set()
+    result: list[frozenset] = []
+    for s in sets:
+        frozen = frozenset(s)
+        if frozen not in seen:
+            seen.add(frozen)
+            result.append(frozen)
+    return result
+
+
+def is_hitting_set(candidate: Iterable[Element], sets: Iterable[Iterable[Element]]) -> bool:
+    """Whether *candidate* intersects every member of *sets*."""
+    chosen = set(candidate)
+    return all(chosen & set(s) for s in sets)
+
+
+def is_minimal_hitting_set(
+    candidate: Iterable[Element], sets: Iterable[Iterable[Element]]
+) -> bool:
+    """Hitting set from which no element can be dropped (Definition 4.3)."""
+    chosen = set(candidate)
+    frozen_sets = normalize(sets)
+    if not is_hitting_set(chosen, frozen_sets):
+        return False
+    return all(not is_hitting_set(chosen - {e}, frozen_sets) for e in chosen)
+
+
+def singleton_elements(sets: Iterable[Iterable[Element]]) -> set:
+    """Elements of the singleton sets of the system."""
+    singles: set = set()
+    for s in sets:
+        frozen = frozenset(s)
+        if len(frozen) == 1:
+            singles |= frozen
+    return singles
+
+
+def unique_minimal_hitting_set(sets: Iterable[Iterable[Element]]) -> Optional[set]:
+    """The unique minimal hitting set, or ``None`` if not unique.
+
+    Theorem 4.5: a unique minimal hitting set exists iff the elements of
+    the singleton sets form a hitting set — in which case they *are* it.
+    An empty system has the (unique) empty hitting set.
+    """
+    frozen_sets = normalize(sets)
+    if not frozen_sets:
+        return set()
+    if any(not s for s in frozen_sets):
+        return None  # an empty set can never be hit
+    singles = singleton_elements(frozen_sets)
+    if is_hitting_set(singles, frozen_sets):
+        return singles
+    return None
+
+
+def most_frequent_element(sets: Iterable[Iterable[Element]]) -> Optional[Element]:
+    """The element occurring in the largest number of sets.
+
+    Ties break deterministically by (count, repr) so experiments are
+    reproducible.  Returns ``None`` for an empty system.
+    """
+    counts: Counter = Counter()
+    for s in sets:
+        counts.update(set(s))
+    if not counts:
+        return None
+    return max(counts, key=lambda e: (counts[e], repr(e)))
+
+
+def greedy_hitting_set(sets: Iterable[Iterable[Element]]) -> set:
+    """Greedy cover: repeatedly take the most frequent element.
+
+    Raises :class:`ValueError` if the system contains an empty set.
+    """
+    remaining = normalize(sets)
+    if any(not s for s in remaining):
+        raise ValueError("system with an empty set has no hitting set")
+    chosen: set = set()
+    while remaining:
+        element = most_frequent_element(remaining)
+        chosen.add(element)
+        remaining = [s for s in remaining if element not in s]
+    return chosen
+
+
+def exact_minimum_hitting_set(sets: Iterable[Iterable[Element]]) -> set:
+    """A minimum-cardinality hitting set by branch and bound.
+
+    Exponential in the worst case — a test oracle, not a production path.
+    Raises :class:`ValueError` on unhittable systems.
+    """
+    frozen_sets = normalize(sets)
+    if any(not s for s in frozen_sets):
+        raise ValueError("system with an empty set has no hitting set")
+    if not frozen_sets:
+        return set()
+    best: set = greedy_hitting_set(frozen_sets)
+
+    def branch(remaining: list[frozenset], chosen: set) -> None:
+        nonlocal best
+        if len(chosen) >= len(best):
+            return
+        if not remaining:
+            best = set(chosen)
+            return
+        # Branch on the smallest uncovered set: one child per element.
+        target = min(remaining, key=len)
+        for element in sorted(target, key=repr):
+            rest = [s for s in remaining if element not in s]
+            chosen.add(element)
+            branch(rest, chosen)
+            chosen.discard(element)
+
+    branch(frozen_sets, set())
+    return best
+
+
+def all_minimal_hitting_sets(sets: Iterable[Iterable[Element]]) -> list[set]:
+    """Every minimal hitting set (exhaustive; small instances only)."""
+    frozen_sets = normalize(sets)
+    if not frozen_sets:
+        return [set()]
+    if any(not s for s in frozen_sets):
+        return []
+    universe = sorted(set().union(*frozen_sets), key=repr)
+    minimal: list[set] = []
+    for size in range(1, len(universe) + 1):
+        for combo in combinations(universe, size):
+            candidate = set(combo)
+            if not is_hitting_set(candidate, frozen_sets):
+                continue
+            if any(known <= candidate for known in minimal):
+                continue
+            minimal.append(candidate)
+    return minimal

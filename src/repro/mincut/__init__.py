@@ -1,0 +1,5 @@
+"""Global minimum cut (used by the Min-Cut query split)."""
+
+from .stoer_wagner import GraphCutError, minimum_cut
+
+__all__ = ["GraphCutError", "minimum_cut"]

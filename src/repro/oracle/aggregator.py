@@ -1,0 +1,73 @@
+"""The answer-aggregation black-box (Section 6.2).
+
+"We use a simple estimation method where each question is posed to a
+fixed-size sample of the crowd members and the answers are averaged
+[...] using majority vote."  The aggregator is a black-box by design —
+anything mapping (question, members) to a decision plugs in here.
+
+:class:`MajorityVote` implements the paper's chosen instantiation,
+including the early stop used in Section 7's accounting: "once two
+experts give the same answer, a decision can be made and a third answer
+is no longer needed."
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+#: Asks one crowd member the (closed) question; returns their boolean answer.
+AskMember = Callable[[int], bool]
+
+
+class Aggregator(ABC):
+    """Decides a boolean question by polling crowd members."""
+
+    @abstractmethod
+    def decide(self, ask: AskMember, member_count: int) -> tuple[bool, int]:
+        """Return ``(decision, answers_collected)``."""
+
+
+class MajorityVote(Aggregator):
+    """Fixed-size sample with majority vote and early stopping.
+
+    Parameters
+    ----------
+    sample_size:
+        How many members to poll at most (the paper uses 3).
+    early_stop:
+        Stop as soon as one side has a strict majority of the sample
+        (2 of 3), so fewer answers may be collected than *sample_size*.
+    """
+
+    def __init__(self, sample_size: int = 3, early_stop: bool = True) -> None:
+        if sample_size < 1:
+            raise ValueError("sample size must be >= 1")
+        self.sample_size = sample_size
+        self.early_stop = early_stop
+
+    def decide(self, ask: AskMember, member_count: int) -> tuple[bool, int]:
+        if member_count < 1:
+            raise ValueError("crowd must have at least one member")
+        needed = self.sample_size // 2 + 1
+        yes = no = 0
+        asked = 0
+        while asked < self.sample_size:
+            answer = ask(asked % member_count)
+            asked += 1
+            if answer:
+                yes += 1
+            else:
+                no += 1
+            if self.early_stop and (yes >= needed or no >= needed):
+                break
+        return yes > no, asked
+
+
+class FirstAnswer(Aggregator):
+    """Trust a single member — the degenerate aggregator (sample size 1)."""
+
+    def decide(self, ask: AskMember, member_count: int) -> tuple[bool, int]:
+        if member_count < 1:
+            raise ValueError("crowd must have at least one member")
+        return ask(0), 1

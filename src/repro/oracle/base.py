@@ -1,0 +1,178 @@
+"""The oracle interface and the accounting wrapper.
+
+Every crowd backend (perfect oracle, imperfect expert, aggregated crowd)
+implements :class:`Oracle`.  The cleaning algorithms never see the
+backend directly: they talk to an :class:`AccountingOracle`, which logs
+every interaction with its cost and — because the paper's strategies
+never repeat a question — caches closed answers so a repeated question
+is answered for free.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..db.tuples import Constant, Fact
+from ..query.ast import Query, Var
+from ..query.evaluator import Answer, Assignment
+from .questions import InteractionLog, QuestionKind
+
+
+class Oracle(ABC):
+    """A (possibly imperfect, possibly aggregated) domain expert."""
+
+    @abstractmethod
+    def verify_fact(self, fact: Fact) -> bool:
+        """``TRUE(R(ā))?`` — is the fact in the ground truth?"""
+
+    def verify_facts(self, facts: Sequence[Fact]) -> dict[Fact, bool]:
+        """A *composite* question (paper §9): the truth of several facts
+        posed in a single interaction.  Backends answer each fact; the
+        default implementation just loops :meth:`verify_fact`."""
+        return {fact: self.verify_fact(fact) for fact in facts}
+
+    @abstractmethod
+    def verify_answer(self, query: Query, answer: Answer) -> bool:
+        """``TRUE(Q, t)?`` — is *answer* in ``Q(D_G)``?"""
+
+    @abstractmethod
+    def verify_candidate(self, query: Query, partial: Mapping[Var, Constant]) -> bool:
+        """``CrowdVerify(α(body(Q)))`` — is α satisfiable w.r.t. ``D_G``?
+
+        For a total assignment this asks whether the induced witness is
+        all-true; for a partial one whether some extension is.
+        """
+
+    @abstractmethod
+    def complete_assignment(
+        self, query: Query, partial: Mapping[Var, Constant]
+    ) -> Optional[Assignment]:
+        """``COMPL(α, Q)`` — extend α to a valid total assignment w.r.t.
+        ``D_G``, or ``None`` if α is not satisfiable."""
+
+    @abstractmethod
+    def complete_result(
+        self, query: Query, known_answers: Iterable[Answer]
+    ) -> Optional[Answer]:
+        """``COMPL(Q(D))`` — an answer of ``Q(D_G)`` missing from
+        *known_answers*, or ``None`` if there is none."""
+
+
+def open_question_cost(
+    query: Query, partial: Mapping[Var, Constant], result: Optional[Assignment]
+) -> int:
+    """Cost of a ``COMPL(α, Q)`` reply: unique variables the expert bound."""
+    if result is None:
+        return 1
+    filled = {v for v in query.variables() if v not in partial}
+    return max(1, len(filled & set(result)))
+
+
+def result_question_cost(query: Query, result: Optional[Answer]) -> int:
+    """Cost of a ``COMPL(Q(D))`` reply: head variables named (or 1)."""
+    if result is None:
+        return 1
+    return max(1, len(set(query.head_variables())))
+
+
+class AccountingOracle(Oracle):
+    """Delegates to a backend oracle, logging and caching interactions.
+
+    Caching mirrors the paper's "questions are never repeated": a fact or
+    answer already verified in this run costs nothing when consulted
+    again (the system simply remembers).
+    """
+
+    def __init__(self, backend: Oracle, log: Optional[InteractionLog] = None) -> None:
+        self.backend = backend
+        self.log = log if log is not None else InteractionLog()
+        self._fact_cache: dict[Fact, bool] = {}
+        self._answer_cache: dict[tuple[int, Answer], bool] = {}
+
+    # -- cache helpers ---------------------------------------------------
+    def knows_fact(self, fact: Fact) -> bool:
+        return fact in self._fact_cache
+
+    def known_fact_value(self, fact: Fact) -> Optional[bool]:
+        return self._fact_cache.get(fact)
+
+    def remember_fact(self, fact: Fact, value: bool) -> None:
+        """Record knowledge inferred without asking (e.g. Theorem 4.5)."""
+        self._fact_cache[fact] = value
+
+    def forget(self) -> None:
+        """Drop cached answers.
+
+        With an imperfect crowd a wrong majority vote must not poison
+        every later iteration; Algorithm 3 clears the cache between
+        outer iterations so a retried question gets a fresh vote (the
+        paper's "iterative protection", Section 6.2).  Costs already
+        logged are kept.
+        """
+        self._fact_cache.clear()
+        self._answer_cache.clear()
+
+    # -- Oracle interface --------------------------------------------------
+    def verify_fact(self, fact: Fact) -> bool:
+        cached = self._fact_cache.get(fact)
+        if cached is not None:
+            return cached
+        value = self.backend.verify_fact(fact)
+        self._fact_cache[fact] = value
+        self.log.record(QuestionKind.VERIFY_FACT, 1, str(fact))
+        return value
+
+    def verify_facts(self, facts: Sequence[Fact]) -> dict[Fact, bool]:
+        """Composite fact verification: one logged interaction for the
+        whole batch (cost 1 — the point of composite questions), cached
+        per fact like single questions."""
+        results: dict[Fact, bool] = {}
+        to_ask: list[Fact] = []
+        for fact in facts:
+            cached = self._fact_cache.get(fact)
+            if cached is not None:
+                results[fact] = cached
+            elif fact not in to_ask:
+                to_ask.append(fact)
+        if to_ask:
+            answers = self.backend.verify_facts(to_ask)
+            for fact in to_ask:
+                value = answers[fact]
+                self._fact_cache[fact] = value
+                results[fact] = value
+            self.log.record(
+                QuestionKind.VERIFY_FACTS, 1, f"{len(to_ask)} facts"
+            )
+        return results
+
+    def verify_answer(self, query: Query, answer: Answer) -> bool:
+        key = (id(query), answer)
+        cached = self._answer_cache.get(key)
+        if cached is not None:
+            return cached
+        value = self.backend.verify_answer(query, answer)
+        self._answer_cache[key] = value
+        self.log.record(QuestionKind.VERIFY_ANSWER, 1, f"{query.name}{answer}")
+        return value
+
+    def verify_candidate(self, query: Query, partial: Mapping[Var, Constant]) -> bool:
+        value = self.backend.verify_candidate(query, partial)
+        self.log.record(QuestionKind.VERIFY_CANDIDATE, 1, query.name)
+        return value
+
+    def complete_assignment(
+        self, query: Query, partial: Mapping[Var, Constant]
+    ) -> Optional[Assignment]:
+        result = self.backend.complete_assignment(query, partial)
+        cost = open_question_cost(query, partial, result)
+        self.log.record(QuestionKind.COMPLETE_ASSIGNMENT, cost, query.name)
+        return result
+
+    def complete_result(
+        self, query: Query, known_answers: Iterable[Answer]
+    ) -> Optional[Answer]:
+        result = self.backend.complete_result(query, known_answers)
+        cost = result_question_cost(query, result)
+        self.log.record(QuestionKind.COMPLETE_RESULT, cost, query.name)
+        return result

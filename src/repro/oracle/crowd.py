@@ -1,0 +1,197 @@
+"""A crowd of (imperfect) experts behind a single Oracle interface.
+
+Section 6.2: closed questions go to a fixed-size sample of members and
+are decided by the aggregator black-box; an open question goes to a
+single member and the obtained answer is then *verified* with follow-up
+closed questions — ``TRUE(Q, t)?`` for a ``COMPL(Q(D))`` reply and
+``TRUE(R(ā))?`` for each new tuple of a ``COMPL(α, Q)`` reply.  A reply
+that fails verification is discarded (the iterative main loop repairs
+any damage a mistaken edit would cause).
+
+:class:`CrowdStats` implements the paper's crowd-answer accounting for
+Figure 4: each member's closed answer counts one; an open reply counts
+the number of unique variables the member bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from ..db.tuples import Constant, Fact
+from ..query.ast import Query, Var
+from ..query.evaluator import Answer, Assignment
+from .aggregator import Aggregator, MajorityVote
+from .base import Oracle
+from .questions import (
+    CATEGORY_FILL_MISSING,
+    CATEGORY_VERIFY_ANSWERS,
+    CATEGORY_VERIFY_TUPLES,
+)
+
+
+@dataclass
+class CrowdStats:
+    """Member answers collected, bucketed as in Figure 4."""
+
+    answers: dict[str, int] = field(
+        default_factory=lambda: {
+            CATEGORY_VERIFY_ANSWERS: 0,
+            CATEGORY_VERIFY_TUPLES: 0,
+            CATEGORY_FILL_MISSING: 0,
+        }
+    )
+
+    def add(self, category: str, count: int) -> None:
+        self.answers[category] += count
+
+    @property
+    def total(self) -> int:
+        return sum(self.answers.values())
+
+
+class Crowd(Oracle):
+    """Multiple experts + aggregation, exposed as one oracle.
+
+    Parameters
+    ----------
+    members:
+        The individual experts (usually :class:`ImperfectOracle`).
+    aggregator:
+        Black-box deciding closed questions; defaults to 3-member
+        majority vote with early stopping.
+    verify_open_answers:
+        Whether to pose the Section 6.2 follow-up verification questions
+        after open replies (on by default; turning it off recovers the
+        single-expert workflow for ablations).
+    """
+
+    def __init__(
+        self,
+        members: Sequence[Oracle],
+        aggregator: Optional[Aggregator] = None,
+        verify_open_answers: bool = True,
+    ) -> None:
+        if not members:
+            raise ValueError("crowd must have at least one member")
+        self.members = list(members)
+        self.aggregator = aggregator if aggregator is not None else MajorityVote()
+        self.verify_open_answers = verify_open_answers
+        self.stats = CrowdStats()
+        self._rotation = 0
+
+    # -- member selection ----------------------------------------------------
+    def _start_offset(self) -> int:
+        offset = self._rotation
+        self._rotation = (self._rotation + 1) % len(self.members)
+        return offset
+
+    def _decide(self, category: str, ask_member) -> bool:
+        offset = self._start_offset()
+
+        def ask(i: int) -> bool:
+            member = self.members[(offset + i) % len(self.members)]
+            return ask_member(member)
+
+        decision, collected = self.aggregator.decide(ask, len(self.members))
+        self.stats.add(category, collected)
+        return decision
+
+    # -- closed questions --------------------------------------------------
+    def verify_fact(self, fact: Fact) -> bool:
+        return self._decide(
+            CATEGORY_VERIFY_TUPLES, lambda member: member.verify_fact(fact)
+        )
+
+    def verify_facts(self, facts) -> dict[Fact, bool]:
+        """Composite question: the whole batch goes to each polled member
+        in one interaction; each fact is decided by per-fact majority.
+
+        Members are polled until every fact has a strict majority of the
+        sample (early stop), so a batch usually costs 2 members x |batch|
+        answers instead of |batch| separate votes.
+        """
+        facts = list(dict.fromkeys(facts))
+        if not facts:
+            return {}
+        sample_size = getattr(self.aggregator, "sample_size", len(self.members))
+        needed = sample_size // 2 + 1
+        offset = self._start_offset()
+        yes_counts = {fact: 0 for fact in facts}
+        asked = 0
+        while asked < sample_size:
+            member = self.members[(offset + asked) % len(self.members)]
+            replies = member.verify_facts(facts)
+            asked += 1
+            self.stats.add(CATEGORY_VERIFY_TUPLES, len(facts))
+            for fact in facts:
+                if replies[fact]:
+                    yes_counts[fact] += 1
+            decided = all(
+                yes_counts[fact] >= needed or asked - yes_counts[fact] >= needed
+                for fact in facts
+            )
+            if decided:
+                break
+        return {fact: yes_counts[fact] * 2 > asked for fact in facts}
+
+    def verify_answer(self, query: Query, answer: Answer) -> bool:
+        return self._decide(
+            CATEGORY_VERIFY_ANSWERS, lambda member: member.verify_answer(query, answer)
+        )
+
+    def verify_candidate(self, query: Query, partial: Mapping[Var, Constant]) -> bool:
+        return self._decide(
+            CATEGORY_VERIFY_TUPLES,
+            lambda member: member.verify_candidate(query, partial),
+        )
+
+    # -- open questions ------------------------------------------------------
+    def complete_assignment(
+        self, query: Query, partial: Mapping[Var, Constant]
+    ) -> Optional[Assignment]:
+        member = self.members[self._start_offset()]
+        reply = member.complete_assignment(query, partial)
+        if reply is None:
+            self.stats.add(CATEGORY_FILL_MISSING, 1)
+            return None
+        filled = [v for v in reply if v not in partial]
+        self.stats.add(CATEGORY_FILL_MISSING, max(1, len(filled)))
+        if self.verify_open_answers and not self._reply_facts_verified(
+            query, partial, reply
+        ):
+            return None
+        return reply
+
+    def complete_result(
+        self, query: Query, known_answers: Iterable[Answer]
+    ) -> Optional[Answer]:
+        member = self.members[self._start_offset()]
+        reply = member.complete_result(query, known_answers)
+        if reply is None:
+            self.stats.add(CATEGORY_FILL_MISSING, 1)
+            return None
+        self.stats.add(CATEGORY_FILL_MISSING, max(1, len(set(query.head_variables()))))
+        if self.verify_open_answers and not self.verify_answer(query, reply):
+            return None
+        return reply
+
+    # -- verification of open replies ---------------------------------------
+    def _reply_facts_verified(
+        self, query: Query, partial: Mapping[Var, Constant], reply: Assignment
+    ) -> bool:
+        """Verify the tuples a completion introduced (Section 6.2)."""
+        new_vars = {v for v in reply if v not in partial}
+        to_verify: list[Fact] = []
+        seen: set[Fact] = set()
+        for atom in query.atoms:
+            if not (atom.variables() & new_vars):
+                continue
+            ground = atom.substitute(reply)
+            if not ground.is_ground():
+                return False  # incomplete reply — malformed, reject
+            fact = Fact(ground.relation, tuple(ground.terms))  # type: ignore[arg-type]
+            if fact not in seen:
+                seen.add(fact)
+                to_verify.append(fact)
+        return all(self.verify_fact(fact) for fact in to_verify)

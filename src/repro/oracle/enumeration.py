@@ -1,0 +1,132 @@
+"""The enumeration black-box (Section 6.1).
+
+Algorithm 3 must know when to stop posing ``COMPL(Q(D))`` questions.
+The paper plugs in the statistical tools of Trushkowsky et al. [61]
+("crowdsourced enumeration queries") as a black box that "notifies QOCO
+once posing additional crowd questions [...] is no longer necessary,
+because the query result is complete with high probability".
+
+We provide two instantiations:
+
+* :class:`ExactCompletion` — for perfect oracles: complete exactly when
+  the oracle returns ``None``.
+* :class:`Chao92Estimator` — the species-richness estimator underlying
+  [61]: from the sample of answers received so far (with duplicates
+  across crowd members) estimate the total number of distinct answers;
+  declare completeness when the estimate no longer exceeds what we have
+  seen, or after a run of "nothing missing" replies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import Hashable, Optional
+
+
+class CompletionEstimator(ABC):
+    """Decides when a ``COMPL(Q(D))`` stream has been exhausted."""
+
+    @abstractmethod
+    def observe(self, item: Optional[Hashable]) -> None:
+        """Feed the next crowd reply (``None`` = "nothing is missing")."""
+
+    @abstractmethod
+    def is_complete(self) -> bool:
+        """Whether the result is complete with high confidence."""
+
+    def reset(self) -> None:  # pragma: no cover - trivial default
+        """Restart estimation (called when the result set changes)."""
+
+
+class ExactCompletion(CompletionEstimator):
+    """Complete as soon as one ``None`` arrives (perfect-oracle mode)."""
+
+    def __init__(self) -> None:
+        self._done = False
+
+    def observe(self, item: Optional[Hashable]) -> None:
+        if item is None:
+            self._done = True
+
+    def is_complete(self) -> bool:
+        return self._done
+
+    def reset(self) -> None:
+        self._done = False
+
+
+class Chao92Estimator(CompletionEstimator):
+    """Chao92 coverage-based species-richness estimation.
+
+    With ``n`` replies covering ``d`` distinct answers and ``f1``
+    singletons, sample coverage is estimated as ``C = 1 - f1/n`` and the
+    richness as ``S = d / C + (n-1)/n * f1^2 / (2*f2)`` (``f2`` =
+    doubletons, guarded against zero).  We declare the result complete
+    when the estimate is within *tolerance* of the distinct count, or
+    after *patience* consecutive ``None`` replies — whichever comes
+    first — and never before *min_samples* replies.
+    """
+
+    def __init__(
+        self,
+        min_samples: int = 3,
+        patience: int = 2,
+        tolerance: float = 0.5,
+    ) -> None:
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.min_samples = min_samples
+        self.patience = patience
+        self.tolerance = tolerance
+        self._counts: Counter = Counter()
+        self._samples = 0
+        self._none_streak = 0
+
+    # -- observation ------------------------------------------------------
+    def observe(self, item: Optional[Hashable]) -> None:
+        self._samples += 1
+        if item is None:
+            self._none_streak += 1
+        else:
+            self._none_streak = 0
+            self._counts[item] += 1
+
+    # -- estimation -------------------------------------------------------
+    @property
+    def distinct(self) -> int:
+        return len(self._counts)
+
+    @property
+    def sample_count(self) -> int:
+        return self._samples
+
+    def estimate(self) -> float:
+        """Estimated total number of distinct answers (Chao92)."""
+        n = sum(self._counts.values())
+        d = len(self._counts)
+        if n == 0:
+            return 0.0
+        f1 = sum(1 for c in self._counts.values() if c == 1)
+        f2 = sum(1 for c in self._counts.values() if c == 2)
+        if f1 == n:
+            # All singletons: coverage estimate degenerates; fall back to
+            # the classic Chao84 lower bound.
+            return d + f1 * (f1 - 1) / 2.0
+        coverage = 1.0 - f1 / n
+        adjustment = (n - 1) / n * (f1 * f1) / (2.0 * max(f2, 1))
+        return d / coverage + adjustment
+
+    def is_complete(self) -> bool:
+        if self._none_streak >= self.patience:
+            return True
+        if self._samples < self.min_samples:
+            return False
+        return self.estimate() <= self.distinct + self.tolerance
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._samples = 0
+        self._none_streak = 0

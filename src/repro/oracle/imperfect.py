@@ -1,0 +1,137 @@
+"""Imperfect experts (Section 6.2).
+
+Real crowd members "even if experts, are imperfect and may make
+mistakes".  :class:`ImperfectOracle` wraps the ground truth with an error
+rate *p*:
+
+* each **closed** answer is flipped with probability *p*;
+* each **open** completion is, with probability *p*, either withheld
+  (a spurious "not satisfiable") or corrupted by rebinding one variable
+  to a different value from the same column's active domain;
+* each **open** result enumeration is, with probability *p*, either a
+  spurious "complete" or a fabricated near-miss answer.
+
+The corruptions produce exactly the failure modes the paper's
+verification layer (majority vote + follow-up closed questions) must
+catch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Mapping, Optional
+
+from ..db.database import Database
+from ..db.tuples import Constant, Fact
+from ..query.ast import Atom, Query, Var
+from ..query.evaluator import Answer, Assignment
+from .base import Oracle
+from .perfect import PerfectOracle
+
+
+class ImperfectOracle(Oracle):
+    """A ground-truth expert who errs with probability *error_rate*."""
+
+    def __init__(
+        self,
+        ground_truth: Database,
+        error_rate: float,
+        rng: Optional[random.Random] = None,
+        name: str = "expert",
+    ) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error rate {error_rate} outside [0, 1]")
+        self.ground_truth = ground_truth
+        self.error_rate = error_rate
+        self.rng = rng if rng is not None else random.Random()
+        self.name = name
+        self._truth = PerfectOracle(ground_truth)
+
+    def _errs(self) -> bool:
+        return self.rng.random() < self.error_rate
+
+    # -- closed questions --------------------------------------------------
+    def verify_fact(self, fact: Fact) -> bool:
+        value = self._truth.verify_fact(fact)
+        return (not value) if self._errs() else value
+
+    def verify_answer(self, query: Query, answer: Answer) -> bool:
+        value = self._truth.verify_answer(query, answer)
+        return (not value) if self._errs() else value
+
+    def verify_candidate(self, query: Query, partial: Mapping[Var, Constant]) -> bool:
+        value = self._truth.verify_candidate(query, partial)
+        return (not value) if self._errs() else value
+
+    # -- open questions ------------------------------------------------------
+    def complete_assignment(
+        self, query: Query, partial: Mapping[Var, Constant]
+    ) -> Optional[Assignment]:
+        truth = self._truth.complete_assignment(query, partial)
+        if not self._errs():
+            return truth
+        if truth is None:
+            return None  # claiming satisfiability needs a witness; stay silent
+        if self.rng.random() < 0.5:
+            return None  # spurious "not satisfiable"
+        return self._corrupt_assignment(query, dict(truth), set(partial))
+
+    def complete_result(
+        self, query: Query, known_answers: Iterable[Answer]
+    ) -> Optional[Answer]:
+        truth = self._truth.complete_result(query, known_answers)
+        if not self._errs():
+            return truth
+        if truth is None or self.rng.random() < 0.5:
+            if truth is None:
+                return self._fabricate_answer(query, known_answers)
+            return None  # spurious "nothing is missing"
+        return self._perturb_answer(truth)
+
+    # -- corruption helpers ----------------------------------------------
+    def _corrupt_assignment(
+        self, query: Query, assignment: Assignment, given: set[Var]
+    ) -> Assignment:
+        candidates = [v for v in assignment if v not in given]
+        if not candidates:
+            return assignment
+        victim = self.rng.choice(sorted(candidates, key=lambda v: v.name))
+        replacement = self._other_value(query, victim, assignment[victim])
+        if replacement is not None:
+            assignment[victim] = replacement
+        return assignment
+
+    def _other_value(
+        self, query: Query, variable: Var, current: Constant
+    ) -> Optional[Constant]:
+        """A different plausible value for *variable* from its column."""
+        for atom in query.atoms:
+            for position, term in enumerate(atom.terms):
+                if term == variable:
+                    pool = sorted(
+                        v
+                        for v in self.ground_truth.active_domain(atom.relation, position)
+                        if v != current
+                    )
+                    if pool:
+                        return self.rng.choice(pool)
+        return None
+
+    def _perturb_answer(self, answer: Answer) -> Answer:
+        values = list(answer)
+        index = self.rng.randrange(len(values))
+        original = values[index]
+        if isinstance(original, str):
+            values[index] = original + "?"
+        else:
+            values[index] = -1
+        return tuple(values)
+
+    def _fabricate_answer(
+        self, query: Query, known_answers: Iterable[Answer]
+    ) -> Optional[Answer]:
+        """Invent a wrong extra answer by perturbing a known one."""
+        known = sorted(known_answers, key=repr)
+        if not known:
+            return None
+        return self._perturb_answer(self.rng.choice(known))

@@ -1,0 +1,107 @@
+"""A human as the oracle: terminal question-and-answer (the prototype UI).
+
+The paper's QOCO prototype put crowd questions in front of people
+through a web UI; this class does the same through the terminal, so the
+library can be used for real interactive cleaning sessions:
+
+* closed questions render as the paper writes them ("Is games(...)
+  true?") and accept y/n;
+* ``COMPL(α, Q)`` renders the partially instantiated body and prompts
+  for one value per unbound variable (empty input = "not satisfiable");
+* ``COMPL(Q(D))`` lists the current answers and prompts for a missing
+  one as comma-separated values (empty input = "nothing is missing").
+
+The I/O callables are injectable, so tests drive it with scripted input.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional
+
+from ..db.io import coerce_value
+from ..db.tuples import Constant, Fact
+from ..query.ast import Query, Var, term_str
+from ..query.evaluator import Answer, Assignment
+from .base import Oracle
+
+Prompt = Callable[[str], str]
+Show = Callable[[str], None]
+
+
+class InteractiveOracle(Oracle):
+    """Asks a human at the terminal."""
+
+    def __init__(
+        self,
+        prompt: Optional[Prompt] = None,
+        show: Optional[Show] = None,
+    ) -> None:
+        self.prompt = prompt if prompt is not None else input
+        self.show = show if show is not None else print
+
+    # -- closed questions --------------------------------------------------
+    def _yes_no(self, question: str) -> bool:
+        while True:
+            reply = self.prompt(f"{question} [y/n] ").strip().lower()
+            if reply in ("y", "yes", "true", "t"):
+                return True
+            if reply in ("n", "no", "false", "f"):
+                return False
+            self.show("please answer y or n")
+
+    def verify_fact(self, fact: Fact) -> bool:
+        return self._yes_no(f"Is {fact} true?")
+
+    def verify_answer(self, query: Query, answer: Answer) -> bool:
+        rendered = ", ".join(str(v) for v in answer)
+        return self._yes_no(f"Is ({rendered}) a correct answer of {query.name}?")
+
+    def verify_candidate(self, query: Query, partial: Mapping[Var, Constant]) -> bool:
+        self.show(f"Candidate for {query.name}:")
+        for atom in query.atoms:
+            self.show(f"  {atom.substitute(dict(partial))}")
+        return self._yes_no("Can this be completed into an all-true witness?")
+
+    # -- open questions ------------------------------------------------------
+    def complete_assignment(
+        self, query: Query, partial: Mapping[Var, Constant]
+    ) -> Optional[Assignment]:
+        self.show(f"Complete a witness for {query.name}:")
+        for atom in query.atoms:
+            self.show(f"  {atom.substitute(dict(partial))}")
+        for inequality in query.inequalities:
+            self.show(f"  where {inequality.substitute(dict(partial))}")
+        assignment: Assignment = dict(partial)
+        unbound = sorted(
+            (v for v in query.variables() if v not in assignment),
+            key=lambda v: v.name,
+        )
+        for variable in unbound:
+            reply = self.prompt(f"  {variable} = ").strip()
+            if not reply:
+                self.show("  (treated as: not satisfiable)")
+                return None
+            assignment[variable] = coerce_value(reply)
+        return assignment
+
+    def complete_result(
+        self, query: Query, known_answers: Iterable[Answer]
+    ) -> Optional[Answer]:
+        known = sorted(known_answers, key=repr)
+        self.show(f"Current answers of {query.name} ({len(known)}):")
+        for answer in known:
+            self.show(f"  {answer}")
+        head = ", ".join(term_str(t) for t in query.head)
+        reply = self.prompt(
+            f"Name a missing answer ({head}) as comma-separated values "
+            "(empty = none): "
+        ).strip()
+        if not reply:
+            return None
+        values = tuple(coerce_value(part.strip()) for part in reply.split(","))
+        if len(values) != len(query.head):
+            self.show(
+                f"expected {len(query.head)} values, got {len(values)} — ignored"
+            )
+            return None
+        return values

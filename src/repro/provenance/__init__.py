@@ -1,0 +1,42 @@
+"""Provenance: witnesses, semiring polynomials, WhyNot? picky joins."""
+
+from .semiring import (
+    BooleanSemiring,
+    CountingSemiring,
+    Monomial,
+    Polynomial,
+    Semiring,
+    TrustSemiring,
+    WhySemiring,
+    provenance_polynomial,
+)
+from .whynot import PickyJoin, find_picky_join
+from .witness import (
+    fact_frequencies,
+    lineage,
+    most_frequent_fact,
+    remove_fact_from_all,
+    why_provenance,
+    witnesses_containing,
+    witnesses_without,
+)
+
+__all__ = [
+    "BooleanSemiring",
+    "CountingSemiring",
+    "Monomial",
+    "PickyJoin",
+    "Polynomial",
+    "Semiring",
+    "TrustSemiring",
+    "WhySemiring",
+    "fact_frequencies",
+    "provenance_polynomial",
+    "find_picky_join",
+    "lineage",
+    "most_frequent_fact",
+    "remove_fact_from_all",
+    "why_provenance",
+    "witnesses_containing",
+    "witnesses_without",
+]

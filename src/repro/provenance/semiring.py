@@ -1,0 +1,205 @@
+"""Provenance semirings (Green, Karvounarakis, Tannen — the paper's [32]).
+
+Section 2: "Observe that a witness can in fact be extracted from a
+semiring of polynomials.  However, we use the term witness and witness
+set since we do not require the full generality of a provenance
+semiring."  This module supplies that full generality anyway: the
+provenance polynomial of an answer (one monomial per valid assignment,
+one indeterminate per base fact) and its evaluation under standard
+semirings —
+
+* **Boolean** — does the answer hold?
+* **counting** (ℕ) — how many derivations (bag semantics)?
+* **why** — the witness set, recovering exactly what the deletion
+  algorithm consumes (property-tested against the evaluator);
+* **trust / tropical-style** (min, max) — the confidence of the best
+  derivation given per-fact trust scores.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Generic, Mapping, TypeVar
+
+from ..db.database import Database
+from ..db.tuples import Fact
+from ..query.ast import Query
+from ..query.evaluator import Answer, Evaluator, witness_of
+
+Value = TypeVar("Value")
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """One derivation: the multiset of facts an assignment used.
+
+    ``powers[f]`` counts how many body atoms mapped to ``f`` (a fact can
+    support several atoms of a self-join).
+    """
+
+    powers: tuple[tuple[Fact, int], ...]
+
+    @classmethod
+    def from_facts(cls, facts: Mapping[Fact, int]) -> "Monomial":
+        return cls(tuple(sorted(facts.items(), key=repr)))
+
+    def facts(self) -> frozenset[Fact]:
+        return frozenset(f for f, _ in self.powers)
+
+    def degree(self) -> int:
+        return sum(power for _, power in self.powers)
+
+    def __str__(self) -> str:
+        parts = [
+            str(f) if power == 1 else f"{f}^{power}" for f, power in self.powers
+        ]
+        return " * ".join(parts) if parts else "1"
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A provenance polynomial: a bag of monomials (coefficients in ℕ)."""
+
+    monomials: tuple[tuple[Monomial, int], ...]
+
+    @classmethod
+    def from_counter(cls, counts: Counter) -> "Polynomial":
+        return cls(tuple(sorted(counts.items(), key=repr)))
+
+    def __str__(self) -> str:
+        parts = [
+            str(m) if count == 1 else f"{count}*({m})"
+            for m, count in self.monomials
+        ]
+        return " + ".join(parts) if parts else "0"
+
+    def is_zero(self) -> bool:
+        return not self.monomials
+
+
+class Semiring(ABC, Generic[Value]):
+    """A commutative semiring with a valuation of base facts."""
+
+    @property
+    @abstractmethod
+    def zero(self) -> Value: ...
+
+    @property
+    @abstractmethod
+    def one(self) -> Value: ...
+
+    @abstractmethod
+    def plus(self, a: Value, b: Value) -> Value: ...
+
+    @abstractmethod
+    def times(self, a: Value, b: Value) -> Value: ...
+
+    @abstractmethod
+    def of_fact(self, fact: Fact) -> Value:
+        """The valuation of a base fact (the tag of the indeterminate)."""
+
+    # ------------------------------------------------------------------
+    def evaluate(self, polynomial: Polynomial) -> Value:
+        total = self.zero
+        for monomial, coefficient in polynomial.monomials:
+            term = self.one
+            for fact, power in monomial.powers:
+                value = self.of_fact(fact)
+                for _ in range(power):
+                    term = self.times(term, value)
+            for _ in range(coefficient):
+                total = self.plus(total, term)
+        return total
+
+
+class BooleanSemiring(Semiring[bool]):
+    """Set semantics: is the answer derivable?"""
+
+    zero = False
+    one = True
+
+    def plus(self, a, b):
+        return a or b
+
+    def times(self, a, b):
+        return a and b
+
+    def of_fact(self, fact):
+        return True
+
+
+class CountingSemiring(Semiring[int]):
+    """Bag semantics: the number of derivations."""
+
+    zero = 0
+    one = 1
+
+    def plus(self, a, b):
+        return a + b
+
+    def times(self, a, b):
+        return a * b
+
+    def of_fact(self, fact):
+        return 1
+
+
+class WhySemiring(Semiring[frozenset]):
+    """Why-provenance: the set of witnesses (sets of fact-sets)."""
+
+    zero = frozenset()
+    one = frozenset({frozenset()})
+
+    def plus(self, a, b):
+        return a | b
+
+    def times(self, a, b):
+        return frozenset(x | y for x in a for y in b)
+
+    def of_fact(self, fact):
+        return frozenset({frozenset({fact})})
+
+
+class TrustSemiring(Semiring[float]):
+    """Best-derivation confidence: (max, min) over per-fact trust."""
+
+    zero = 0.0
+    one = 1.0
+
+    def __init__(self, trust: Callable[[Fact], float] | Mapping[Fact, float], default: float = 1.0):
+        if isinstance(trust, Mapping):
+            mapping = dict(trust)
+            self._trust = lambda f: mapping.get(f, default)
+        else:
+            self._trust = trust
+
+    def plus(self, a, b):
+        return max(a, b)
+
+    def times(self, a, b):
+        return min(a, b)
+
+    def of_fact(self, fact):
+        return self._trust(fact)
+
+
+def provenance_polynomial(
+    query: Query, database: Database, answer: Answer
+) -> Polynomial:
+    """The provenance polynomial of *answer*: one monomial per valid
+    assignment, counting repeated fact uses across body atoms."""
+    from ..query.evaluator import answer_to_partial
+
+    partial = answer_to_partial(query, answer)
+    if partial is None:
+        return Polynomial(())
+    counts: Counter = Counter()
+    for assignment in Evaluator(query, database).assignments(partial):
+        uses: Counter = Counter()
+        for atom in query.atoms:
+            ground = atom.substitute(assignment)
+            uses[Fact(ground.relation, tuple(ground.terms))] += 1  # type: ignore[arg-type]
+        counts[Monomial.from_facts(uses)] += 1
+    return Polynomial.from_counter(counts)

@@ -1,0 +1,96 @@
+"""Picky-operator detection à la WhyNot? (Tran & Chan [60]).
+
+The Provenance split (Section 5.2) feeds ``Q|t`` — a query with no
+projection and no answers — to a WhyNot?-style analysis and asks "why no
+answers?".  The analysis walks a left-deep join plan over the body atoms
+and reports the first join whose inputs both produce tuples but whose
+output is empty (the *picky* join).  QOCO splits the query's atoms at
+that join, which is the only piece of WhyNot?'s output the split needs.
+
+Our detector grows a satisfiable prefix greedily: starting from a seed
+atom, it repeatedly joins in the atom that keeps the partial plan
+satisfiable (preferring connected atoms); the first atom that cannot be
+added marks the frontier, and the query splits into (prefix, rest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..db.database import Database
+from ..query.ast import Query
+from ..query.evaluator import Evaluator
+from ..query.subquery import subquery
+
+
+@dataclass(frozen=True)
+class PickyJoin:
+    """The output of the WhyNot? analysis on ``Q|t``.
+
+    ``left`` is a maximal satisfiable set of atom indices; ``right`` is
+    the complement.  ``blocking`` is the atom whose join emptied the
+    result (``None`` when the whole query was satisfiable, i.e. no picky
+    operator exists).
+    """
+
+    left: tuple[int, ...]
+    right: tuple[int, ...]
+    blocking: Optional[int]
+
+
+def _satisfiable(query: Query, database: Database, indices: list[int]) -> bool:
+    sub = subquery(query, indices)
+    return next(Evaluator(sub, database).assignments(), None) is not None
+
+
+def find_picky_join(query: Query, database: Database) -> PickyJoin:
+    """Locate the picky join of *query* against *database*.
+
+    The query is expected to be ``Q|t`` for a missing answer (so the full
+    body is unsatisfiable); if it is satisfiable after all, ``blocking``
+    is ``None`` and ``right`` is empty.
+    """
+    n = len(query.atoms)
+    if n == 1:
+        satisfiable = _satisfiable(query, database, [0])
+        if satisfiable:
+            return PickyJoin((0,), (), None)
+        return PickyJoin((0,), (), 0)
+
+    atom_vars = [a.variables() for a in query.atoms]
+
+    # Seed: the first individually satisfiable atom (a single unsatisfiable
+    # atom is itself the picky operator — the data is simply missing).
+    seed = None
+    for i in range(n):
+        if _satisfiable(query, database, [i]):
+            seed = i
+            break
+    if seed is None:
+        return PickyJoin((0,), tuple(range(1, n)), 0)
+
+    prefix = [seed]
+    prefix_vars = set(atom_vars[seed])
+    remaining = [i for i in range(n) if i != seed]
+    blocking: Optional[int] = None
+
+    while remaining:
+        # Follow a left-deep plan: always join in the atom most connected
+        # to the prefix (shared variables), then input order.  The first
+        # join that empties the result is the picky operator — we stop
+        # there rather than reordering around it, as the plan would.
+        candidate = min(
+            remaining, key=lambda i: (-len(atom_vars[i] & prefix_vars), i)
+        )
+        if _satisfiable(query, database, prefix + [candidate]):
+            prefix.append(candidate)
+            prefix_vars |= atom_vars[candidate]
+            remaining.remove(candidate)
+        else:
+            blocking = candidate
+            break
+
+    prefix_set = set(prefix)
+    right = tuple(i for i in range(n) if i not in prefix_set)
+    return PickyJoin(tuple(sorted(prefix)), right, blocking)

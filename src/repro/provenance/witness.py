@@ -1,0 +1,62 @@
+"""Why-provenance of answers: witness sets and tuple frequencies.
+
+Section 2 defines the witness of a valid assignment as the fact set
+``α(body(Q))``; the witnesses of an answer are the witnesses of all its
+valid assignments.  The deletion algorithm consumes them as a set system
+(see :mod:`repro.hitting`), and its greedy heuristic ranks facts by how
+many witnesses they occur in.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+from ..db.database import Database
+from ..db.tuples import Fact
+from ..query.ast import Query
+from ..query.evaluator import Answer, Evaluator, Witness
+
+
+def why_provenance(query: Query, database: Database, answer: Answer) -> list[Witness]:
+    """All distinct witnesses of *answer* in *database* (``wit(A(t,Q,D))``)."""
+    return Evaluator(query, database).witnesses(answer)
+
+
+def lineage(witnesses: Iterable[Witness]) -> set[Fact]:
+    """Union of all witnesses: every fact contributing to the answer."""
+    facts: set[Fact] = set()
+    for witness in witnesses:
+        facts |= witness
+    return facts
+
+
+def fact_frequencies(witnesses: Iterable[Witness]) -> Counter:
+    """How many witnesses each fact appears in (the greedy ranking key)."""
+    counts: Counter = Counter()
+    for witness in witnesses:
+        counts.update(witness)
+    return counts
+
+
+def most_frequent_fact(witnesses: Iterable[Witness]) -> Optional[Fact]:
+    """The fact hitting the most witnesses (deterministic tie-break)."""
+    counts = fact_frequencies(witnesses)
+    if not counts:
+        return None
+    return max(counts, key=lambda f: (counts[f], repr(f)))
+
+
+def witnesses_containing(witnesses: Iterable[Witness], fact: Fact) -> list[Witness]:
+    """The witnesses that contain *fact*."""
+    return [w for w in witnesses if fact in w]
+
+
+def witnesses_without(witnesses: Iterable[Witness], fact: Fact) -> list[Witness]:
+    """The witnesses that avoid *fact*."""
+    return [w for w in witnesses if fact not in w]
+
+
+def remove_fact_from_all(witnesses: Iterable[Witness], fact: Fact) -> list[frozenset]:
+    """``{s \\ {fact} | s ∈ S}`` — Algorithm 1, line 8."""
+    return [frozenset(w - {fact}) for w in witnesses]

@@ -1,0 +1,81 @@
+"""Conjunctive queries with inequalities: AST, parser, evaluation."""
+
+from .ast import Atom, Inequality, Query, QueryError, Term, Var, make_query
+from .evaluator import (
+    Answer,
+    Assignment,
+    Evaluator,
+    Witness,
+    answer_to_partial,
+    evaluate,
+    instantiate_head,
+    is_satisfiable,
+    naive_evaluate,
+    valid_assignments,
+    witness_of,
+    witnesses_for,
+)
+from .graph import QueryGraph, build_query_graph
+from .minimize import are_equivalent, is_contained_in, minimize
+from .parser import ParseError, parse_queries, parse_query
+from .planner import PlannedEvaluator, Statistics, explain, plan_order
+from .union import (
+    UnionQuery,
+    evaluate_union,
+    make_union,
+    parse_union,
+    union_from_queries,
+)
+from .subquery import (
+    embed_answer,
+    ground_atoms,
+    is_subquery,
+    split_by_partition,
+    subquery,
+    unique_variables,
+)
+
+__all__ = [
+    "Answer",
+    "Assignment",
+    "Atom",
+    "Evaluator",
+    "Inequality",
+    "ParseError",
+    "PlannedEvaluator",
+    "Query",
+    "QueryError",
+    "QueryGraph",
+    "Statistics",
+    "Term",
+    "UnionQuery",
+    "Var",
+    "Witness",
+    "answer_to_partial",
+    "are_equivalent",
+    "build_query_graph",
+    "is_contained_in",
+    "minimize",
+    "embed_answer",
+    "evaluate",
+    "evaluate_union",
+    "explain",
+    "ground_atoms",
+    "plan_order",
+    "make_union",
+    "parse_union",
+    "union_from_queries",
+    "instantiate_head",
+    "is_satisfiable",
+    "is_subquery",
+    "make_query",
+    "naive_evaluate",
+    "parse_queries",
+    "parse_query",
+    "split_by_partition",
+    "subquery",
+    "unique_variables",
+    "valid_assignments",
+    "witness_of",
+    "witnesses_for",
+]

@@ -1,0 +1,332 @@
+"""Query evaluation: assignments, answers, witnesses (Section 2).
+
+The evaluator enumerates *valid assignments* — total mappings from
+``Var(Q)`` to constants such that every relational atom maps to a fact of
+the database and every inequality holds — by index-backed backtracking
+join.  At every step it binds the atom with the most bound positions
+(and, among those, the smallest relation), which keeps the search cheap
+on the paper's laptop-scale databases.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+from ..db.database import Database
+from ..db.tuples import Constant, Fact
+from .ast import Atom, Query, QueryError, Var
+
+#: A (partial) assignment maps variables to constants.
+Assignment = dict[Var, Constant]
+
+#: An answer is the head instantiated by an assignment.
+Answer = tuple[Constant, ...]
+
+#: A witness is the set of facts in ``α(body(Q))`` (Section 2).
+Witness = frozenset[Fact]
+
+
+def atom_pattern(atom: Atom, assignment: Mapping[Var, Constant]) -> list[Optional[Constant]]:
+    """The match pattern for *atom* under *assignment* (``None`` = unbound)."""
+    pattern: list[Optional[Constant]] = []
+    for term in atom.terms:
+        if isinstance(term, Var):
+            pattern.append(assignment.get(term))
+        else:
+            pattern.append(term)
+    return pattern
+
+
+def _bind_atom(
+    atom: Atom, fact: Fact, assignment: Assignment
+) -> Optional[list[Var]]:
+    """Extend *assignment* in place so that *atom* maps to *fact*.
+
+    Returns the list of newly bound variables, or ``None`` (with no
+    mutation left behind) if the fact conflicts with existing bindings or
+    with a repeated variable inside the atom.
+    """
+    new_vars: list[Var] = []
+    for term, value in zip(atom.terms, fact.values):
+        if isinstance(term, Var):
+            bound = assignment.get(term)
+            if bound is None:
+                assignment[term] = value
+                new_vars.append(term)
+            elif bound != value:
+                for var in new_vars:
+                    del assignment[var]
+                return None
+        elif term != value:
+            for var in new_vars:
+                del assignment[var]
+            return None
+    return new_vars
+
+
+def negated_match_exists(
+    atom: Atom,
+    assignment: Mapping[Var, Constant],
+    database: Database,
+    shared: Optional[set[Var]] = None,
+) -> bool:
+    """Whether any database fact matches a negated atom under
+    *assignment* (local wildcards match anything, but a wildcard
+    repeated inside the atom must take one consistent value)."""
+    pattern: list[Optional[Constant]] = []
+    local_positions: dict[Var, list[int]] = {}
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Var):
+            value = assignment.get(term)
+            if value is not None:
+                pattern.append(value)
+            else:
+                pattern.append(None)
+                local_positions.setdefault(term, []).append(position)
+        else:
+            pattern.append(term)
+    for fact in database.match(atom.relation, pattern):
+        consistent = all(
+            len({fact.values[i] for i in positions}) == 1
+            for positions in local_positions.values()
+        )
+        if consistent:
+            return True
+    return False
+
+
+class Evaluator:
+    """Evaluates one query against one database.
+
+    The class is cheap to construct; it precomputes, per inequality, the
+    set of variables it mentions so ground checks fire as soon as both
+    sides are bound.
+    """
+
+    def __init__(self, query: Query, database: Database) -> None:
+        query.validate(database.schema)
+        self.query = query
+        self.database = database
+
+    # ------------------------------------------------------------------
+    # assignment enumeration
+    # ------------------------------------------------------------------
+    def assignments(
+        self, partial: Optional[Mapping[Var, Constant]] = None
+    ) -> Iterator[Assignment]:
+        """All valid (total) assignments extending *partial*.
+
+        Yields fresh dict copies, so callers may retain them.
+        """
+        assignment: Assignment = dict(partial or {})
+        for inequality in self.query.inequalities:
+            if inequality.holds(assignment) is False:
+                return
+        if not self._negations_ok(assignment):
+            return
+        remaining = list(self.query.atoms)
+        yield from self._search(assignment, remaining)
+
+    def _search(self, assignment: Assignment, remaining: list[Atom]) -> Iterator[Assignment]:
+        if not remaining:
+            yield dict(assignment)
+            return
+        index = self._pick_atom(assignment, remaining)
+        atom = remaining[index]
+        rest = remaining[:index] + remaining[index + 1 :]
+        pattern = atom_pattern(atom, assignment)
+        for fact in self.database.match(atom.relation, pattern):
+            new_vars = _bind_atom(atom, fact, assignment)
+            if new_vars is None:
+                continue
+            if self._inequalities_ok(assignment, new_vars) and self._negations_ok(
+                assignment, set(new_vars)
+            ):
+                yield from self._search(assignment, rest)
+            for var in new_vars:
+                del assignment[var]
+
+    def _pick_atom(self, assignment: Assignment, remaining: list[Atom]) -> int:
+        """Greedy join order: most bound positions, then smallest relation."""
+        best_index = 0
+        best_key: Optional[tuple[int, int]] = None
+        for i, atom in enumerate(remaining):
+            bound = sum(
+                1
+                for term in atom.terms
+                if not isinstance(term, Var) or term in assignment
+            )
+            key = (-bound, self.database.size(atom.relation))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = i
+        return best_index
+
+    def _inequalities_ok(self, assignment: Assignment, new_vars: list[Var]) -> bool:
+        """Check inequalities that the newly bound variables made ground."""
+        fresh = set(new_vars)
+        for inequality in self.query.inequalities:
+            if fresh & inequality.variables():
+                if inequality.holds(assignment) is False:
+                    return False
+        return True
+
+    def _negations_ok(
+        self, assignment: Assignment, fresh: Optional[set[Var]] = None
+    ) -> bool:
+        """Check negated atoms whose shared variables are bound (§9).
+
+        A negated atom fails the assignment when *some* database fact
+        matches it — variables local to the negated atom act as
+        existential wildcards (``NOT EXISTS``).  With *fresh* given,
+        only atoms touched by the newly bound variables are re-checked;
+        with ``None`` every currently-checkable atom is (the initial
+        sweep, covering constant-only atoms).
+        """
+        body_vars = self.query.body_variables()
+        for atom in self.query.negated_atoms:
+            shared = atom.variables() & body_vars
+            if fresh is not None and shared and not (shared & fresh):
+                continue
+            if not shared <= set(assignment):
+                continue  # shared vars not bound yet; checked later
+            if negated_match_exists(atom, assignment, self.database, shared):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # derived notions
+    # ------------------------------------------------------------------
+    def answers(self) -> set[Answer]:
+        """``Q(D)``: the set of head instantiations over valid assignments."""
+        results: set[Answer] = set()
+        for assignment in self.assignments():
+            results.add(instantiate_head(self.query, assignment))
+        return results
+
+    def is_satisfiable(self, partial: Mapping[Var, Constant]) -> bool:
+        """Whether *partial* extends to a valid assignment w.r.t. D."""
+        return next(self.assignments(partial), None) is not None
+
+    def witnesses(self, answer: Answer) -> list[Witness]:
+        """All distinct witnesses for *answer* (deduplicated fact sets).
+
+        Distinct assignments that ground the body to the same fact set
+        (e.g. symmetric role swaps) yield a single witness, matching the
+        paper's Example 4.6.
+        """
+        partial = answer_to_partial(self.query, answer)
+        if partial is None:
+            return []
+        seen: set[Witness] = set()
+        ordered: list[Witness] = []
+        for assignment in self.assignments(partial):
+            witness = witness_of(self.query, assignment)
+            if witness not in seen:
+                seen.add(witness)
+                ordered.append(witness)
+        return ordered
+
+
+def instantiate_head(query: Query, assignment: Mapping[Var, Constant]) -> Answer:
+    """``α(head(Q))``."""
+    values: list[Constant] = []
+    for term in query.head:
+        if isinstance(term, Var):
+            try:
+                values.append(assignment[term])
+            except KeyError:
+                raise QueryError(f"assignment does not bind head variable {term}") from None
+        else:
+            values.append(term)
+    return tuple(values)
+
+
+def witness_of(query: Query, assignment: Mapping[Var, Constant]) -> Witness:
+    """The facts of ``α(body(Q))`` for a total assignment α."""
+    facts = []
+    for atom in query.atoms:
+        ground = atom.substitute(assignment)
+        if not ground.is_ground():
+            raise QueryError(f"assignment leaves atom {ground} non-ground")
+        facts.append(Fact(ground.relation, tuple(ground.terms)))  # type: ignore[arg-type]
+    return frozenset(facts)
+
+
+def answer_to_partial(query: Query, answer: Answer) -> Optional[Assignment]:
+    """The partial assignment induced by an answer tuple (Section 2).
+
+    Maps head variables to the answer's constants.  Returns ``None`` when
+    the answer cannot match the head (wrong length, conflicting constant,
+    or inconsistent repeat of a head variable).
+    """
+    if len(answer) != len(query.head):
+        return None
+    partial: Assignment = {}
+    for term, value in zip(query.head, answer):
+        if isinstance(term, Var):
+            bound = partial.get(term)
+            if bound is None:
+                partial[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return partial
+
+
+def evaluate(query: Query, database: Database) -> set[Answer]:
+    """``Q(D)`` — convenience wrapper over :class:`Evaluator`."""
+    return Evaluator(query, database).answers()
+
+
+def valid_assignments(
+    query: Query,
+    database: Database,
+    partial: Optional[Mapping[Var, Constant]] = None,
+) -> Iterator[Assignment]:
+    """``A(Q, D)`` restricted to extensions of *partial* (if given)."""
+    return Evaluator(query, database).assignments(partial)
+
+
+def witnesses_for(query: Query, database: Database, answer: Answer) -> list[Witness]:
+    """``wit(A(t, Q, D))``: all witnesses for *answer*."""
+    return Evaluator(query, database).witnesses(answer)
+
+
+def is_satisfiable(
+    query: Query, database: Database, partial: Mapping[Var, Constant]
+) -> bool:
+    """Whether a partial assignment is satisfiable w.r.t. *database*."""
+    return Evaluator(query, database).is_satisfiable(partial)
+
+
+def naive_evaluate(query: Query, database: Database) -> set[Answer]:
+    """Reference semantics: enumerate the full cross product.
+
+    Exponentially slower than :func:`evaluate`; exists as an oracle for
+    property-based tests on small instances.
+    """
+    results: set[Answer] = set()
+    atoms = list(query.atoms)
+
+    def recurse(index: int, assignment: Assignment) -> None:
+        if index == len(atoms):
+            if not all(e.holds(assignment) for e in query.inequalities):
+                return
+            for negated in query.negated_atoms:
+                if negated_match_exists(negated, assignment, database):
+                    return
+            results.add(instantiate_head(query, assignment))
+            return
+        atom = atoms[index]
+        for fact in database.facts(atom.relation):
+            new_vars = _bind_atom(atom, fact, assignment)
+            if new_vars is None:
+                continue
+            recurse(index + 1, assignment)
+            for var in new_vars:
+                del assignment[var]
+
+    recurse(0, {})
+    return results

@@ -1,0 +1,86 @@
+"""The weighted query graph used by the Min-Cut split (Section 5.2).
+
+Vertices are the body atoms of the query.  An edge connects two atoms
+that share a variable or whose variables share an inequality; its weight
+is the number of shared variables plus the number of inequalities
+relevant to the variables of the two atoms — exactly the construction
+illustrated in the paper's Figure 2 (left).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from .ast import Query
+
+
+@dataclass
+class QueryGraph:
+    """Undirected weighted graph over atom indices ``0..n-1``."""
+
+    n: int
+    weights: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def weight(self, u: int, v: int) -> int:
+        if u > v:
+            u, v = v, u
+        return self.weights.get((u, v), 0)
+
+    def add_weight(self, u: int, v: int, delta: int) -> None:
+        if u == v or delta == 0:
+            return
+        if u > v:
+            u, v = v, u
+        self.weights[(u, v)] = self.weights.get((u, v), 0) + delta
+
+    def neighbors(self, u: int) -> list[int]:
+        result = []
+        for (a, b), w in self.weights.items():
+            if w <= 0:
+                continue
+            if a == u:
+                result.append(b)
+            elif b == u:
+                result.append(a)
+        return sorted(result)
+
+    def edges(self) -> list[tuple[int, int, int]]:
+        return [(u, v, w) for (u, v), w in sorted(self.weights.items()) if w > 0]
+
+    def is_connected(self) -> bool:
+        if self.n <= 1:
+            return True
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            u = frontier.pop()
+            for v in self.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return len(seen) == self.n
+
+
+def build_query_graph(query: Query) -> QueryGraph:
+    """Construct the weighted atom graph of *query*.
+
+    Weight between atoms *i* and *j* =
+    ``|vars(i) ∩ vars(j)|`` + number of inequalities with one variable in
+    atom *i* and the other in atom *j* (or touching variables of both).
+    """
+    graph = QueryGraph(len(query.atoms))
+    atom_vars = [a.variables() for a in query.atoms]
+    for i, j in combinations(range(len(query.atoms)), 2):
+        shared = len(atom_vars[i] & atom_vars[j])
+        relevant = 0
+        for inequality in query.inequalities:
+            ineq_vars = inequality.variables()
+            if not ineq_vars:
+                continue
+            touches_i = bool(ineq_vars & atom_vars[i])
+            touches_j = bool(ineq_vars & atom_vars[j])
+            if touches_i and touches_j:
+                relevant += 1
+        graph.add_weight(i, j, shared + relevant)
+    return graph

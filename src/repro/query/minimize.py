@@ -1,0 +1,168 @@
+"""Conjunctive-query containment and minimization (Chandra–Merlin).
+
+Redundant body atoms inflate everything QOCO touches: witnesses carry
+extra facts, the deletion algorithm sees bigger hitting-set instances,
+and the insertion algorithm embeds larger ``Q|t`` bodies.  Minimizing
+the view definition first is therefore a free question-count
+optimization.
+
+Classic theory, implemented directly:
+
+* ``Q1 ⊑ Q2`` iff there is a homomorphism from ``Q2`` to ``Q1`` mapping
+  head to head (checked by evaluating ``Q2`` over ``Q1``'s canonical
+  (frozen) database);
+* the *core* of a query — the minimal equivalent subquery — is found by
+  repeatedly dropping an atom and checking equivalence.
+
+Inequalities are handled conservatively: they are carried along, and
+containment additionally requires the inequality sets to be implied
+syntactically (sound, not complete — fine for an optimizer, which may
+only ever *keep* a query it cannot prove redundant).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional
+
+from ..db.database import Database
+from ..db.schema import RelationSchema, Schema
+from ..db.tuples import Fact
+from .ast import Atom, Inequality, Query, Var
+from .evaluator import Evaluator
+
+
+def _freeze_term(term) -> str:
+    """Map a term of the canonical database: variables become fresh
+    constants tagged so they cannot collide with real constants."""
+    if isinstance(term, Var):
+        return f"§var:{term.name}"
+    return f"§const:{term!r}"
+
+
+def canonical_database(query: Query) -> tuple[Database, tuple]:
+    """The frozen body of *query* as a database, plus its frozen head."""
+    relations: dict[str, int] = {}
+    for atom in query.atoms:
+        relations.setdefault(atom.relation, atom.arity)
+    schema = Schema(
+        [
+            RelationSchema(name, tuple(f"c{i}" for i in range(arity)))
+            for name, arity in relations.items()
+        ]
+    )
+    database = Database(schema)
+    for atom in query.atoms:
+        database.insert(Fact(atom.relation, tuple(_freeze_term(t) for t in atom.terms)))
+    frozen_head = tuple(_freeze_term(t) for t in query.head)
+    return database, frozen_head
+
+
+def _freeze_constants(query: Query) -> Query:
+    """Rewrite *query* so its constants use the canonical-database
+    encoding; homomorphism search then compares like with like."""
+
+    def freeze(term):
+        return term if isinstance(term, Var) else _freeze_term(term)
+
+    return Query(
+        head=tuple(freeze(t) for t in query.head),
+        atoms=tuple(
+            Atom(a.relation, tuple(freeze(t) for t in a.terms)) for a in query.atoms
+        ),
+        inequalities=tuple(
+            Inequality(freeze(e.left), freeze(e.right)) for e in query.inequalities
+        ),
+        name=query.name,
+    )
+
+
+def _inequalities_implied(candidate: Query, query: Query) -> bool:
+    """Conservative check: every inequality of *candidate* appears in
+    *query* (as a set, orientation-insensitive).
+
+    Needed for soundness: the canonical database treats *query*'s
+    inequalities as satisfied (distinct frozen constants), so any extra
+    inequality *candidate* demands must be guaranteed by *query* itself.
+    """
+    def normal(inequality: Inequality):
+        return frozenset((repr(inequality.left), repr(inequality.right)))
+
+    have = {normal(e) for e in query.inequalities}
+    return all(normal(e) in have for e in candidate.inequalities)
+
+
+def is_contained_in(query: Query, other: Query) -> bool:
+    """Whether ``query ⊑ other`` (every answer of *query* is one of
+    *other*, on all databases).  Sound; conservative on inequalities
+    (may return ``False`` where deeper reasoning would say ``True``)."""
+    if len(query.head) != len(other.head):
+        return False
+    if query.negated_atoms or other.negated_atoms:
+        # negation breaks the Chandra-Merlin argument; stay conservative
+        return False
+    if not _inequalities_implied(other, query):
+        return False
+    database, frozen_head = canonical_database(query)
+    target = _freeze_constants(other)
+    for atom in target.atoms:
+        if atom.relation not in database.schema:
+            return False
+        if atom.arity != database.schema.arity(atom.relation):
+            return False
+    # Inequalities of `target` are evaluated over the frozen constants:
+    # two terms differ exactly when the homomorphism separates them.
+    return frozen_head in Evaluator(target, database).answers()
+
+
+def are_equivalent(query: Query, other: Query) -> bool:
+    """Mutual containment."""
+    return is_contained_in(query, other) and is_contained_in(other, query)
+
+
+def _subquery_keeping(query: Query, kept: tuple[int, ...]) -> Optional[Query]:
+    """The query restricted to the kept atom indices, or ``None`` when
+    the restriction is unsafe (drops a head/inequality variable)."""
+    atoms = tuple(query.atoms[i] for i in kept)
+    kept_vars = set().union(*(a.variables() for a in atoms)) if atoms else set()
+    for term in query.head:
+        if isinstance(term, Var) and term not in kept_vars:
+            return None
+    for inequality in query.inequalities:
+        if not inequality.variables() <= kept_vars:
+            return None
+    for negated in query.negated_atoms:
+        if not negated.variables() <= kept_vars:
+            return None
+    return Query(
+        head=query.head,
+        atoms=atoms,
+        inequalities=query.inequalities,
+        name=query.name,
+        negated_atoms=query.negated_atoms,
+    )
+
+
+def minimize(query: Query) -> Query:
+    """The core of *query*: a minimal equivalent subquery.
+
+    Greedy atom removal; for CQs (no negation) the result is the unique
+    core up to isomorphism.  Queries with negation are returned as-is
+    (containment is undecidable-in-general there; see module docstring).
+    """
+    if query.negated_atoms:
+        return query
+    current = query
+    changed = True
+    while changed and len(current.atoms) > 1:
+        changed = False
+        for drop in range(len(current.atoms)):
+            kept = tuple(i for i in range(len(current.atoms)) if i != drop)
+            candidate = _subquery_keeping(current, kept)
+            if candidate is None:
+                continue
+            if are_equivalent(candidate, current):
+                current = candidate
+                changed = True
+                break
+    return current

@@ -1,0 +1,249 @@
+"""A small datalog-style text syntax for queries.
+
+Example (query Q1 from the paper's running example)::
+
+    q1(x) :- games(d1, x, y, "Final", u1),
+             games(d2, x, z, "Final", u2),
+             teams(x, "EU"), d1 != d2.
+
+Conventions:
+
+* bare identifiers are **variables** (``x``, ``d1``);
+* double-quoted strings and numeric literals are **constants**
+  (``"Final"``, ``1992``, ``4.5``);
+* the trailing period is optional;
+* the head name is optional: ``(x) :- ...`` names the query ``ans``.
+
+The parser is a hand-rolled tokenizer + recursive descent, and
+``parse_query(str(q))`` round-trips for every well-formed query.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..db.tuples import Constant
+from .ast import Atom, Inequality, Query, Term, Var
+
+
+class ParseError(ValueError):
+    """Raised on malformed query text, with position information."""
+
+    def __init__(self, message: str, position: int, text: str) -> None:
+        snippet = text[max(0, position - 20) : position + 20]
+        super().__init__(f"{message} at offset {position}: ...{snippet!r}...")
+        self.position = position
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<neq>!=)
+  | (?P<implies>:-)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<period>\.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character", position, text)
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers --------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self.text), self.text)
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, got {token.kind}", token.position, self.text)
+        return token
+
+    def _accept(self, kind: str) -> Optional[_Token]:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self.index += 1
+            return token
+        return None
+
+    # -- grammar --------------------------------------------------------
+    def parse(self) -> Query:
+        name, head = self._head()
+        self._expect("implies")
+        atoms: list[Atom] = []
+        negated: list[Atom] = []
+        inequalities: list[Inequality] = []
+        while True:
+            self._body_element(atoms, negated, inequalities)
+            if not self._accept("comma"):
+                break
+        self._accept("period")
+        trailing = self._peek()
+        if trailing is not None:
+            raise ParseError("trailing input after query", trailing.position, self.text)
+        return Query(
+            tuple(head), tuple(atoms), tuple(inequalities), name, tuple(negated)
+        )
+
+    def _head(self) -> tuple[str, list[Term]]:
+        name = "ans"
+        token = self._peek()
+        if token is not None and token.kind == "ident":
+            name = self._next().value
+        self._expect("lparen")
+        terms = self._term_list()
+        return name, terms
+
+    def _term_list(self) -> list[Term]:
+        terms: list[Term] = []
+        if self._accept("rparen"):
+            return terms
+        terms.append(self._term())
+        while self._accept("comma"):
+            terms.append(self._term())
+        self._expect("rparen")
+        return terms
+
+    def _term(self) -> Term:
+        token = self._next()
+        if token.kind == "ident":
+            return Var(token.value)
+        if token.kind == "string":
+            return _unquote(token.value)
+        if token.kind == "number":
+            return _parse_number(token.value)
+        raise ParseError(f"expected a term, got {token.kind}", token.position, self.text)
+
+    def _body_element(
+        self,
+        atoms: list[Atom],
+        negated: list[Atom],
+        inequalities: list[Inequality],
+    ) -> None:
+        token = self._peek()
+        if token is not None and token.kind == "ident" and token.value == "not":
+            self._next()
+            element = self._term_or_atom()
+            if not isinstance(element, Atom):
+                raise ParseError(
+                    "'not' must be followed by a relational atom",
+                    token.position,
+                    self.text,
+                )
+            negated.append(element)
+            return
+        first = self._term_or_atom()
+        if isinstance(first, Atom):
+            atoms.append(first)
+            return
+        self._expect("neq")
+        right = self._term()
+        inequalities.append(Inequality(first, right))
+
+    def _term_or_atom(self) -> Atom | Term:
+        token = self._next()
+        if token.kind == "ident":
+            if self._accept("lparen"):
+                start = self.index
+                self.index = start  # (no-op; kept for clarity)
+                terms = self._atom_terms()
+                return Atom(token.value, tuple(terms))
+            return Var(token.value)
+        if token.kind == "string":
+            return _unquote(token.value)
+        if token.kind == "number":
+            return _parse_number(token.value)
+        raise ParseError(
+            f"expected atom or term, got {token.kind}", token.position, self.text
+        )
+
+    def _atom_terms(self) -> list[Term]:
+        terms: list[Term] = []
+        if self._accept("rparen"):
+            return terms
+        terms.append(self._term())
+        while self._accept("comma"):
+            terms.append(self._term())
+        self._expect("rparen")
+        return terms
+
+
+def _unquote(literal: str) -> str:
+    body = literal[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _parse_number(literal: str) -> Constant:
+    if "." in literal:
+        return float(literal)
+    return int(literal)
+
+
+def parse_query(text: str) -> Query:
+    """Parse a single query from *text*.
+
+    Raises :class:`ParseError` with offset information on malformed input.
+    """
+    return _Parser(text).parse()
+
+
+def parse_queries(text: str) -> list[Query]:
+    """Parse several newline/period-separated queries.
+
+    Each query must end with a period; blank lines and ``%``-comments are
+    ignored.
+    """
+    queries: list[Query] = []
+    chunks: list[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        chunks.append(stripped)
+        if stripped.endswith("."):
+            queries.append(parse_query(" ".join(chunks)))
+            chunks = []
+    if chunks:
+        queries.append(parse_query(" ".join(chunks)))
+    return queries

@@ -1,0 +1,107 @@
+"""Answer embedding ``Q|t`` and subqueries (Section 5, Definition 5.3).
+
+``Q|t`` is the query whose body is ``t(body(Q))`` (the body with the
+answer's head bindings substituted in) and whose head contains **all**
+variables of that body — no projection, so every valid assignment for a
+subquery directly names the facts it used.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..db.tuples import Fact
+from .ast import Atom, Inequality, Query, QueryError, Var
+from .evaluator import Answer, answer_to_partial
+
+
+def embed_answer(query: Query, answer: Answer) -> Query:
+    """Build ``Q|t`` for a (missing) answer *t*.
+
+    Raises :class:`QueryError` if the answer cannot match the query head
+    (e.g. a head constant differs).
+    """
+    partial = answer_to_partial(query, answer)
+    if partial is None:
+        raise QueryError(f"answer {answer!r} does not match head of {query.name}")
+    substituted = query.substitute(partial)
+    head_vars = sorted(
+        set().union(*(a.variables() for a in substituted.atoms)), key=lambda v: v.name
+    )
+    return Query(
+        head=tuple(head_vars),
+        atoms=substituted.atoms,
+        inequalities=substituted.inequalities,
+        name=f"{query.name}|{','.join(str(v) for v in answer)}",
+        negated_atoms=substituted.negated_atoms,
+    )
+
+
+def subquery(query: Query, atom_indices: Sequence[int]) -> Query:
+    """The subquery of *query* over the given body-atom positions.
+
+    Per Definition 5.3 the subquery keeps a subset of relational atoms;
+    we keep exactly those inequalities whose variables all occur in the
+    kept atoms (others would be unsafe).  The head lists every variable
+    of the kept atoms (no projection).
+    """
+    indices = sorted(set(atom_indices))
+    if not indices:
+        raise QueryError("subquery needs at least one atom")
+    if indices[0] < 0 or indices[-1] >= len(query.atoms):
+        raise QueryError(f"atom indices {indices} out of range for {query.name}")
+    atoms = tuple(query.atoms[i] for i in indices)
+    kept_vars = set().union(*(a.variables() for a in atoms))
+    inequalities = tuple(
+        e for e in query.inequalities if e.variables() <= kept_vars
+    )
+    negated = tuple(
+        a for a in query.negated_atoms if a.variables() <= kept_vars
+    )
+    head_vars = sorted(kept_vars, key=lambda v: v.name)
+    return Query(
+        head=tuple(head_vars),
+        atoms=atoms,
+        inequalities=inequalities,
+        name=f"{query.name}[{','.join(map(str, indices))}]",
+        negated_atoms=negated,
+    )
+
+
+def is_subquery(candidate: Query, query: Query) -> bool:
+    """Definition 5.3: ``candidate ≤ query`` (atoms and inequalities subsets)."""
+    atoms = set(query.atoms)
+    inequalities = set(query.inequalities)
+    return set(candidate.atoms) <= atoms and set(candidate.inequalities) <= inequalities
+
+
+def split_by_partition(query: Query, left_indices: Iterable[int]) -> tuple[Query, Query]:
+    """Split *query* into two subqueries along an atom partition.
+
+    ``left_indices`` selects the first subquery's atoms; the complement
+    forms the second.  Both sides must be non-empty.
+    """
+    left = sorted(set(left_indices))
+    right = [i for i in range(len(query.atoms)) if i not in set(left)]
+    if not left or not right:
+        raise QueryError("split must leave both sides non-empty")
+    return subquery(query, left), subquery(query, right)
+
+
+def ground_atoms(query: Query) -> list[Fact]:
+    """Facts for the body atoms that contain only constants.
+
+    Algorithm 2, line 1: for a missing answer ``t ∈ Q(D_G)``, every ground
+    atom of ``Q|t`` must hold in the ground truth, so it can be inserted
+    without consulting the crowd.
+    """
+    facts = []
+    for atom in query.atoms:
+        if atom.is_ground():
+            facts.append(Fact(atom.relation, tuple(atom.terms)))  # type: ignore[arg-type]
+    return facts
+
+
+def unique_variables(query: Query) -> set[Var]:
+    """``Var(Q)`` — the unit of the paper's open-question accounting."""
+    return query.body_variables()

@@ -1,0 +1,111 @@
+"""Unions of conjunctive queries with inequalities (UCQs).
+
+Section 2: "Our results in this paper extend to unions of conjunctive
+queries with inequalities.  However, for simplicity, we will only
+describe our results for conjunctive queries..."  This module supplies
+the extension: a :class:`UnionQuery` is a finite set of CQ *disjuncts*
+sharing a head arity; an answer is produced by any disjunct, and a
+witness of an answer is a witness under any disjunct.
+
+The cleaning semantics follow directly:
+
+* a **wrong** answer must lose all its witnesses across *every*
+  disjunct (its witness system is the union of the per-disjunct ones);
+* a **missing** answer needs a witness under *some* disjunct — the
+  algorithms pick which one with a single closed question per disjunct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..db.database import Database
+from ..db.schema import Schema
+from .ast import Query, QueryError
+from .evaluator import Answer, Evaluator, Witness
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """A union of conjunctive queries with a shared head arity."""
+
+    disjuncts: tuple[Query, ...]
+    name: str = "union"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.disjuncts, tuple):
+            object.__setattr__(self, "disjuncts", tuple(self.disjuncts))
+        if not self.disjuncts:
+            raise QueryError("a union query needs at least one disjunct")
+        arities = {len(q.head) for q in self.disjuncts}
+        if len(arities) != 1:
+            raise QueryError(f"disjuncts have mismatched head arities {arities}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.disjuncts[0].head)
+
+    def validate(self, schema: Schema) -> None:
+        for disjunct in self.disjuncts:
+            disjunct.validate(schema)
+
+    def answers(self, database: Database) -> set[Answer]:
+        """``Q(D)`` — the union of the disjuncts' results."""
+        result: set[Answer] = set()
+        for disjunct in self.disjuncts:
+            result |= Evaluator(disjunct, database).answers()
+        return result
+
+    def witnesses(self, database: Database, answer: Answer) -> list[Witness]:
+        """All witnesses of *answer* across disjuncts (deduplicated)."""
+        seen: set[Witness] = set()
+        ordered: list[Witness] = []
+        for disjunct in self.disjuncts:
+            for witness in Evaluator(disjunct, database).witnesses(answer):
+                if witness not in seen:
+                    seen.add(witness)
+                    ordered.append(witness)
+        return ordered
+
+    def producing_disjuncts(self, database: Database, answer: Answer) -> list[Query]:
+        """Disjuncts under which *answer* currently has a witness."""
+        return [
+            disjunct
+            for disjunct in self.disjuncts
+            if Evaluator(disjunct, database).witnesses(answer)
+        ]
+
+    def __str__(self) -> str:
+        return "\n".join(str(q.with_name(self.name)) for q in self.disjuncts)
+
+
+def make_union(disjuncts: Iterable[Query], name: str = "union") -> UnionQuery:
+    """Convenience constructor accepting any iterable of disjuncts."""
+    return UnionQuery(tuple(disjuncts), name)
+
+
+def union_from_queries(queries: Sequence[Query]) -> UnionQuery:
+    """Group parsed rules into one UCQ (rules share the head name)."""
+    if not queries:
+        raise QueryError("no rules to union")
+    names = {q.name for q in queries}
+    if len(names) != 1:
+        raise QueryError(f"rules define different predicates: {sorted(names)}")
+    return UnionQuery(tuple(queries), queries[0].name)
+
+
+def evaluate_union(union: UnionQuery, database: Database) -> set[Answer]:
+    """``Q(D)`` for a UCQ — mirror of :func:`repro.query.evaluate`."""
+    return union.answers(database)
+
+
+def parse_union(text: str) -> UnionQuery:
+    """Parse several rules with the same head predicate into one UCQ::
+
+        q(x) :- games(d, x, y, "Final", r).
+        q(x) :- games(d, y, x, "Final", r).
+    """
+    from .parser import parse_queries
+
+    return union_from_queries(parse_queries(text))

@@ -1,0 +1,5 @@
+"""Materialized views with incremental maintenance (the monitor mode)."""
+
+from .materialized import MaterializedView, ViewManager
+
+__all__ = ["MaterializedView", "ViewManager"]

@@ -1,0 +1,186 @@
+"""Materialized views with incremental maintenance.
+
+The paper deploys QOCO as a monitor: "QOCO can be activated to monitor
+the views that are served to users/applications.  Whenever an error is
+reported in a view, QOCO can take over..."  Serving views means keeping
+them materialized, and cleaning means editing base tables — so the views
+must track edits without full recomputation.
+
+:class:`MaterializedView` keeps, per answer, its *support* — the number
+of valid assignments producing it.  Deltas are computed from the changed
+fact alone:
+
+* inserting fact ``f``: the new assignments are exactly those valid
+  assignments whose witness uses ``f`` (for each body atom unifiable
+  with ``f``, bind it and enumerate extensions; deduplicate across
+  atoms);
+* deleting ``f``: symmetric, enumerated *before* the fact is removed.
+
+``incremental == recompute`` is property-tested over random edit
+sequences, and a benchmark shows the speedup on the 5k-tuple database.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Optional
+
+from ..db.database import Database
+from ..db.edits import Edit, EditKind
+from ..db.tuples import Fact
+from ..query.ast import Atom, Query, Var
+from ..query.evaluator import (
+    Answer,
+    Assignment,
+    Evaluator,
+    instantiate_head,
+    _bind_atom,
+)
+
+
+class MaterializedView:
+    """One query kept materialized over a database."""
+
+    def __init__(self, query: Query, database: Database) -> None:
+        query.validate(database.schema)
+        self.query = query
+        self.database = database
+        self._support: Counter = Counter()
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def answers(self) -> set[Answer]:
+        return set(self._support)
+
+    def support(self, answer: Answer) -> int:
+        """Number of valid assignments currently producing *answer*."""
+        return self._support.get(answer, 0)
+
+    def __contains__(self, answer: object) -> bool:
+        return answer in self._support
+
+    def __len__(self) -> int:
+        return len(self._support)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Full recomputation (used at construction and as a fallback)."""
+        self._support = Counter()
+        for assignment in Evaluator(self.query, self.database).assignments():
+            self._support[instantiate_head(self.query, assignment)] += 1
+
+    def on_insert(self, fact: Fact) -> set[Answer]:
+        """Account for *fact* having just been inserted into the database.
+
+        Returns the answers that newly appeared.
+        """
+        added: set[Answer] = set()
+        for assignment in self._assignments_using(fact):
+            answer = instantiate_head(self.query, assignment)
+            if self._support[answer] == 0:
+                added.add(answer)
+            self._support[answer] += 1
+        return added
+
+    def on_delete(self, fact: Fact) -> set[Answer]:
+        """Account for *fact* being deleted.  **Call before removing it**
+        from the database (the lost assignments must still be enumerable).
+
+        Returns the answers that disappeared.
+        """
+        removed: set[Answer] = set()
+        for assignment in self._assignments_using(fact):
+            answer = instantiate_head(self.query, assignment)
+            self._support[answer] -= 1
+            if self._support[answer] <= 0:
+                del self._support[answer]
+                removed.add(answer)
+        return removed
+
+    # ------------------------------------------------------------------
+    # deltas
+    # ------------------------------------------------------------------
+    def _assignments_using(self, fact: Fact) -> list[Assignment]:
+        """Distinct valid assignments whose witness includes *fact*."""
+        evaluator = Evaluator(self.query, self.database)
+        seen: set[frozenset] = set()
+        result: list[Assignment] = []
+        for index, atom in enumerate(self.query.atoms):
+            if atom.relation != fact.relation or atom.arity != fact.arity:
+                continue
+            partial: Assignment = {}
+            bound = _bind_atom(atom, fact, partial)
+            if bound is None:
+                continue
+            for assignment in evaluator.assignments(partial):
+                # the assignment must actually map THIS atom to the fact —
+                # guaranteed by the binding — but may also arise from other
+                # atom positions; dedupe on the assignment itself.
+                key = frozenset(assignment.items())
+                if key in seen:
+                    continue
+                seen.add(key)
+                result.append(assignment)
+        return result
+
+
+class ViewManager:
+    """A set of materialized views kept consistent under edits.
+
+    Route all database mutation through :meth:`apply` (or the
+    insert/delete helpers); the views stay exact.
+    """
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._views: dict[str, MaterializedView] = {}
+
+    def register(self, query: Query, name: Optional[str] = None) -> MaterializedView:
+        label = name if name is not None else query.name
+        if label in self._views:
+            raise ValueError(f"a view named {label!r} is already registered")
+        view = MaterializedView(query, self.database)
+        self._views[label] = view
+        return view
+
+    def view(self, name: str) -> MaterializedView:
+        return self._views[name]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._views)
+
+    # -- mutation ------------------------------------------------------
+    def insert(self, fact: Fact) -> dict[str, set[Answer]]:
+        """Insert a fact; return per-view newly appeared answers."""
+        if not self.database.insert(fact):
+            return {}
+        return {
+            name: view.on_insert(fact) for name, view in self._views.items()
+        }
+
+    def delete(self, fact: Fact) -> dict[str, set[Answer]]:
+        """Delete a fact; return per-view answers that disappeared."""
+        if fact not in self.database:
+            return {}
+        changes = {
+            name: view.on_delete(fact) for name, view in self._views.items()
+        }
+        self.database.delete(fact)
+        return changes
+
+    def apply(self, edits: Iterable[Edit]) -> dict[str, set[Answer]]:
+        """Apply a sequence of edits; merge per-view changed answers."""
+        changed: dict[str, set[Answer]] = {name: set() for name in self._views}
+        for edit in edits:
+            if edit.kind is EditKind.INSERT:
+                delta = self.insert(edit.fact)
+            else:
+                delta = self.delete(edit.fact)
+            for name, answers in delta.items():
+                changed[name] |= answers
+        return changed

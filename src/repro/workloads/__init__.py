@@ -1,0 +1,20 @@
+"""Experiment workloads: the paper's Soccer and DBGroup queries."""
+
+from .dbgroup_queries import DBGROUP_QUERIES, G1, G2, G3, G4
+from .soccer_queries import EX1, EX2, Q1, Q2, Q3, Q4, Q5, SOCCER_QUERIES
+
+__all__ = [
+    "DBGROUP_QUERIES",
+    "EX1",
+    "EX2",
+    "G1",
+    "G2",
+    "G3",
+    "G4",
+    "Q1",
+    "Q2",
+    "Q3",
+    "Q4",
+    "Q5",
+    "SOCCER_QUERIES",
+]

@@ -1,0 +1,42 @@
+"""The DBGroup grant-report queries (Section 7.1).
+
+* G1 — all keynotes and tutorials on topics related to ERC.
+* G2 — all current group members financed by ERC.
+* G3 — students who attended conferences in the reporting window with
+  ERC-sponsored travel.
+* G4 — publications on "crowdsourcing" in the reporting window.
+
+The paper's "past 30 months" filters become joins with the
+``recent_years`` reference relation, and the keynote/tutorial
+disjunction a join with ``event_kinds`` — keeping everything inside
+conjunctive queries.
+"""
+
+from __future__ import annotations
+
+from ..query.ast import Query
+from ..query.parser import parse_query
+
+G1 = parse_query(
+    'g1(m, e) :- events(e, k, t, y, m), event_kinds(k, "invited"), '
+    'topics(t, "ERC"), recent_years(y).'
+)
+
+G2 = parse_query(
+    'g2(m) :- members(m, s, "ERC"), statuses(s, "current").'
+)
+
+G3 = parse_query(
+    'g3(m, c) :- trips(m, c, y, "ERC"), members(m, "student", f), recent_years(y).'
+)
+
+G4 = parse_query(
+    'g4(p) :- publications(p, ti, y, "crowdsourcing"), recent_years(y).'
+)
+
+DBGROUP_QUERIES: dict[str, Query] = {
+    "G1": G1,
+    "G2": G2,
+    "G3": G3,
+    "G4": G4,
+}

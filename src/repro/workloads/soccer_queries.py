@@ -1,0 +1,92 @@
+"""The Soccer experiment queries Q1-Q5 (Section 7.2).
+
+"These queries have varying result sizes, from the smallest to largest":
+
+* Q1 — European teams who lost at least two finals.
+* Q2 — teams from the same continent that played at least twice against
+  each other.
+* Q3 — non-Asian teams that reached the knockout phase and won at least
+  once.
+* Q4 — teams that lost two games with the same score.
+* Q5 — teams that won at least two games, one opponent South American.
+
+Plus the running-example queries of Sections 1-5: EX1 (European teams
+who won the World Cup at least twice) and EX2 (European players who
+scored in a final).
+"""
+
+from __future__ import annotations
+
+from ..query.ast import Query
+from ..query.parser import parse_query
+
+Q1 = parse_query(
+    'q1(x) :- games(d1, y, x, "Final", u1), games(d2, z, x, "Final", u2), '
+    'teams(x, "EU"), d1 != d2.'
+)
+
+Q2 = parse_query(
+    "q2(x, y) :- games(d1, x, y, s1, u1), games(d2, x, y, s2, u2), "
+    "teams(x, c), teams(y, c), d1 != d2, x != y."
+)
+
+Q3 = parse_query(
+    'q3(x) :- games(d1, x, y, s1, u1), stages(s1, "KO"), teams(x, c), c != "AS".'
+)
+
+Q4 = parse_query(
+    "q4(x) :- games(d1, y, x, s1, r), games(d2, z, x, s2, r), teams(x, c), d1 != d2."
+)
+
+Q5 = parse_query(
+    'q5(x) :- games(d1, x, y, s1, u1), games(d2, x, z, s2, u2), '
+    'teams(y, "SA"), d1 != d2.'
+)
+
+#: The paper's running example (Section 1): European teams that won the
+#: World Cup at least twice.
+EX1 = parse_query(
+    'ex1(x) :- games(d1, x, y, "Final", u1), games(d2, x, z, "Final", u2), '
+    'teams(x, "EU"), d1 != d2.'
+)
+
+#: The Section 5 example: European players who scored in a final.
+EX2 = parse_query(
+    'ex2(x) :- players(x, y, z, w), goals(x, d), '
+    'games(d, y, v, "Final", u), teams(y, "EU").'
+)
+
+#: Additional queries over the relations the paper's five leave untouched
+#: (players, goals, clubs) — used by the wider test/benchmark coverage.
+
+#: Q6 — club teammates who scored in the same game.
+Q6 = parse_query(
+    "q6(p1, p2) :- clubs(p1, c), clubs(p2, c), goals(p1, d), goals(p2, d), "
+    "p1 != p2."
+)
+
+#: Q7 — players who scored in a knockout game their team won.
+Q7 = parse_query(
+    'q7(p) :- players(p, t, b, bp), goals(p, d), games(d, t, o, s, r), '
+    'stages(s, "KO").'
+)
+
+#: Q8 — home-grown champions: players born in the country they won a
+#: final for.
+Q8 = parse_query(
+    'q8(p) :- players(p, t, b, t), goals(p, d), games(d, t, o, "Final", r).'
+)
+
+#: Queries keyed as the figures name them.
+SOCCER_QUERIES: dict[str, Query] = {
+    "Q1": Q1,
+    "Q2": Q2,
+    "Q3": Q3,
+    "Q4": Q4,
+    "Q5": Q5,
+    "Q6": Q6,
+    "Q7": Q7,
+    "Q8": Q8,
+    "EX1": EX1,
+    "EX2": EX2,
+}

@@ -1,0 +1,52 @@
+"""Shared fixtures: the Figure 1 instance pair and the full datasets.
+
+Session-scoped fixtures return *fresh copies* where mutation is expected
+(``dirty`` databases), and shared instances where reads suffice.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.dbgroup import dbgroup_database
+from repro.datasets.figure1 import figure1_dirty, figure1_ground_truth
+from repro.datasets.worldcup import worldcup_database
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+
+
+@pytest.fixture(scope="session")
+def worldcup_gt():
+    """The full Soccer ground truth (generated once per test session)."""
+    return worldcup_database()
+
+
+@pytest.fixture(scope="session")
+def dbgroup_gt():
+    """The full DBGroup ground truth."""
+    return dbgroup_database()
+
+
+@pytest.fixture
+def fig1_dirty():
+    """A fresh dirty Figure 1 database (safe to mutate)."""
+    return figure1_dirty()
+
+
+@pytest.fixture
+def fig1_gt():
+    """A fresh Figure 1 ground truth."""
+    return figure1_ground_truth()
+
+
+@pytest.fixture
+def fig1_oracle(fig1_gt):
+    """An accounting perfect oracle over the Figure 1 ground truth."""
+    return AccountingOracle(PerfectOracle(fig1_gt))
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)

@@ -1,0 +1,121 @@
+"""Tests for COUNT aggregate views (§9 extension)."""
+
+import random
+
+import pytest
+
+from repro.aggregates.count import AggregateQOCO, CountView
+from repro.db.tuples import fact
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.query.ast import QueryError
+from repro.query.parser import parse_query
+
+#: titles(x, d): team x won the final on date d.
+TITLES = parse_query('titles(x, d) :- games(d, x, y, "Final", u).')
+
+#: how many World Cups each team won
+TITLE_COUNTS = CountView(TITLES, group_arity=1)
+
+
+class TestCountView:
+    def test_counts_on_figure1(self, fig1_gt):
+        counts = TITLE_COUNTS.evaluate(fig1_gt)
+        assert counts[("GER",)] == 2
+        assert counts[("ITA",)] == 2
+        assert counts[("ESP",)] == 1
+        assert ("NED",) not in counts  # zero groups are absent
+
+    def test_counts_on_dirty(self, fig1_dirty):
+        counts = TITLE_COUNTS.evaluate(fig1_dirty)
+        assert counts[("ESP",)] == 4  # three fabricated wins + 2010
+
+    def test_global_count(self, fig1_gt):
+        view = CountView(TITLES, group_arity=0)
+        counts = view.evaluate(fig1_gt)
+        assert counts[()] == 9  # nine finals in the Figure 1 ground truth
+
+    def test_restricted_base(self, fig1_gt):
+        restricted = TITLE_COUNTS.restricted_base(("GER",))
+        from repro.query.evaluator import evaluate
+
+        answers = evaluate(restricted, fig1_gt)
+        assert answers == {("13.07.2014",), ("08.07.1990",)}
+
+    def test_restricted_base_arity_checked(self):
+        with pytest.raises(QueryError):
+            TITLE_COUNTS.restricted_base(("GER", "extra"))
+
+    def test_group_arity_validation(self):
+        with pytest.raises(QueryError):
+            CountView(TITLES, group_arity=3)
+        with pytest.raises(QueryError):
+            CountView(TITLES, group_arity=2)  # nothing left to count
+
+    def test_distinct_counting(self, fig1_gt):
+        # duplicates in the base result (impossible for set semantics, but
+        # the view also dedups counted suffixes across assignments)
+        counts = TITLE_COUNTS.evaluate(fig1_gt)
+        assert all(count >= 1 for count in counts.values())
+
+
+class TestAggregateCleaning:
+    def test_clean_group_deflates_wrong_count(self, fig1_dirty, fig1_gt):
+        system = AggregateQOCO(
+            fig1_dirty, AccountingOracle(PerfectOracle(fig1_gt)), seed=0
+        )
+        report = system.clean_group(TITLE_COUNTS, ("ESP",))
+        counts = TITLE_COUNTS.evaluate(fig1_dirty)
+        assert counts[("ESP",)] == 1  # back to the true single title
+        assert len(report.wrong_answers_removed) == 3
+
+    def test_clean_group_inflates_low_count(self, fig1_dirty, fig1_gt):
+        # Remove GER's 1990 title: its count drops to 1; cleaning restores.
+        fig1_dirty.delete(fact("games", "08.07.1990", "GER", "ARG", "Final", "1:0"))
+        system = AggregateQOCO(
+            fig1_dirty, AccountingOracle(PerfectOracle(fig1_gt)), seed=0
+        )
+        system.clean_group(TITLE_COUNTS, ("GER",))
+        assert TITLE_COUNTS.evaluate(fig1_dirty)[("GER",)] == 2
+
+    def test_clean_whole_view(self, fig1_dirty, fig1_gt):
+        system = AggregateQOCO(
+            fig1_dirty, AccountingOracle(PerfectOracle(fig1_gt)), seed=0
+        )
+        report = system.clean(TITLE_COUNTS)
+        assert TITLE_COUNTS.evaluate(fig1_dirty) == TITLE_COUNTS.evaluate(fig1_gt)
+        assert report.converged
+
+    def test_clean_discovers_missing_group(self, fig1_dirty, fig1_gt):
+        # In the dirty DB the 1998/1994/1978 finals are Spain's; the true
+        # winners FRA/BRA/ARG are missing groups entirely.
+        system = AggregateQOCO(
+            fig1_dirty, AccountingOracle(PerfectOracle(fig1_gt)), seed=0
+        )
+        system.clean(TITLE_COUNTS)
+        counts = TITLE_COUNTS.evaluate(fig1_dirty)
+        assert counts.get(("FRA",)) == 1
+        assert counts.get(("BRA",)) == 2  # 2002 + restored 1994
+        assert counts.get(("ARG",)) == 1
+
+    def test_edits_only_true_facts(self, fig1_dirty, fig1_gt):
+        from repro.db.edits import EditKind
+
+        system = AggregateQOCO(
+            fig1_dirty, AccountingOracle(PerfectOracle(fig1_gt)), seed=0
+        )
+        report = system.clean(TITLE_COUNTS)
+        for edit in report.edits:
+            if edit.kind is EditKind.INSERT:
+                assert edit.fact in fig1_gt
+            else:
+                assert edit.fact not in fig1_gt
+
+    def test_clean_view_noop_when_clean(self, fig1_gt):
+        db = fig1_gt.copy()
+        system = AggregateQOCO(
+            db, AccountingOracle(PerfectOracle(fig1_gt)), seed=0
+        )
+        report = system.clean(TITLE_COUNTS)
+        assert report.edits == []
+        assert db == fig1_gt

@@ -1,0 +1,81 @@
+"""Unit tests for the majority-vote aggregator black-box."""
+
+import pytest
+
+from repro.oracle.aggregator import FirstAnswer, MajorityVote
+
+
+def make_asker(answers):
+    """An AskMember that replays scripted per-call answers."""
+    calls = []
+
+    def ask(member_index):
+        calls.append(member_index)
+        return answers[len(calls) - 1]
+
+    return ask, calls
+
+
+class TestMajorityVote:
+    def test_early_stop_on_agreement(self):
+        ask, calls = make_asker([True, True, False])
+        decision, collected = MajorityVote(3).decide(ask, 3)
+        assert decision is True
+        assert collected == 2  # third answer never needed
+
+    def test_full_sample_on_disagreement(self):
+        ask, calls = make_asker([True, False, False])
+        decision, collected = MajorityVote(3).decide(ask, 3)
+        assert decision is False
+        assert collected == 3
+
+    def test_no_early_stop_mode(self):
+        ask, calls = make_asker([True, True, False])
+        decision, collected = MajorityVote(3, early_stop=False).decide(ask, 3)
+        assert decision is True
+        assert collected == 3
+
+    def test_sample_size_one(self):
+        ask, _ = make_asker([False])
+        decision, collected = MajorityVote(1).decide(ask, 5)
+        assert decision is False
+        assert collected == 1
+
+    def test_round_robin_when_fewer_members(self):
+        ask, calls = make_asker([True, False, True])
+        MajorityVote(3).decide(ask, 2)
+        assert calls == [0, 1, 0]  # wraps around the two members
+
+    def test_sample_size_validated(self):
+        with pytest.raises(ValueError):
+            MajorityVote(0)
+
+    def test_empty_crowd_rejected(self):
+        ask, _ = make_asker([True])
+        with pytest.raises(ValueError):
+            MajorityVote(3).decide(ask, 0)
+
+    def test_five_member_majority(self):
+        ask, calls = make_asker([True, False, True, False, True])
+        decision, collected = MajorityVote(5).decide(ask, 5)
+        assert decision is True
+        assert collected == 5
+
+    def test_five_member_early_stop(self):
+        ask, calls = make_asker([True, True, True])
+        decision, collected = MajorityVote(5).decide(ask, 5)
+        assert decision is True
+        assert collected == 3
+
+
+class TestFirstAnswer:
+    def test_trusts_single_member(self):
+        ask, calls = make_asker([False])
+        decision, collected = FirstAnswer().decide(ask, 3)
+        assert decision is False
+        assert collected == 1
+
+    def test_empty_crowd_rejected(self):
+        ask, _ = make_asker([True])
+        with pytest.raises(ValueError):
+            FirstAnswer().decide(ask, 0)

@@ -1,0 +1,29 @@
+"""Tests for the qoco-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out
+        assert "dbgroup" in out
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_run_single_figure(self, capsys):
+        assert main(["dbgroup"]) == 0
+        out = capsys.readouterr().out
+        assert "DBGroup case study" in out
+        assert "completed in" in out
+
+    def test_run_multiple_figures(self, capsys):
+        assert main(["fig3f", "dbgroup"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3f" in out
+        assert "dbgroup" in out

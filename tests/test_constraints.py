@@ -1,0 +1,194 @@
+"""Tests for key/FK constraints and constraint-driven cleaning (§9)."""
+
+import random
+
+import pytest
+
+from repro.core.constraints import ConstraintCleaner
+from repro.db.constraints import ConstraintSet, ForeignKey, Key
+from repro.db.schema import Schema, SchemaError
+from repro.db.tuples import fact
+from repro.db.database import Database
+from repro.datasets.worldcup import worldcup_constraints
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict(
+        {"teams": ["team", "continent"], "games": ["date", "winner"]}
+    )
+
+
+@pytest.fixture
+def constraints():
+    return ConstraintSet(
+        keys=[Key("teams", (0,))],
+        foreign_keys=[ForeignKey("games", (1,), "teams", (0,))],
+    )
+
+
+class TestDeclarations:
+    def test_key_requires_positions(self):
+        with pytest.raises(SchemaError):
+            Key("r", ())
+        with pytest.raises(SchemaError):
+            Key("r", (0, 0))
+
+    def test_fk_lengths_must_match(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("a", (0, 1), "b", (0,))
+        with pytest.raises(SchemaError):
+            ForeignKey("a", (), "b", ())
+
+    def test_validate_against_schema(self, schema, constraints):
+        db = Database(schema)
+        constraints.validate_against(db)  # fine
+        bad = ConstraintSet(keys=[Key("teams", (5,))])
+        with pytest.raises(SchemaError):
+            bad.validate_against(db)
+
+
+class TestViolationDetection:
+    def test_key_violation_found(self, schema, constraints):
+        db = Database(
+            schema, [fact("teams", "NED", "EU"), fact("teams", "NED", "SA")]
+        )
+        violations = constraints.key_violations(db)
+        assert len(violations) == 1
+        assert violations[0].facts == frozenset(
+            {fact("teams", "NED", "EU"), fact("teams", "NED", "SA")}
+        )
+
+    def test_no_violation_on_identical_key_single_fact(self, schema, constraints):
+        db = Database(schema, [fact("teams", "NED", "EU")])
+        assert constraints.key_violations(db) == []
+
+    def test_three_way_conflict_yields_three_pairs(self, schema, constraints):
+        db = Database(
+            schema,
+            [
+                fact("teams", "X", "EU"),
+                fact("teams", "X", "SA"),
+                fact("teams", "X", "AF"),
+            ],
+        )
+        assert len(constraints.key_violations(db)) == 3
+
+    def test_fk_violation_found(self, schema, constraints):
+        db = Database(schema, [fact("games", "d1", "GER")])
+        violations = constraints.foreign_key_violations(db)
+        assert len(violations) == 1
+        assert violations[0].child_fact == fact("games", "d1", "GER")
+
+    def test_fk_satisfied(self, schema, constraints):
+        db = Database(
+            schema, [fact("games", "d1", "GER"), fact("teams", "GER", "EU")]
+        )
+        assert constraints.foreign_key_violations(db) == []
+        assert constraints.is_satisfied(db)
+
+    def test_ground_truth_satisfies_worldcup_constraints(self, worldcup_gt):
+        constraints = worldcup_constraints()
+        constraints.validate_against(worldcup_gt)
+        assert constraints.is_satisfied(worldcup_gt)
+
+
+class TestConstraintCleaner:
+    def _cleaner(self, db, gt, constraints):
+        return ConstraintCleaner(
+            db, AccountingOracle(PerfectOracle(gt)), constraints, random.Random(0)
+        )
+
+    def test_key_conflict_resolved_to_truth(self, schema, constraints):
+        gt = Database(schema, [fact("teams", "NED", "EU")])
+        db = Database(
+            schema, [fact("teams", "NED", "EU"), fact("teams", "NED", "SA")]
+        )
+        report = self._cleaner(db, gt, constraints).repair()
+        assert constraints.is_satisfied(db)
+        assert fact("teams", "NED", "EU") in db
+        assert fact("teams", "NED", "SA") not in db
+        assert report.resolved_key_violations == 1
+        assert not report.unresolved
+
+    def test_false_child_deleted(self, schema, constraints):
+        gt = Database(schema, [fact("teams", "GER", "EU")])
+        db = Database(schema, [fact("games", "d9", "XXX")])  # false child
+        self._cleaner(db, gt, constraints).repair()
+        assert fact("games", "d9", "XXX") not in db
+        assert constraints.is_satisfied(db)
+
+    def test_missing_parent_inserted(self, schema, constraints):
+        gt = Database(
+            schema, [fact("games", "d1", "GER"), fact("teams", "GER", "EU")]
+        )
+        db = Database(schema, [fact("games", "d1", "GER")])  # true child
+        report = self._cleaner(db, gt, constraints).repair()
+        assert fact("teams", "GER", "EU") in db
+        assert report.resolved_fk_violations == 1
+
+    def test_cascading_repairs(self, schema, constraints):
+        # Deleting a false teams fact (key conflict) creates no dangling
+        # children because the surviving fact carries the key.
+        gt = Database(
+            schema, [fact("games", "d1", "GER"), fact("teams", "GER", "EU")]
+        )
+        db = Database(
+            schema,
+            [
+                fact("games", "d1", "GER"),
+                fact("teams", "GER", "EU"),
+                fact("teams", "GER", "AS"),
+            ],
+        )
+        self._cleaner(db, gt, constraints).repair()
+        assert constraints.is_satisfied(db)
+        assert db == gt
+
+    def test_worldcup_corruption_repaired(self, worldcup_gt):
+        constraints = worldcup_constraints()
+        db = worldcup_gt.copy()
+        # Plant one violation of each kind.
+        db.insert(fact("teams", "GER", "SA"))                 # key conflict
+        db.insert(fact("goals", "Nobody Special", "13.07.2014"))  # dangling FK
+        victim = sorted(db.facts("teams"))[0]
+        report = ConstraintCleaner(
+            db,
+            AccountingOracle(PerfectOracle(worldcup_gt)),
+            constraints,
+            random.Random(0),
+        ).repair()
+        assert constraints.is_satisfied(db)
+        assert fact("teams", "GER", "SA") not in db
+        assert fact("goals", "Nobody Special", "13.07.2014") not in db
+        assert not report.unresolved
+
+    def test_edits_only_move_towards_truth(self, worldcup_gt):
+        constraints = worldcup_constraints()
+        db = worldcup_gt.copy()
+        db.insert(fact("teams", "BRA", "EU"))
+        before = db.distance(worldcup_gt)
+        ConstraintCleaner(
+            db,
+            AccountingOracle(PerfectOracle(worldcup_gt)),
+            constraints,
+            random.Random(0),
+        ).repair()
+        assert db.distance(worldcup_gt) <= before
+
+    def test_unresolvable_reported(self, schema, constraints):
+        # An oracle that affirms everything cannot resolve a key conflict.
+        class YesOracle(PerfectOracle):
+            def verify_fact(self, fact):
+                return True
+
+        gt = Database(schema, [fact("teams", "NED", "EU")])
+        db = Database(
+            schema, [fact("teams", "NED", "EU"), fact("teams", "NED", "SA")]
+        )
+        report = ConstraintCleaner(
+            db, AccountingOracle(YesOracle(gt)), constraints, random.Random(0)
+        ).repair()
+        assert report.unresolved

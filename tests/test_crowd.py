@@ -1,0 +1,140 @@
+"""Unit tests for the crowd-of-experts oracle."""
+
+import random
+
+import pytest
+
+from repro.datasets.figure1 import ITA_EU
+from repro.db.tuples import fact
+from repro.oracle.aggregator import MajorityVote
+from repro.oracle.crowd import Crowd
+from repro.oracle.imperfect import ImperfectOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.oracle.questions import (
+    CATEGORY_FILL_MISSING,
+    CATEGORY_VERIFY_ANSWERS,
+    CATEGORY_VERIFY_TUPLES,
+)
+from repro.query.ast import Var
+from repro.query.evaluator import witness_of
+from repro.workloads import EX1
+
+
+def perfect_crowd(gt, n=3):
+    return Crowd([PerfectOracle(gt) for _ in range(n)], MajorityVote(n))
+
+
+def noisy_crowd(gt, p, n=3, seed=0):
+    rng = random.Random(seed)
+    members = [
+        ImperfectOracle(gt, p, random.Random(rng.randrange(1 << 30)))
+        for _ in range(n)
+    ]
+    return Crowd(members, MajorityVote(n))
+
+
+class TestClosedQuestions:
+    def test_perfect_crowd_correct(self, fig1_gt):
+        crowd = perfect_crowd(fig1_gt)
+        assert crowd.verify_fact(fact("teams", "ESP", "EU")) is True
+        assert crowd.verify_fact(fact("teams", "BRA", "EU")) is False
+        assert crowd.verify_answer(EX1, ("ITA",)) is True
+
+    def test_early_stop_counts_two_answers(self, fig1_gt):
+        crowd = perfect_crowd(fig1_gt)
+        crowd.verify_fact(fact("teams", "ESP", "EU"))
+        assert crowd.stats.answers[CATEGORY_VERIFY_TUPLES] == 2
+
+    def test_majority_beats_one_liar(self, fig1_gt):
+        liar = ImperfectOracle(fig1_gt, 1.0, random.Random(0))
+        honest = [PerfectOracle(fig1_gt), PerfectOracle(fig1_gt)]
+        crowd = Crowd([liar] + honest, MajorityVote(3))
+        # regardless of rotation, 2 honest answers outvote the liar
+        for _ in range(6):
+            assert crowd.verify_fact(fact("teams", "ESP", "EU")) is True
+
+    def test_answer_categories_tracked(self, fig1_gt):
+        crowd = perfect_crowd(fig1_gt)
+        crowd.verify_answer(EX1, ("GER",))
+        crowd.verify_candidate(EX1, {Var("x"): "GER"})
+        assert crowd.stats.answers[CATEGORY_VERIFY_ANSWERS] == 2
+        assert crowd.stats.answers[CATEGORY_VERIFY_TUPLES] == 2
+
+    def test_empty_crowd_rejected(self):
+        with pytest.raises(ValueError):
+            Crowd([])
+
+
+class TestOpenQuestions:
+    def test_completion_verified_and_returned(self, fig1_gt):
+        crowd = perfect_crowd(fig1_gt)
+        reply = crowd.complete_assignment(EX1, {Var("x"): "ITA"})
+        assert reply is not None
+        for f in witness_of(EX1, reply):
+            assert f in fig1_gt
+        # fill cost plus follow-up verification answers were counted
+        assert crowd.stats.answers[CATEGORY_FILL_MISSING] >= 1
+        assert crowd.stats.answers[CATEGORY_VERIFY_TUPLES] >= 2
+
+    def test_null_completion_costs_one(self, fig1_gt):
+        crowd = perfect_crowd(fig1_gt)
+        assert crowd.complete_assignment(EX1, {Var("x"): "ESP"}) is None
+        assert crowd.stats.answers[CATEGORY_FILL_MISSING] == 1
+
+    def test_complete_result_verified(self, fig1_gt):
+        crowd = perfect_crowd(fig1_gt)
+        assert crowd.complete_result(EX1, [("GER",)]) == ("ITA",)
+        assert crowd.stats.answers[CATEGORY_VERIFY_ANSWERS] == 2
+
+    def test_lying_completion_rejected(self, fig1_gt):
+        # One member always corrupts open answers; the majority verification
+        # layer must reject bad completions rather than accept them.
+        liar = ImperfectOracle(fig1_gt, 1.0, random.Random(1))
+        honest = PerfectOracle(fig1_gt)
+        crowd = Crowd([liar, honest, PerfectOracle(fig1_gt)], MajorityVote(3))
+        for _ in range(8):
+            reply = crowd.complete_assignment(EX1, {Var("x"): "ITA"})
+            if reply is None:
+                continue  # rejected or withheld — fine
+            for f in witness_of(EX1, reply):
+                assert f in fig1_gt  # accepted replies are all-true
+
+    def test_fabricated_result_rejected(self, fig1_gt):
+        liar = ImperfectOracle(fig1_gt, 1.0, random.Random(2))
+        crowd = Crowd(
+            [liar, PerfectOracle(fig1_gt), PerfectOracle(fig1_gt)], MajorityVote(3)
+        )
+        for _ in range(8):
+            reply = crowd.complete_result(EX1, [("GER",)])
+            assert reply in (None, ("ITA",))
+
+    def test_verification_can_be_disabled(self, fig1_gt):
+        crowd = Crowd(
+            [PerfectOracle(fig1_gt)], MajorityVote(1), verify_open_answers=False
+        )
+        reply = crowd.complete_result(EX1, [("GER",)])
+        assert reply == ("ITA",)
+        assert crowd.stats.answers[CATEGORY_VERIFY_ANSWERS] == 0
+
+
+class TestRotation:
+    def test_open_questions_rotate_members(self, fig1_gt):
+        calls = []
+
+        class Tracking(PerfectOracle):
+            def __init__(self, gt, tag):
+                super().__init__(gt)
+                self.tag = tag
+
+            def complete_result(self, query, known):
+                calls.append(self.tag)
+                return super().complete_result(query, known)
+
+        crowd = Crowd(
+            [Tracking(fig1_gt, i) for i in range(3)],
+            MajorityVote(3),
+            verify_open_answers=False,
+        )
+        for _ in range(3):
+            crowd.complete_result(EX1, [("GER",)])
+        assert sorted(calls) == [0, 1, 2]

@@ -1,0 +1,144 @@
+"""Tests for the crowd latency/parallelism simulator."""
+
+import random
+
+import pytest
+
+from repro.crowdsim.simulator import (
+    CrowdSimulator,
+    Timeline,
+    compare_policies,
+    lognormal_latency,
+)
+from repro.oracle.questions import InteractionLog, QuestionKind
+
+
+def make_log(spec):
+    """Build a log from (kind, count) pairs."""
+    log = InteractionLog()
+    for kind, count in spec:
+        for _ in range(count):
+            log.record(kind, 1)
+    return log
+
+
+@pytest.fixture
+def mixed_log():
+    return make_log(
+        [
+            (QuestionKind.VERIFY_ANSWER, 10),
+            (QuestionKind.VERIFY_FACT, 5),
+            (QuestionKind.COMPLETE_ASSIGNMENT, 2),
+            (QuestionKind.VERIFY_FACT, 3),
+        ]
+    )
+
+
+class TestSimulatorBasics:
+    def test_every_question_completed(self, mixed_log):
+        sim = CrowdSimulator(rng=random.Random(0))
+        timeline = sim.replay(mixed_log)
+        assert len(timeline.completions) == mixed_log.question_count
+
+    def test_closed_questions_get_vote_sample(self, mixed_log):
+        sim = CrowdSimulator(votes_per_closed=3, rng=random.Random(0))
+        timeline = sim.replay(mixed_log)
+        closed = 10 + 5 + 3
+        open_q = 2
+        assert len(timeline.answers) == closed * 3 + open_q
+
+    def test_deterministic_given_seed(self, mixed_log):
+        a = CrowdSimulator(rng=random.Random(7)).replay(mixed_log)
+        b = CrowdSimulator(rng=random.Random(7)).replay(mixed_log)
+        assert a.makespan == b.makespan
+
+    def test_empty_log(self):
+        timeline = CrowdSimulator(rng=random.Random(0)).replay(InteractionLog())
+        assert timeline.makespan == 0.0
+        assert timeline.completion_fraction(0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrowdSimulator(n_experts=0)
+        with pytest.raises(ValueError):
+            CrowdSimulator(votes_per_closed=0)
+
+
+class TestPolicies:
+    def test_parallel_not_slower(self, mixed_log):
+        timelines = compare_policies(mixed_log, seed=3)
+        assert timelines["parallel"].makespan <= timelines["sequential"].makespan
+
+    def test_parallel_speedup_substantial_for_wide_batches(self):
+        log = make_log([(QuestionKind.VERIFY_ANSWER, 40)])
+        timelines = compare_policies(log, n_experts=20, seed=5)
+        assert timelines["parallel"].makespan < 0.5 * timelines["sequential"].makespan
+
+    def test_more_experts_never_hurt(self):
+        log = make_log([(QuestionKind.VERIFY_ANSWER, 30)])
+        # latency draws differ between pool sizes, so compare statistically
+        # over a few seeds
+        totals_small, totals_big = 0.0, 0.0
+        for seed in range(5):
+            totals_small += CrowdSimulator(
+                n_experts=3, rng=random.Random(seed)
+            ).replay(log).makespan
+            totals_big += CrowdSimulator(
+                n_experts=30, rng=random.Random(seed)
+            ).replay(log).makespan
+        assert totals_big < totals_small
+
+    def test_dependent_batches_serialize(self):
+        # alternating kinds force one-question batches even in parallel mode
+        log = make_log(
+            [
+                (QuestionKind.VERIFY_FACT, 1),
+                (QuestionKind.COMPLETE_ASSIGNMENT, 1),
+                (QuestionKind.VERIFY_FACT, 1),
+                (QuestionKind.COMPLETE_ASSIGNMENT, 1),
+            ]
+        )
+        timelines = compare_policies(log, seed=2)
+        assert timelines["parallel"].makespan == pytest.approx(
+            timelines["sequential"].makespan
+        )
+
+
+class TestTimeline:
+    def test_completion_fraction_monotone(self, mixed_log):
+        timeline = CrowdSimulator(rng=random.Random(0)).replay(mixed_log)
+        times = [timeline.makespan * f for f in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        fractions = [timeline.completion_fraction(t) for t in times]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_time_to_fraction(self, mixed_log):
+        timeline = CrowdSimulator(rng=random.Random(0)).replay(mixed_log)
+        t60 = timeline.time_to_fraction(0.6)
+        t100 = timeline.time_to_fraction(1.0)
+        assert 0 < t60 <= t100 == timeline.makespan
+        assert timeline.completion_fraction(t60) >= 0.6
+
+    def test_time_to_fraction_validation(self, mixed_log):
+        timeline = CrowdSimulator(rng=random.Random(0)).replay(mixed_log)
+        with pytest.raises(ValueError):
+            timeline.time_to_fraction(0.0)
+
+    def test_latency_sampler_positive(self):
+        sampler = lognormal_latency(60.0)
+        rng = random.Random(0)
+        assert all(sampler(rng) > 0 for _ in range(100))
+
+
+class TestEndToEndReplay:
+    def test_replay_actual_cleaning_log(self, fig1_dirty, fig1_gt):
+        from repro.core.qoco import QOCO
+        from repro.oracle.base import AccountingOracle
+        from repro.oracle.perfect import PerfectOracle
+        from repro.workloads import EX1
+
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        QOCO(fig1_dirty, oracle).clean(EX1)
+        timelines = compare_policies(oracle.log, n_experts=10, seed=11)
+        assert timelines["parallel"].makespan <= timelines["sequential"].makespan
+        assert len(timelines["parallel"].completions) == oracle.log.question_count

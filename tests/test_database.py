@@ -1,0 +1,173 @@
+"""Unit tests for repro.db.database."""
+
+import pytest
+
+from repro.db.database import ANY, Database
+from repro.db.edits import delete, insert
+from repro.db.schema import Schema, SchemaError
+from repro.db.tuples import fact
+
+
+@pytest.fixture
+def schema():
+    return Schema.from_dict({"teams": ["team", "continent"], "games": ["w", "l"]})
+
+
+@pytest.fixture
+def db(schema):
+    return Database(
+        schema,
+        [
+            fact("teams", "GER", "EU"),
+            fact("teams", "BRA", "SA"),
+            fact("games", "GER", "ARG"),
+            fact("games", "GER", "BRA"),
+        ],
+    )
+
+
+class TestBasicSetInterface:
+    def test_len_and_contains(self, db):
+        assert len(db) == 4
+        assert fact("teams", "GER", "EU") in db
+        assert fact("teams", "GER", "SA") not in db
+
+    def test_contains_non_fact(self, db):
+        assert "not a fact" not in db
+
+    def test_iteration(self, db):
+        assert len(list(db)) == 4
+
+    def test_facts_snapshot(self, db):
+        snapshot = db.facts("teams")
+        db.delete(fact("teams", "GER", "EU"))
+        assert fact("teams", "GER", "EU") in snapshot  # snapshot unchanged
+
+    def test_size(self, db):
+        assert db.size("teams") == 2
+        assert db.size("games") == 2
+
+
+class TestMutation:
+    def test_insert_and_idempotence(self, db):
+        f = fact("teams", "ITA", "EU")
+        assert db.insert(f) is True
+        assert db.insert(f) is False  # idempotent
+        assert len(db) == 5
+
+    def test_delete_and_idempotence(self, db):
+        f = fact("teams", "GER", "EU")
+        assert db.delete(f) is True
+        assert db.delete(f) is False
+        assert f not in db
+
+    def test_insert_validates_relation(self, db):
+        with pytest.raises(SchemaError):
+            db.insert(fact("players", "Pele"))
+
+    def test_insert_validates_arity(self, db):
+        with pytest.raises(SchemaError):
+            db.insert(fact("teams", "GER"))
+
+    def test_apply_edits(self, db):
+        changed = db.apply(
+            [
+                insert(fact("teams", "ITA", "EU")),
+                delete(fact("teams", "BRA", "SA")),
+                insert(fact("teams", "ITA", "EU")),  # no-op repeat
+            ]
+        )
+        assert changed == 2
+        assert fact("teams", "ITA", "EU") in db
+        assert fact("teams", "BRA", "SA") not in db
+
+
+class TestMatching:
+    def test_match_all_wildcards(self, db):
+        assert len(list(db.match("teams", [ANY, ANY]))) == 2
+
+    def test_match_bound_position(self, db):
+        hits = list(db.match("games", ["GER", ANY]))
+        assert len(hits) == 2
+
+    def test_match_fully_bound(self, db):
+        hits = list(db.match("teams", ["GER", "EU"]))
+        assert hits == [fact("teams", "GER", "EU")]
+
+    def test_match_no_hits(self, db):
+        assert list(db.match("teams", ["XXX", ANY])) == []
+
+    def test_match_multiple_bound(self, db):
+        assert list(db.match("games", ["GER", "BRA"])) == [fact("games", "GER", "BRA")]
+
+    def test_match_reflects_deletion(self, db):
+        db.delete(fact("games", "GER", "ARG"))
+        assert list(db.match("games", [ANY, "ARG"])) == []
+
+    def test_match_wrong_arity(self, db):
+        with pytest.raises(SchemaError):
+            list(db.match("teams", [ANY]))
+
+    def test_count_matches(self, db):
+        assert db.count_matches("games", ["GER", ANY]) == 2
+
+
+class TestDomains:
+    def test_active_domain_column(self, db):
+        assert db.active_domain("teams", 1) == {"EU", "SA"}
+
+    def test_active_domain_relation(self, db):
+        assert db.active_domain("teams") == {"GER", "BRA", "EU", "SA"}
+
+    def test_active_domain_everything(self, db):
+        assert "ARG" in db.active_domain()
+
+    def test_domain_values_by_tag(self, schema):
+        tagged = Schema(
+            [
+                type(schema.relation("teams"))(
+                    "teams", ("team", "continent"), ("team", "cont")
+                ),
+                type(schema.relation("teams"))("games", ("w", "l"), ("team", "team")),
+            ]
+        )
+        db = Database(
+            tagged,
+            [fact("teams", "GER", "EU"), fact("games", "BRA", "ARG")],
+        )
+        assert db.domain_values("team") == {"GER", "BRA", "ARG"}
+
+    def test_active_domain_updates_on_delete(self, db):
+        db.delete(fact("teams", "BRA", "SA"))
+        assert db.active_domain("teams", 1) == {"EU"}
+
+
+class TestComparison:
+    def test_distance_symmetric(self, db, schema):
+        other = db.copy()
+        other.insert(fact("teams", "ITA", "EU"))
+        other.delete(fact("teams", "BRA", "SA"))
+        assert db.distance(other) == 2
+        assert other.distance(db) == 2
+
+    def test_distance_zero_for_copies(self, db):
+        assert db.distance(db.copy()) == 0
+
+    def test_symmetric_difference(self, db):
+        other = db.copy()
+        other.insert(fact("teams", "ITA", "EU"))
+        assert db.symmetric_difference(other) == {fact("teams", "ITA", "EU")}
+
+    def test_equality(self, db):
+        assert db == db.copy()
+        other = db.copy()
+        other.delete(fact("teams", "GER", "EU"))
+        assert db != other
+
+    def test_copy_is_independent(self, db):
+        clone = db.copy()
+        clone.insert(fact("teams", "ITA", "EU"))
+        assert fact("teams", "ITA", "EU") not in db
+
+    def test_repr_mentions_sizes(self, db):
+        assert "teams:2" in repr(db)

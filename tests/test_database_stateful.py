@@ -1,0 +1,93 @@
+"""Stateful property test: Database vs a plain-set reference model.
+
+Random interleavings of inserts, deletes, matches and domain queries
+must keep the indexed Database exactly in sync with a naive model —
+this is what guarantees the evaluator's index-backed joins see the same
+facts a scan would.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.db.tuples import Fact
+
+SCHEMA = Schema.from_dict({"r": ["a", "b"], "s": ["a"]})
+VALUES = ["x", "y", "z", 1, 2]
+
+r_facts = st.tuples(st.sampled_from(VALUES), st.sampled_from(VALUES)).map(
+    lambda v: Fact("r", v)
+)
+s_facts = st.tuples(st.sampled_from(VALUES)).map(lambda v: Fact("s", v))
+any_fact = st.one_of(r_facts, s_facts)
+
+
+class DatabaseMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.db = Database(SCHEMA)
+        self.model: set[Fact] = set()
+
+    @rule(fact=any_fact)
+    def insert(self, fact):
+        changed = self.db.insert(fact)
+        assert changed == (fact not in self.model)
+        self.model.add(fact)
+
+    @rule(fact=any_fact)
+    def delete(self, fact):
+        changed = self.db.delete(fact)
+        assert changed == (fact in self.model)
+        self.model.discard(fact)
+
+    @rule(fact=any_fact)
+    def contains(self, fact):
+        assert (fact in self.db) == (fact in self.model)
+
+    @rule(
+        value=st.sampled_from(VALUES),
+        position=st.integers(0, 1),
+    )
+    def match_r_one_bound(self, value, position):
+        pattern = [None, None]
+        pattern[position] = value
+        got = set(self.db.match("r", pattern))
+        expected = {
+            f
+            for f in self.model
+            if f.relation == "r" and f.values[position] == value
+        }
+        assert got == expected
+
+    @rule()
+    def match_all(self):
+        assert set(self.db.match("r", [None, None])) == {
+            f for f in self.model if f.relation == "r"
+        }
+
+    @rule(position=st.integers(0, 1))
+    def active_domain(self, position):
+        got = self.db.active_domain("r", position)
+        expected = {
+            f.values[position] for f in self.model if f.relation == "r"
+        }
+        assert got == expected
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.db) == len(self.model)
+        assert self.db.size("r") == sum(
+            1 for f in self.model if f.relation == "r"
+        )
+
+    @invariant()
+    def iteration_agrees(self):
+        assert set(self.db) == self.model
+
+
+TestDatabaseStateful = DatabaseMachine.TestCase
+TestDatabaseStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,104 @@
+"""Tests for database persistence (CSV directory and JSON)."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.io import coerce_value, load_csv, load_json, save_csv, save_json
+from repro.db.schema import Schema, SchemaError, RelationSchema
+from repro.db.tuples import fact
+
+
+@pytest.fixture
+def db():
+    schema = Schema(
+        [
+            RelationSchema("teams", ("team", "continent"), ("team", "cont")),
+            RelationSchema("players", ("name", "team", "birth_year")),
+        ]
+    )
+    return Database(
+        schema,
+        [
+            fact("teams", "GER", "EU"),
+            fact("teams", "BRA", "SA"),
+            fact("players", "Pele", "BRA", 1940),
+            fact("players", "Mario Goetze", "GER", 1992),
+        ],
+    )
+
+
+class TestCoerceValue:
+    def test_int(self):
+        assert coerce_value("1992") == 1992
+
+    def test_float(self):
+        assert coerce_value("4.5") == 4.5
+
+    def test_string(self):
+        assert coerce_value("13.07.2014") == "13.07.2014"  # not a float!
+        assert coerce_value("GER") == "GER"
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, db, tmp_path):
+        save_csv(db, tmp_path / "out")
+        loaded = load_csv(tmp_path / "out")
+        assert loaded == db
+        assert loaded.schema == db.schema
+
+    def test_domain_tags_preserved(self, db, tmp_path):
+        save_csv(db, tmp_path / "out")
+        loaded = load_csv(tmp_path / "out")
+        assert loaded.schema.relation("teams").domains == ("team", "cont")
+
+    def test_types_survive(self, db, tmp_path):
+        save_csv(db, tmp_path / "out")
+        loaded = load_csv(tmp_path / "out")
+        assert fact("players", "Pele", "BRA", 1940) in loaded  # int, not "1940"
+
+    def test_missing_schema_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_csv(tmp_path)
+
+    def test_header_mismatch_rejected(self, db, tmp_path):
+        save_csv(db, tmp_path / "out")
+        csv_file = tmp_path / "out" / "teams.csv"
+        content = csv_file.read_text().splitlines()
+        content[0] = "wrong,header"
+        csv_file.write_text("\n".join(content))
+        with pytest.raises(SchemaError):
+            load_csv(tmp_path / "out")
+
+    def test_missing_relation_file_means_empty(self, db, tmp_path):
+        save_csv(db, tmp_path / "out")
+        (tmp_path / "out" / "players.csv").unlink()
+        loaded = load_csv(tmp_path / "out")
+        assert loaded.size("players") == 0
+        assert loaded.size("teams") == 2
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, db, tmp_path):
+        save_json(db, tmp_path / "db.json")
+        loaded = load_json(tmp_path / "db.json")
+        assert loaded == db
+        assert loaded.schema == db.schema
+
+    def test_worldcup_round_trip(self, worldcup_gt, tmp_path):
+        save_json(worldcup_gt, tmp_path / "wc.json")
+        loaded = load_json(tmp_path / "wc.json")
+        assert loaded == worldcup_gt
+
+    def test_cleaning_works_on_loaded_db(self, tmp_path, fig1_dirty, fig1_gt):
+        from repro.core.qoco import QOCO
+        from repro.oracle.base import AccountingOracle
+        from repro.oracle.perfect import PerfectOracle
+        from repro.query.evaluator import evaluate
+        from repro.workloads import EX1
+
+        save_json(fig1_dirty, tmp_path / "dirty.json")
+        save_json(fig1_gt, tmp_path / "gt.json")
+        dirty = load_json(tmp_path / "dirty.json")
+        gt = load_json(tmp_path / "gt.json")
+        QOCO(dirty, AccountingOracle(PerfectOracle(gt))).clean(EX1)
+        assert evaluate(EX1, dirty) == evaluate(EX1, gt)

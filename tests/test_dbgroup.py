@@ -1,0 +1,87 @@
+"""Tests for the DBGroup generator and its seeded error profile."""
+
+import pytest
+
+from repro.datasets.dbgroup import (
+    DBGroupConfig,
+    dbgroup_database,
+    dbgroup_schema,
+    seeded_errors,
+)
+from repro.db.edits import EditKind
+from repro.query.evaluator import evaluate
+from repro.workloads import DBGROUP_QUERIES, G1, G2, G3, G4
+
+
+@pytest.fixture(scope="module")
+def gt():
+    return dbgroup_database()
+
+
+class TestGenerator:
+    def test_paper_scale(self, gt):
+        # "currently contains around 2000 tuples"
+        assert 1400 <= len(gt) <= 2600
+
+    def test_deterministic(self):
+        assert dbgroup_database() == dbgroup_database()
+
+    def test_config_scales(self):
+        small = dbgroup_database(DBGroupConfig(n_publications=50, n_trips=20))
+        assert len(small) < len(dbgroup_database())
+
+    def test_all_relations_populated(self, gt):
+        for relation in dbgroup_schema().names:
+            assert gt.size(relation) > 0
+
+    def test_authors_are_members(self, gt):
+        members = {f.values[0] for f in gt.facts("members")}
+        for authored in gt.facts("authored"):
+            assert authored.values[0] in members
+
+    def test_publication_ids_unique(self, gt):
+        pids = [f.values[0] for f in gt.facts("publications")]
+        assert len(pids) == len(set(pids))
+
+    def test_every_query_nonempty_on_ground_truth(self, gt):
+        for name, query in DBGROUP_QUERIES.items():
+            assert evaluate(query, gt), f"{name} has no true answers"
+
+
+class TestSeededErrors:
+    def test_errors_change_results(self, gt):
+        dirty, corruption = seeded_errors(gt)
+        assert corruption  # something was planted
+        changed = [
+            name
+            for name, query in DBGROUP_QUERIES.items()
+            if evaluate(query, dirty) != evaluate(query, gt)
+        ]
+        assert "G1" in changed  # fabricated + removed keynote
+        assert "G2" in changed  # wrongly ERC-funded members
+        assert "G3" in changed  # removed trips
+
+    def test_wrong_and_missing_both_present(self, gt):
+        dirty, _ = seeded_errors(gt)
+        g2_dirty, g2_true = evaluate(G2, dirty), evaluate(G2, gt)
+        assert g2_dirty - g2_true  # wrong answers
+        g3_dirty, g3_true = evaluate(G3, dirty), evaluate(G3, gt)
+        assert g3_true - g3_dirty  # missing answers
+
+    def test_corruption_edits_applied(self, gt):
+        dirty, corruption = seeded_errors(gt)
+        # Undoing the corruption restores the ground truth exactly.
+        restored = dirty.copy()
+        for edit in corruption:
+            edit.inverted().apply(restored)
+        assert restored == gt
+
+    def test_deterministic(self, gt):
+        a, _ = seeded_errors(gt, seed=5)
+        b, _ = seeded_errors(gt, seed=5)
+        assert a == b
+
+    def test_ground_truth_untouched(self, gt):
+        size_before = len(gt)
+        seeded_errors(gt)
+        assert len(gt) == size_before

@@ -1,0 +1,59 @@
+"""Unit tests for repro.db.edits."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.edits import Edit, EditKind, apply_edits, delete, insert
+from repro.db.schema import Schema
+from repro.db.tuples import fact
+
+
+@pytest.fixture
+def db():
+    schema = Schema.from_dict({"r": ["a"]})
+    return Database(schema, [fact("r", 1)])
+
+
+class TestEdit:
+    def test_insert_applies(self, db):
+        assert insert(fact("r", 2)).apply(db) is True
+        assert fact("r", 2) in db
+
+    def test_insert_idempotent(self, db):
+        assert insert(fact("r", 1)).apply(db) is False  # D ⊕ R(t)+ = D
+
+    def test_delete_applies(self, db):
+        assert delete(fact("r", 1)).apply(db) is True
+        assert fact("r", 1) not in db
+
+    def test_delete_idempotent(self, db):
+        assert delete(fact("r", 9)).apply(db) is False  # D ⊕ R(t)- = D
+
+    def test_str(self):
+        assert str(insert(fact("r", 1))) == "r(1)+"
+        assert str(delete(fact("r", 1))) == "r(1)-"
+
+    def test_inverted(self, db):
+        edit = insert(fact("r", 2))
+        edit.apply(db)
+        edit.inverted().apply(db)
+        assert fact("r", 2) not in db
+
+    def test_inverted_kinds(self):
+        assert insert(fact("r", 1)).inverted().kind is EditKind.DELETE
+        assert delete(fact("r", 1)).inverted().kind is EditKind.INSERT
+
+    def test_edit_is_hashable(self):
+        assert {insert(fact("r", 1)), insert(fact("r", 1))} == {insert(fact("r", 1))}
+
+
+class TestApplyEdits:
+    def test_sequence_counts_changes(self, db):
+        edits = [insert(fact("r", 2)), insert(fact("r", 2)), delete(fact("r", 1))]
+        assert apply_edits(db, edits) == 2
+
+    def test_update_modeled_as_delete_insert(self, db):
+        # The paper models updates as deletion followed by insertion.
+        apply_edits(db, [delete(fact("r", 1)), insert(fact("r", 99))])
+        assert fact("r", 1) not in db
+        assert fact("r", 99) in db

@@ -1,0 +1,98 @@
+"""Unit tests for the enumeration black-box (completion estimators)."""
+
+import random
+
+import pytest
+
+from repro.oracle.enumeration import Chao92Estimator, ExactCompletion
+
+
+class TestExactCompletion:
+    def test_complete_on_none(self):
+        est = ExactCompletion()
+        assert not est.is_complete()
+        est.observe(("ITA",))
+        assert not est.is_complete()
+        est.observe(None)
+        assert est.is_complete()
+
+    def test_reset(self):
+        est = ExactCompletion()
+        est.observe(None)
+        est.reset()
+        assert not est.is_complete()
+
+
+class TestChao92:
+    def test_patience_on_none_streak(self):
+        est = Chao92Estimator(patience=2)
+        est.observe("a")
+        est.observe(None)
+        assert not est.is_complete()
+        est.observe(None)
+        assert est.is_complete()
+
+    def test_none_streak_interrupted(self):
+        est = Chao92Estimator(patience=2, min_samples=100)
+        est.observe(None)
+        est.observe("a")
+        est.observe(None)
+        assert not est.is_complete()
+
+    def test_saturated_sample_declared_complete(self):
+        # Every answer seen many times -> estimate ~= distinct.
+        est = Chao92Estimator(min_samples=3)
+        for _ in range(4):
+            for item in ("a", "b", "c"):
+                est.observe(item)
+        assert est.estimate() == pytest.approx(3.0, abs=0.6)
+        assert est.is_complete()
+
+    def test_all_singletons_not_complete(self):
+        est = Chao92Estimator(min_samples=3)
+        for item in ("a", "b", "c", "d", "e"):
+            est.observe(item)
+        assert est.estimate() > est.distinct
+        assert not est.is_complete()
+
+    def test_min_samples_respected(self):
+        est = Chao92Estimator(min_samples=10)
+        est.observe("a")
+        est.observe("a")
+        assert not est.is_complete()
+
+    def test_estimate_grows_with_singletons(self):
+        few = Chao92Estimator()
+        many = Chao92Estimator()
+        for item in ("a", "a", "b", "b"):
+            few.observe(item)
+        for item in ("a", "b", "c", "d"):
+            many.observe(item)
+        assert many.estimate() > few.estimate()
+
+    def test_estimates_true_richness_on_uniform_sampling(self):
+        # Sample 120 draws from 12 species; Chao92 should land near 12.
+        rng = random.Random(9)
+        est = Chao92Estimator(min_samples=30)
+        species = [f"s{i}" for i in range(12)]
+        for _ in range(120):
+            est.observe(rng.choice(species))
+        assert est.estimate() == pytest.approx(12, abs=2.5)
+        assert est.is_complete()
+
+    def test_reset(self):
+        est = Chao92Estimator()
+        for item in ("a", "a", "a"):
+            est.observe(item)
+        est.reset()
+        assert est.distinct == 0
+        assert est.sample_count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Chao92Estimator(min_samples=0)
+        with pytest.raises(ValueError):
+            Chao92Estimator(patience=0)
+
+    def test_empty_estimate_zero(self):
+        assert Chao92Estimator().estimate() == 0.0

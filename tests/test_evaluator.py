@@ -1,0 +1,183 @@
+"""Unit tests for the query evaluator (assignments, answers, witnesses)."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.db.tuples import fact
+from repro.query.ast import QueryError, Var
+from repro.query.evaluator import (
+    Evaluator,
+    answer_to_partial,
+    evaluate,
+    instantiate_head,
+    is_satisfiable,
+    naive_evaluate,
+    valid_assignments,
+    witness_of,
+    witnesses_for,
+)
+from repro.query.parser import parse_query
+
+
+@pytest.fixture
+def db():
+    schema = Schema.from_dict(
+        {"games": ["d", "w", "l", "s", "r"], "teams": ["t", "c"]}
+    )
+    return Database(
+        schema,
+        [
+            fact("games", "d1", "GER", "ARG", "Final", "1:0"),
+            fact("games", "d2", "GER", "NED", "Final", "2:1"),
+            fact("games", "d3", "BRA", "GER", "Final", "2:0"),
+            fact("teams", "GER", "EU"),
+            fact("teams", "BRA", "SA"),
+            fact("teams", "ARG", "SA"),
+            fact("teams", "NED", "EU"),
+        ],
+    )
+
+
+TWO_WINS = parse_query(
+    'q(x) :- games(d1, x, y, "Final", u1), games(d2, x, z, "Final", u2), '
+    'teams(x, "EU"), d1 != d2.'
+)
+
+
+class TestEvaluate:
+    def test_basic_join(self, db):
+        q = parse_query('q(x) :- games(d, x, y, "Final", r), teams(x, "EU").')
+        assert evaluate(q, db) == {("GER",)}
+
+    def test_self_join_with_inequality(self, db):
+        assert evaluate(TWO_WINS, db) == {("GER",)}
+
+    def test_inequality_filters(self, db):
+        q = parse_query('q(x) :- games(d1, x, y, "Final", u), x != "GER".')
+        assert evaluate(q, db) == {("BRA",)}
+
+    def test_empty_result(self, db):
+        q = parse_query('q(x) :- teams(x, "AF").')
+        assert evaluate(q, db) == set()
+
+    def test_constant_only_atom(self, db):
+        q = parse_query('q(x) :- teams("GER", "EU"), teams(x, "SA").')
+        assert evaluate(q, db) == {("BRA",), ("ARG",)}
+
+    def test_constant_only_atom_absent(self, db):
+        q = parse_query('q(x) :- teams("GER", "AF"), teams(x, "SA").')
+        assert evaluate(q, db) == set()
+
+    def test_repeated_variable_in_atom(self, db):
+        db.insert(fact("games", "d9", "ARG", "ARG", "Group", "0:0"))
+        q = parse_query("q(x) :- games(d, x, x, s, r).")
+        assert evaluate(q, db) == {("ARG",)}
+
+    def test_multi_variable_head(self, db):
+        q = parse_query('q(x, y) :- games(d, x, y, "Final", r), teams(y, "SA").')
+        assert evaluate(q, db) == {("GER", "ARG")}
+
+    def test_matches_naive_semantics(self, db):
+        for q in (
+            TWO_WINS,
+            parse_query('q(x, c) :- teams(x, c), games(d, x, l, s, r), c != "SA".'),
+        ):
+            assert evaluate(q, db) == naive_evaluate(q, db)
+
+
+class TestAssignments:
+    def test_assignment_count(self, db):
+        # GER has two distinct final wins; (d1,d2) ordered pairs => 2.
+        assignments = list(valid_assignments(TWO_WINS, db))
+        assert len(assignments) == 2
+
+    def test_assignments_are_total(self, db):
+        for assignment in valid_assignments(TWO_WINS, db):
+            assert set(assignment) == TWO_WINS.variables()
+
+    def test_partial_restriction(self, db):
+        partial = {Var("x"): "GER"}
+        assert len(list(valid_assignments(TWO_WINS, db, partial))) == 2
+        partial = {Var("x"): "BRA"}
+        assert list(valid_assignments(TWO_WINS, db, partial)) == []
+
+    def test_partial_violating_inequality_prunes_immediately(self, db):
+        partial = {Var("d1"): "d1", Var("d2"): "d1"}
+        assert list(valid_assignments(TWO_WINS, db, partial)) == []
+
+    def test_yields_fresh_dicts(self, db):
+        seen = list(valid_assignments(TWO_WINS, db))
+        assert seen[0] is not seen[1]
+
+
+class TestSatisfiability:
+    def test_satisfiable(self, db):
+        assert is_satisfiable(TWO_WINS, db, {Var("x"): "GER"})
+
+    def test_unsatisfiable(self, db):
+        assert not is_satisfiable(TWO_WINS, db, {Var("x"): "BRA"})
+
+    def test_empty_partial(self, db):
+        assert is_satisfiable(TWO_WINS, db, {})
+
+
+class TestWitnesses:
+    def test_witness_facts(self, db):
+        witnesses = witnesses_for(TWO_WINS, db, ("GER",))
+        assert len(witnesses) == 1  # the two assignments share one fact set
+        (witness,) = witnesses
+        assert fact("teams", "GER", "EU") in witness
+        assert len(witness) == 3
+
+    def test_witness_dedup_symmetry(self, fig1_dirty):
+        from repro.workloads import EX1
+
+        # ESP: 4 final wins => C(4,2)=6 unordered pairs (12 assignments).
+        assert len(witnesses_for(EX1, fig1_dirty, ("ESP",))) == 6
+
+    def test_no_witnesses_for_non_answer(self, db):
+        assert witnesses_for(TWO_WINS, db, ("BRA",)) == []
+
+    def test_witness_of_requires_total(self, db):
+        with pytest.raises(QueryError):
+            witness_of(TWO_WINS, {Var("x"): "GER"})
+
+
+class TestAnswerToPartial:
+    def test_basic(self):
+        partial = answer_to_partial(TWO_WINS, ("GER",))
+        assert partial == {Var("x"): "GER"}
+
+    def test_wrong_length(self):
+        assert answer_to_partial(TWO_WINS, ("GER", "extra")) is None
+
+    def test_head_constant_match(self):
+        q = parse_query('q("GER", x) :- teams(x, c).')
+        assert answer_to_partial(q, ("GER", "BRA")) == {Var("x"): "BRA"}
+        assert answer_to_partial(q, ("FRA", "BRA")) is None
+
+    def test_repeated_head_variable(self):
+        q = parse_query("q(x, x) :- teams(x, c).")
+        assert answer_to_partial(q, ("GER", "GER")) == {Var("x"): "GER"}
+        assert answer_to_partial(q, ("GER", "BRA")) is None
+
+
+class TestInstantiateHead:
+    def test_basic(self):
+        assert instantiate_head(TWO_WINS, {Var("x"): "GER"}) == ("GER",)
+
+    def test_missing_binding(self):
+        with pytest.raises(QueryError):
+            instantiate_head(TWO_WINS, {})
+
+    def test_constant_in_head(self):
+        q = parse_query('q("GER", x) :- teams(x, c).')
+        assert instantiate_head(q, {Var("x"): "BRA"}) == ("GER", "BRA")
+
+
+class TestEvaluatorValidation:
+    def test_rejects_query_not_matching_schema(self, db):
+        q = parse_query("q(x) :- unknown(x).")
+        with pytest.raises(Exception):
+            Evaluator(q, db)

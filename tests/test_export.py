@@ -1,0 +1,62 @@
+"""Tests for experiment result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    export_figures,
+    figure_to_csv,
+    figure_to_dict,
+    load_exported,
+)
+from repro.experiments.figures import FigureResult
+
+
+@pytest.fixture
+def result():
+    r = FigureResult("figX", "Test figure", ("group", "algorithm", "questions"))
+    r.rows = [("Q1", "QOCO", 7), ("Q1", "Random", 16)]
+    r.notes = ["a note"]
+    return r
+
+
+class TestCsvExport:
+    def test_round_trip_rows(self, result, tmp_path):
+        figure_to_csv(result, tmp_path / "fig.csv")
+        with open(tmp_path / "fig.csv", newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["group", "algorithm", "questions"]
+        assert rows[1] == ["Q1", "QOCO", "7"]
+        assert len(rows) == 3
+
+
+class TestJsonExport:
+    def test_dict_shape(self, result):
+        data = figure_to_dict(result)
+        assert data["name"] == "figX"
+        assert data["rows"] == [["Q1", "QOCO", 7], ["Q1", "Random", 16]]
+        assert data["notes"] == ["a note"]
+
+    def test_non_jsonable_values_stringified(self):
+        r = FigureResult("f", "t", ("a",))
+        r.rows = [((1, 2),)]
+        data = figure_to_dict(r)
+        assert data["rows"] == [["(1, 2)"]]
+
+    def test_export_and_load(self, result, tmp_path):
+        export_figures([result], tmp_path / "out")
+        loaded = load_exported(tmp_path / "out")
+        assert loaded[0]["name"] == "figX"
+        assert (tmp_path / "out" / "figX.csv").exists()
+
+
+class TestCliExport:
+    def test_cli_export_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["dbgroup", "--export", str(tmp_path / "exp")]) == 0
+        exported = load_exported(tmp_path / "exp")
+        assert exported[0]["name"] == "dbgroup"
+        assert "results exported" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""Tests for the alternative deletion heuristics (§4 variants)."""
+
+import random
+
+import pytest
+
+from repro.core.deletion import crowd_remove_wrong_answer
+from repro.core.heuristics import (
+    ResponsibilityDeletion,
+    TrustScoreDeletion,
+    frequency_trust,
+)
+from repro.datasets.figure1 import ESP_EU, figure1_dirty
+from repro.db.tuples import fact
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.query.evaluator import evaluate
+from repro.workloads import EX1
+
+
+class TestResponsibility:
+    def test_fact_in_every_witness_has_responsibility_one(self):
+        sets = [frozenset({1, 2}), frozenset({1, 3})]
+        assert ResponsibilityDeletion.responsibility(1, sets) == 1.0
+
+    def test_contingency_lowers_responsibility(self):
+        sets = [frozenset({1, 2}), frozenset({3, 4})]
+        # 1 is counterfactual only after removing one fact of {3, 4}.
+        assert ResponsibilityDeletion.responsibility(1, sets) == 0.5
+
+    def test_chooses_shared_fact_first(self, fig1_dirty):
+        from repro.query.evaluator import witnesses_for
+
+        sets = [frozenset(w) for w in witnesses_for(EX1, fig1_dirty, ("ESP",))]
+        choice = ResponsibilityDeletion().choose(sets, random.Random(0))
+        assert choice == ESP_EU  # in all six witnesses -> responsibility 1
+
+    def test_cleans_wrong_answer(self, fig1_dirty, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        crowd_remove_wrong_answer(
+            EX1, fig1_dirty, ("ESP",), oracle,
+            ResponsibilityDeletion(), random.Random(0),
+        )
+        assert ("ESP",) not in evaluate(EX1, fig1_dirty)
+        assert ESP_EU in fig1_dirty
+
+
+class TestTrustScores:
+    def test_least_trusted_first(self):
+        scores = {1: 0.9, 2: 0.1, 3: 0.5}
+        strategy = TrustScoreDeletion(scores)
+        sets = [frozenset({1, 2}), frozenset({2, 3})]
+        assert strategy.choose(sets, random.Random(0)) == 2
+
+    def test_default_trust_for_unknown_facts(self):
+        strategy = TrustScoreDeletion({1: 0.9}, default_trust=0.2)
+        sets = [frozenset({1, 7})]
+        assert strategy.choose(sets, random.Random(0)) == 7
+
+    def test_callable_provider(self):
+        strategy = TrustScoreDeletion(lambda f: 0.0 if f == 5 else 1.0)
+        sets = [frozenset({4, 5, 6})]
+        assert strategy.choose(sets, random.Random(0)) == 5
+
+    def test_informed_trust_reduces_questions(self, fig1_gt):
+        # Trust scores that flag Spain's fabricated wins let the strategy
+        # hit a false fact immediately.
+        def informed(f):
+            return 1.0 if f in fig1_gt else 0.0
+
+        db = figure1_dirty()
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        crowd_remove_wrong_answer(
+            EX1, db, ("ESP",), oracle, TrustScoreDeletion(informed), random.Random(0)
+        )
+        informed_cost = oracle.log.total_cost
+
+        db = figure1_dirty()
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        crowd_remove_wrong_answer(
+            EX1, db, ("ESP",), oracle,
+            TrustScoreDeletion(lambda f: 0.5), random.Random(0),
+        )
+        flat_cost = oracle.log.total_cost
+        assert informed_cost <= flat_cost
+
+    def test_frequency_trust(self):
+        counts = {fact("teams", "GER", "EU"): 5, fact("teams", "BRA", "EU"): 1}
+        trust = frequency_trust(counts)
+        assert trust(fact("teams", "GER", "EU")) == 1.0
+        assert trust(fact("teams", "BRA", "EU")) == 0.2
+        assert trust(fact("teams", "XXX", "EU")) == 0.0
+
+    def test_cleans_wrong_answer(self, fig1_dirty, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        crowd_remove_wrong_answer(
+            EX1, fig1_dirty, ("ESP",), oracle,
+            TrustScoreDeletion(lambda f: 0.5), random.Random(0),
+        )
+        assert ("ESP",) not in evaluate(EX1, fig1_dirty)

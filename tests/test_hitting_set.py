@@ -1,0 +1,147 @@
+"""Unit tests for the hitting-set machinery (Definition 4.3, Theorem 4.5)."""
+
+import pytest
+
+from repro.hitting.hitting_set import (
+    all_minimal_hitting_sets,
+    exact_minimum_hitting_set,
+    greedy_hitting_set,
+    is_hitting_set,
+    is_minimal_hitting_set,
+    most_frequent_element,
+    normalize,
+    singleton_elements,
+    unique_minimal_hitting_set,
+)
+
+
+class TestBasics:
+    def test_is_hitting_set(self):
+        sets = [{1, 2}, {2, 3}]
+        assert is_hitting_set({2}, sets)
+        assert is_hitting_set({1, 3}, sets)
+        assert not is_hitting_set({1}, sets)
+
+    def test_is_minimal_hitting_set(self):
+        sets = [{1, 2}, {2, 3}]
+        assert is_minimal_hitting_set({2}, sets)
+        assert not is_minimal_hitting_set({1, 2}, sets)  # 1 droppable
+        assert is_minimal_hitting_set({1, 3}, sets)
+
+    def test_normalize_dedups(self):
+        assert len(normalize([{1}, {1}, {2}])) == 2
+
+    def test_normalize_keeps_empty_sets(self):
+        assert frozenset() in normalize([set(), {1}])
+
+    def test_singleton_elements(self):
+        assert singleton_elements([{1}, {1, 2}, {3}]) == {1, 3}
+
+
+class TestUniqueMinimal:
+    def test_paper_example_unique(self):
+        # Example 4.4: {t1} and {t1, t2} -> unique minimal {t1}.
+        assert unique_minimal_hitting_set([{1}, {1, 2}]) == {1}
+
+    def test_paper_example_not_unique(self):
+        # Example 4.4: {t1,t2} and {t1,t3} -> two minimal hitting sets.
+        assert unique_minimal_hitting_set([{1, 2}, {1, 3}]) is None
+
+    def test_empty_system(self):
+        assert unique_minimal_hitting_set([]) == set()
+
+    def test_unhittable_system(self):
+        assert unique_minimal_hitting_set([set(), {1}]) is None
+
+    def test_singletons_must_cover_everything(self):
+        # Singletons {1}, {2} hit {1,2} too => unique minimal {1, 2}.
+        assert unique_minimal_hitting_set([{1}, {2}, {1, 2}]) == {1, 2}
+
+    def test_agrees_with_exhaustive_enumeration(self):
+        systems = [
+            [{1}, {1, 2}],
+            [{1, 2}, {1, 3}],
+            [{1}, {2}, {1, 2}],
+            [{1, 2}, {3}],
+            [{1, 2, 3}],
+            [{1}, {2}, {3}],
+        ]
+        for sets in systems:
+            expected = all_minimal_hitting_sets(sets)
+            unique = unique_minimal_hitting_set(sets)
+            if len(expected) == 1:
+                assert unique == expected[0]
+            else:
+                assert unique is None
+
+
+class TestGreedy:
+    def test_result_is_hitting_set(self):
+        sets = [{1, 2}, {2, 3}, {3, 4}, {1, 4}]
+        assert is_hitting_set(greedy_hitting_set(sets), sets)
+
+    def test_most_frequent_first(self):
+        sets = [{1, 2}, {1, 3}, {1, 4}]
+        assert greedy_hitting_set(sets) == {1}
+
+    def test_unhittable_raises(self):
+        with pytest.raises(ValueError):
+            greedy_hitting_set([set()])
+
+    def test_empty_system(self):
+        assert greedy_hitting_set([]) == set()
+
+    def test_most_frequent_element_deterministic(self):
+        assert most_frequent_element([{1, 2}, {2}]) == 2
+
+    def test_most_frequent_element_empty(self):
+        assert most_frequent_element([]) is None
+
+
+class TestExact:
+    def test_optimal_on_greedy_trap(self):
+        # Greedy picks the high-degree element and needs 3; optimum is 2.
+        sets = [
+            {0, 1}, {0, 2}, {0, 3},
+            {1, 4}, {2, 4}, {3, 4},
+        ]
+        exact = exact_minimum_hitting_set(sets)
+        assert is_hitting_set(exact, sets)
+        assert len(exact) == 2
+
+    def test_never_worse_than_greedy(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(25):
+            sets = [
+                frozenset(rng.sample(range(8), rng.randint(1, 4)))
+                for _ in range(rng.randint(1, 6))
+            ]
+            exact = exact_minimum_hitting_set(sets)
+            greedy = greedy_hitting_set(sets)
+            assert is_hitting_set(exact, sets)
+            assert len(exact) <= len(greedy)
+
+    def test_unhittable_raises(self):
+        with pytest.raises(ValueError):
+            exact_minimum_hitting_set([frozenset()])
+
+
+class TestAllMinimal:
+    def test_example(self):
+        minimal = all_minimal_hitting_sets([{1, 2}, {1, 3}])
+        assert {1} in minimal
+        assert {2, 3} in minimal
+        assert len(minimal) == 2
+
+    def test_every_result_minimal(self):
+        sets = [{1, 2}, {2, 3}, {1, 3}]
+        for candidate in all_minimal_hitting_sets(sets):
+            assert is_minimal_hitting_set(candidate, sets)
+
+    def test_empty_system(self):
+        assert all_minimal_hitting_sets([]) == [set()]
+
+    def test_unhittable(self):
+        assert all_minimal_hitting_sets([set()]) == []

@@ -1,0 +1,80 @@
+"""Unit tests for the imperfect expert."""
+
+import random
+
+import pytest
+
+from repro.db.tuples import fact
+from repro.oracle.imperfect import ImperfectOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.query.ast import Var
+from repro.query.evaluator import witness_of
+from repro.workloads import EX1
+
+
+class TestErrorRates:
+    def test_zero_error_matches_perfect(self, fig1_gt):
+        truth = PerfectOracle(fig1_gt)
+        expert = ImperfectOracle(fig1_gt, 0.0, random.Random(0))
+        for f in list(fig1_gt)[:20]:
+            assert expert.verify_fact(f) == truth.verify_fact(f)
+        assert expert.verify_answer(EX1, ("GER",)) is True
+        assert expert.verify_answer(EX1, ("ESP",)) is False
+
+    def test_full_error_always_flips(self, fig1_gt):
+        expert = ImperfectOracle(fig1_gt, 1.0, random.Random(0))
+        assert expert.verify_fact(fact("teams", "ESP", "EU")) is False
+        assert expert.verify_fact(fact("teams", "BRA", "EU")) is True
+
+    def test_error_rate_validated(self, fig1_gt):
+        with pytest.raises(ValueError):
+            ImperfectOracle(fig1_gt, 1.5)
+
+    def test_empirical_rate_close_to_p(self, fig1_gt):
+        expert = ImperfectOracle(fig1_gt, 0.25, random.Random(7))
+        truth = PerfectOracle(fig1_gt)
+        f = fact("teams", "ESP", "EU")
+        flips = sum(
+            expert.verify_fact(f) != truth.verify_fact(f) for _ in range(600)
+        )
+        assert 0.18 < flips / 600 < 0.32
+
+
+class TestOpenQuestionCorruption:
+    def test_correct_completion_when_not_erring(self, fig1_gt):
+        expert = ImperfectOracle(fig1_gt, 0.0, random.Random(0))
+        full = expert.complete_assignment(EX1, {Var("x"): "ITA"})
+        assert full is not None
+        for f in witness_of(EX1, full):
+            assert f in fig1_gt
+
+    def test_corrupted_completion_detectable(self, fig1_gt):
+        # With p=1 the reply is either withheld or contains a false fact.
+        expert = ImperfectOracle(fig1_gt, 1.0, random.Random(3))
+        saw_bad = saw_none = False
+        for _ in range(30):
+            reply = expert.complete_assignment(EX1, {Var("x"): "ITA"})
+            if reply is None:
+                saw_none = True
+                continue
+            facts = witness_of(EX1, reply)
+            if any(f not in fig1_gt for f in facts):
+                saw_bad = True
+        assert saw_none or saw_bad
+
+    def test_complete_result_perturbation(self, fig1_gt):
+        expert = ImperfectOracle(fig1_gt, 1.0, random.Random(5))
+        replies = {expert.complete_result(EX1, [("GER",)]) for _ in range(30)}
+        # The correct reply is (ITA,); with p=1 it never appears verbatim.
+        assert ("ITA",) not in replies
+
+    def test_complete_result_correct_when_not_erring(self, fig1_gt):
+        expert = ImperfectOracle(fig1_gt, 0.0, random.Random(0))
+        assert expert.complete_result(EX1, [("GER",)]) == ("ITA",)
+
+    def test_unsatisfiable_stays_silent(self, fig1_gt):
+        # Even a lying expert can't invent a witness for (ESP).
+        expert = ImperfectOracle(fig1_gt, 1.0, random.Random(4))
+        for _ in range(10):
+            reply = expert.complete_assignment(EX1, {Var("x"): "ESP"})
+            assert reply is None

@@ -1,0 +1,158 @@
+"""Unit tests for Algorithm 2 (CrowdAddMissingAnswer)."""
+
+import random
+
+import pytest
+
+from repro.core.insertion import (
+    InsertionConfig,
+    InsertionError,
+    crowd_add_missing_answer,
+)
+from repro.core.split import (
+    MinCutSplit,
+    NaiveSplit,
+    ProvenanceSplit,
+    RandomSplit,
+)
+from repro.datasets.figure1 import ITA_EU
+from repro.db.edits import EditKind
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.oracle.questions import QuestionKind
+from repro.query.evaluator import evaluate
+from repro.workloads import EX1, EX2
+
+
+@pytest.fixture
+def oracle(fig1_gt):
+    return AccountingOracle(PerfectOracle(fig1_gt))
+
+
+ALL_SPLITS = [ProvenanceSplit, MinCutSplit, RandomSplit, NaiveSplit]
+
+
+class TestAddsMissingAnswer:
+    @pytest.mark.parametrize("split_cls", ALL_SPLITS)
+    def test_pirlo_added(self, split_cls, fig1_dirty, oracle):
+        # Example 5.4: (Pirlo) is missing because Teams(ITA, EU) is.
+        assert ("Andrea Pirlo",) not in evaluate(EX2, fig1_dirty)
+        edits = crowd_add_missing_answer(
+            EX2, fig1_dirty, ("Andrea Pirlo",), oracle,
+            split_cls(), random.Random(0),
+        )
+        assert ("Andrea Pirlo",) in evaluate(EX2, fig1_dirty)
+        assert edits
+
+    @pytest.mark.parametrize("split_cls", ALL_SPLITS)
+    def test_only_true_facts_inserted(self, split_cls, fig1_dirty, fig1_gt, oracle):
+        edits = crowd_add_missing_answer(
+            EX2, fig1_dirty, ("Andrea Pirlo",), oracle,
+            split_cls(), random.Random(0),
+        )
+        for edit in edits:
+            assert edit.kind is EditKind.INSERT
+            assert edit.fact in fig1_gt
+
+    def test_example_5_4_inserts_exactly_teams_ita(self, fig1_dirty, oracle):
+        # The paper's conclusion: only Teams(ITA, EU) needs inserting.
+        edits = crowd_add_missing_answer(
+            EX2, fig1_dirty, ("Andrea Pirlo",), oracle,
+            ProvenanceSplit(), random.Random(0),
+        )
+        assert [e.fact for e in edits] == [ITA_EU]
+
+    def test_missing_answer_for_ex1(self, fig1_dirty, oracle):
+        crowd_add_missing_answer(
+            EX1, fig1_dirty, ("ITA",), oracle, ProvenanceSplit(), random.Random(0)
+        )
+        assert ("ITA",) in evaluate(EX1, fig1_dirty)
+
+
+class TestGroundAtomShortcut:
+    def test_ground_atoms_inserted_without_questions(self, fig1_gt, oracle):
+        # If every body atom grounds out under t, the witness is implied:
+        # no crowd questions needed beyond nothing at all.
+        from repro.datasets.figure1 import figure1_dirty
+        from repro.query.parser import parse_query
+
+        db = figure1_dirty()
+        q = parse_query("q(x, c) :- teams(x, c).")
+        crowd_add_missing_answer(
+            q, db, ("ITA", "EU"), oracle, ProvenanceSplit(), random.Random(0)
+        )
+        assert ITA_EU in db
+        assert oracle.log.question_count == 0
+
+
+class TestQuestionEconomy:
+    def test_split_beats_naive(self, fig1_gt):
+        from repro.datasets.figure1 import figure1_dirty
+
+        costs = {}
+        for split_cls in (ProvenanceSplit, NaiveSplit):
+            oracle = AccountingOracle(PerfectOracle(fig1_gt))
+            db = figure1_dirty()
+            crowd_add_missing_answer(
+                EX2, db, ("Andrea Pirlo",), oracle, split_cls(), random.Random(0)
+            )
+            costs[split_cls.__name__] = oracle.log.total_cost
+        assert costs["ProvenanceSplit"] < costs["NaiveSplit"]
+
+    def test_naive_cost_is_all_variables(self, fig1_dirty, oracle):
+        # Naive asks for the whole witness: |Var(EX2|t)| variables filled.
+        crowd_add_missing_answer(
+            EX2, fig1_dirty, ("Andrea Pirlo",), oracle, NaiveSplit(), random.Random(0)
+        )
+        open_cost = oracle.log.cost_of([QuestionKind.COMPLETE_ASSIGNMENT])
+        assert open_cost == 6  # y, z, w, d, v, u
+
+    def test_provenance_uses_candidate_verification(self, fig1_dirty, oracle):
+        crowd_add_missing_answer(
+            EX2, fig1_dirty, ("Andrea Pirlo",), oracle,
+            ProvenanceSplit(), random.Random(0),
+        )
+        assert oracle.log.count_of([QuestionKind.VERIFY_CANDIDATE]) >= 1
+
+
+class TestEdgeCases:
+    def test_answer_already_present_is_noop(self, fig1_dirty, oracle):
+        edits = crowd_add_missing_answer(
+            EX2, fig1_dirty, ("Mario Goetze",), oracle,
+            ProvenanceSplit(), random.Random(0),
+        )
+        assert edits == []
+        assert oracle.log.question_count == 0
+
+    def test_unhelpful_crowd_raises(self, fig1_dirty, fig1_gt):
+        class SilentOracle(PerfectOracle):
+            def verify_candidate(self, query, partial):
+                return False
+
+            def complete_assignment(self, query, partial):
+                return None
+
+        oracle = AccountingOracle(SilentOracle(fig1_gt))
+        with pytest.raises(InsertionError):
+            crowd_add_missing_answer(
+                EX2, fig1_dirty, ("Andrea Pirlo",), oracle,
+                ProvenanceSplit(), random.Random(0),
+            )
+
+    def test_config_caps_respected(self, fig1_dirty, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        config = InsertionConfig(max_candidates_per_subquery=1, max_subqueries=2)
+        crowd_add_missing_answer(
+            EX2, fig1_dirty, ("Andrea Pirlo",), oracle,
+            ProvenanceSplit(), random.Random(0), config,
+        )
+        # even with tiny caps the fallback still completes the insertion
+        assert ("Andrea Pirlo",) in evaluate(EX2, fig1_dirty)
+
+    def test_mismatched_answer_rejected(self, fig1_dirty, oracle):
+        from repro.query.ast import QueryError
+
+        with pytest.raises(QueryError):
+            crowd_add_missing_answer(
+                EX2, fig1_dirty, ("a", "b"), oracle, ProvenanceSplit(), random.Random(0)
+            )

@@ -1,0 +1,125 @@
+"""End-to-end integration tests over the full datasets.
+
+These exercise the whole stack — dataset generation, noise injection,
+oracles, both sub-algorithms and the iterative loop — at the paper's
+scale, and check that cleaning always lands on ``Q(D') = Q(D_G)``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.qoco import QOCO, QOCOConfig
+from repro.datasets.noise import NoiseSpec, inject_result_errors, make_dirty
+from repro.oracle.aggregator import MajorityVote
+from repro.oracle.base import AccountingOracle
+from repro.oracle.crowd import Crowd
+from repro.oracle.imperfect import ImperfectOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.query.evaluator import evaluate
+from repro.workloads import DBGROUP_QUERIES, SOCCER_QUERIES
+
+
+class TestSoccerEndToEnd:
+    @pytest.mark.parametrize("name", ["Q1", "Q2", "Q3", "Q5"])
+    def test_mixed_cleaning_converges(self, worldcup_gt, name):
+        query = SOCCER_QUERIES[name]
+        errors = inject_result_errors(
+            worldcup_gt, query, n_wrong=3, n_missing=3, rng=random.Random(17)
+        )
+        dirty = errors.dirty.copy()
+        oracle = AccountingOracle(PerfectOracle(worldcup_gt))
+        report = QOCO(dirty, oracle, QOCOConfig(seed=17)).clean(query)
+        assert report.converged
+        assert evaluate(query, dirty) == evaluate(query, worldcup_gt)
+
+    def test_unstructured_noise_cleaning(self, worldcup_gt):
+        # Generic (cleanliness, skew) noise rather than planted result
+        # errors — the paper's default setup.
+        query = SOCCER_QUERIES["Q1"]
+        protected = set(worldcup_gt.facts("stages"))
+        dirty = make_dirty(
+            worldcup_gt,
+            NoiseSpec(cleanliness=0.9, skewness=0.5),
+            random.Random(23),
+            protected=protected,
+        )
+        oracle = AccountingOracle(PerfectOracle(worldcup_gt))
+        report = QOCO(dirty, oracle, QOCOConfig(seed=23, max_iterations=20)).clean(query)
+        assert evaluate(query, dirty) == evaluate(query, worldcup_gt)
+
+    def test_cleaning_is_query_scoped(self, worldcup_gt):
+        # QOCO only fixes what the query sees: the database may stay
+        # dirty elsewhere (Problem 3.2's remark).
+        query = SOCCER_QUERIES["Q1"]
+        errors = inject_result_errors(
+            worldcup_gt, query, n_wrong=2, n_missing=0, rng=random.Random(29)
+        )
+        dirty = errors.dirty.copy()
+        oracle = AccountingOracle(PerfectOracle(worldcup_gt))
+        QOCO(dirty, oracle).clean(query)
+        assert evaluate(query, dirty) == evaluate(query, worldcup_gt)
+        # (we make no claim D == D_G)
+
+
+class TestDBGroupEndToEnd:
+    def test_all_report_queries(self, dbgroup_gt):
+        from repro.datasets.dbgroup import seeded_errors
+
+        dirty, _ = seeded_errors(dbgroup_gt)
+        oracle = AccountingOracle(PerfectOracle(dbgroup_gt))
+        system = QOCO(dirty, oracle, QOCOConfig(seed=31))
+        for name, query in DBGROUP_QUERIES.items():
+            system.clean(query)
+            assert evaluate(query, dirty) == evaluate(query, dbgroup_gt), name
+
+
+class TestImperfectCrowdEndToEnd:
+    def test_majority_crowd_mostly_converges(self, worldcup_gt):
+        query = SOCCER_QUERIES["Q1"]
+        errors = inject_result_errors(
+            worldcup_gt, query, n_wrong=2, n_missing=2, rng=random.Random(37)
+        )
+        residuals = []
+        for trial in range(3):
+            dirty = errors.dirty.copy()
+            rng = random.Random(100 + trial)
+            members = [
+                ImperfectOracle(worldcup_gt, 0.05, random.Random(rng.randrange(1 << 30)))
+                for _ in range(3)
+            ]
+            crowd = Crowd(members, MajorityVote(3))
+            oracle = AccountingOracle(crowd)
+            QOCO(dirty, oracle, QOCOConfig(seed=trial, max_iterations=8)).clean(query)
+            residuals.append(
+                len(evaluate(query, dirty) ^ evaluate(query, worldcup_gt))
+            )
+        # majority voting keeps residual errors rare
+        assert sum(residuals) <= 2
+
+    def test_single_noisy_expert_worse_than_crowd(self, worldcup_gt):
+        query = SOCCER_QUERIES["Q1"]
+        errors = inject_result_errors(
+            worldcup_gt, query, n_wrong=2, n_missing=2, rng=random.Random(41)
+        )
+
+        def residual_with(oracle_backend, seed):
+            dirty = errors.dirty.copy()
+            oracle = AccountingOracle(oracle_backend)
+            QOCO(dirty, oracle, QOCOConfig(seed=seed, max_iterations=6)).clean(query)
+            return len(evaluate(query, dirty) ^ evaluate(query, worldcup_gt))
+
+        p = 0.3  # very sloppy experts make the contrast visible
+        solo_residuals = sum(
+            residual_with(ImperfectOracle(worldcup_gt, p, random.Random(s)), s)
+            for s in range(4)
+        )
+        crowd_residuals = 0
+        for s in range(4):
+            rng = random.Random(1000 + s)
+            members = [
+                ImperfectOracle(worldcup_gt, p, random.Random(rng.randrange(1 << 30)))
+                for _ in range(5)
+            ]
+            crowd_residuals += residual_with(Crowd(members, MajorityVote(5)), s)
+        assert crowd_residuals <= solo_residuals

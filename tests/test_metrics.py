@@ -1,0 +1,93 @@
+"""Tests for repair-quality metrics."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.edits import delete, insert
+from repro.db.schema import Schema
+from repro.db.tuples import fact
+from repro.experiments.metrics import RepairQuality, edit_is_correct, repair_quality
+
+
+@pytest.fixture
+def gt():
+    schema = Schema.from_dict({"r": ["a"]})
+    return Database(schema, [fact("r", 1), fact("r", 2)])
+
+
+class TestEditIsCorrect:
+    def test_delete_false_fact_correct(self, gt):
+        assert edit_is_correct(delete(fact("r", 99)), gt)
+
+    def test_delete_true_fact_incorrect(self, gt):
+        assert not edit_is_correct(delete(fact("r", 1)), gt)
+
+    def test_insert_true_fact_correct(self, gt):
+        assert edit_is_correct(insert(fact("r", 2)), gt)
+
+    def test_insert_false_fact_incorrect(self, gt):
+        assert not edit_is_correct(insert(fact("r", 99)), gt)
+
+
+class TestRepairQuality:
+    def test_perfect_repair(self, gt):
+        corruption = [delete(fact("r", 2)), insert(fact("r", 99))]
+        applied = [insert(fact("r", 2)), delete(fact("r", 99))]
+        quality = repair_quality(applied, corruption, gt)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.f1 == 1.0
+
+    def test_partial_recall(self, gt):
+        corruption = [delete(fact("r", 2)), insert(fact("r", 99))]
+        applied = [insert(fact("r", 2))]
+        quality = repair_quality(applied, corruption, gt)
+        assert quality.precision == 1.0
+        assert quality.recall == 0.5
+
+    def test_spurious_edit_hits_precision(self, gt):
+        corruption = [insert(fact("r", 99))]
+        applied = [delete(fact("r", 99)), delete(fact("r", 1))]  # 2nd is wrong
+        quality = repair_quality(applied, corruption, gt)
+        assert quality.precision == 0.5
+        assert quality.recall == 1.0
+        assert 0 < quality.f1 < 1
+
+    def test_relevant_corruption_restricts_recall(self, gt):
+        corruption = [delete(fact("r", 2)), insert(fact("r", 99))]
+        applied = [insert(fact("r", 2))]
+        quality = repair_quality(
+            applied, corruption, gt, relevant_corruption=[delete(fact("r", 2))]
+        )
+        assert quality.recall == 1.0
+
+    def test_empty_everything(self, gt):
+        quality = repair_quality([], [], gt)
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+
+    def test_str_mentions_scores(self, gt):
+        quality = repair_quality([], [], gt)
+        assert "precision=1.00" in str(quality)
+
+
+class TestEndToEndQuality:
+    def test_dbgroup_repair_scores(self, dbgroup_gt):
+        """The Section 7.1 run repairs with perfect precision."""
+        import random
+
+        from repro.core.qoco import QOCO, QOCOConfig
+        from repro.datasets.dbgroup import seeded_errors
+        from repro.oracle.base import AccountingOracle
+        from repro.oracle.perfect import PerfectOracle
+        from repro.workloads import DBGROUP_QUERIES
+
+        dirty, corruption = seeded_errors(dbgroup_gt)
+        oracle = AccountingOracle(PerfectOracle(dbgroup_gt))
+        system = QOCO(dirty, oracle, QOCOConfig(seed=9))
+        applied = []
+        for query in DBGROUP_QUERIES.values():
+            applied += system.clean(query).edits
+        quality = repair_quality(applied, corruption, dbgroup_gt)
+        assert quality.precision == 1.0  # perfect oracle: no spurious edits
+        assert quality.recall > 0.4      # query-scoped: only visible errors

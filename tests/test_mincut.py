@@ -1,0 +1,92 @@
+"""Unit tests for Stoer–Wagner global min cut (networkx as oracle)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.mincut.stoer_wagner import GraphCutError, minimum_cut
+
+
+class TestBasics:
+    def test_two_nodes(self):
+        weight, a, b = minimum_cut([0, 1], {(0, 1): 3.0})
+        assert weight == 3.0
+        assert a | b == {0, 1}
+        assert a and b
+
+    def test_disconnected_graph_zero_cut(self):
+        weight, a, b = minimum_cut([0, 1, 2, 3], {(0, 1): 5.0, (2, 3): 5.0})
+        assert weight == 0.0
+        assert (a == {0, 1} and b == {2, 3}) or (a == {2, 3} and b == {0, 1})
+
+    def test_bridge(self):
+        # Two triangles connected by one light edge: cut = the bridge.
+        edges = {
+            (0, 1): 2.0, (1, 2): 2.0, (0, 2): 2.0,
+            (3, 4): 2.0, (4, 5): 2.0, (3, 5): 2.0,
+            (2, 3): 1.0,
+        }
+        weight, a, b = minimum_cut(range(6), edges)
+        assert weight == 1.0
+        assert {frozenset(a), frozenset(b)} == {
+            frozenset({0, 1, 2}), frozenset({3, 4, 5})
+        }
+
+    def test_duplicate_orientations_summed(self):
+        weight, _, _ = minimum_cut([0, 1], {(0, 1): 1.0, (1, 0): 2.0})
+        assert weight == 3.0
+
+    def test_self_loops_ignored(self):
+        weight, _, _ = minimum_cut([0, 1], {(0, 0): 9.0, (0, 1): 1.0})
+        assert weight == 1.0
+
+
+class TestErrors:
+    def test_single_node_rejected(self):
+        with pytest.raises(GraphCutError):
+            minimum_cut([0], {})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphCutError):
+            minimum_cut([0, 1], {(0, 1): -1.0})
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(GraphCutError):
+            minimum_cut([0, 1], {(0, 9): 1.0})
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_graphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 9)
+        nodes = list(range(n))
+        edges = {}
+        # Random connected-ish graph.
+        for i in range(1, n):
+            edges[(rng.randrange(i), i)] = float(rng.randint(1, 5))
+        for _ in range(rng.randint(0, 2 * n)):
+            u, v = rng.sample(nodes, 2)
+            key = (min(u, v), max(u, v))
+            edges[key] = edges.get(key, 0.0) + float(rng.randint(1, 5))
+
+        weight, a, b = minimum_cut(nodes, edges)
+
+        graph = nx.Graph()
+        graph.add_nodes_from(nodes)
+        for (u, v), w in edges.items():
+            if graph.has_edge(u, v):
+                graph[u][v]["weight"] += w
+            else:
+                graph.add_edge(u, v, weight=w)
+        expected, _ = nx.stoer_wagner(graph)
+        assert weight == pytest.approx(expected)
+
+        # Returned sides actually induce the reported weight.
+        crossing = sum(
+            w
+            for (u, v), w in edges.items()
+            if (u in a) != (v in a)
+        )
+        assert crossing == pytest.approx(weight)

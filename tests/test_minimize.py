@@ -1,0 +1,187 @@
+"""Tests for CQ containment and minimization (Chandra-Merlin)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.db.tuples import Fact
+from repro.query.evaluator import evaluate
+from repro.query.minimize import (
+    are_equivalent,
+    canonical_database,
+    is_contained_in,
+    minimize,
+)
+from repro.query.parser import parse_query
+
+
+class TestCanonicalDatabase:
+    def test_one_fact_per_atom(self):
+        q = parse_query("q(x) :- r(x, y), r(y, x).")
+        db, head = canonical_database(q)
+        assert db.size("r") == 2
+        assert head == ("§var:x",)
+
+    def test_constants_frozen_distinctly_from_variables(self):
+        q = parse_query('q(x) :- r(x, "EU").')
+        db, _ = canonical_database(q)
+        fact = next(iter(db.facts("r")))
+        assert fact.values[0] == "§var:x"
+        assert fact.values[1].startswith("§const:")
+
+
+class TestContainment:
+    def test_identical_queries(self):
+        a = parse_query("q(x) :- r(x, y).")
+        b = parse_query("q(x) :- r(x, y).")
+        assert is_contained_in(a, b)
+        assert is_contained_in(b, a)
+
+    def test_more_specific_contained_in_general(self):
+        specific = parse_query("q(x) :- r(x, y), s(y).")
+        general = parse_query("q(x) :- r(x, y).")
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_constant_specialization(self):
+        specific = parse_query('q(x) :- r(x, "EU").')
+        general = parse_query("q(x) :- r(x, y).")
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_different_head_arities_incomparable(self):
+        a = parse_query("q(x) :- r(x, y).")
+        b = parse_query("q(x, y) :- r(x, y).")
+        assert not is_contained_in(a, b)
+
+    def test_renamed_variables_equivalent(self):
+        a = parse_query("q(x) :- r(x, y), s(y).")
+        b = parse_query("q(u) :- r(u, w), s(w).")
+        assert are_equivalent(a, b)
+
+    def test_inequality_conservative(self):
+        with_ineq = parse_query("q(x) :- r(x, y), x != y.")
+        without = parse_query("q(x) :- r(x, y).")
+        assert is_contained_in(with_ineq, without)
+        assert not is_contained_in(without, with_ineq)
+
+    def test_semantic_check_on_random_data(self, rng):
+        """contained(a, b) implies a's answers ⊆ b's answers on data."""
+        schema = Schema.from_dict({"r": ["a", "b"], "s": ["a"]})
+        a = parse_query("q(x) :- r(x, y), s(y).")
+        b = parse_query("q(x) :- r(x, y).")
+        for seed in range(20):
+            local = random.Random(seed)
+            db = Database(
+                schema,
+                [
+                    Fact("r", (local.randrange(4), local.randrange(4)))
+                    for _ in range(6)
+                ]
+                + [Fact("s", (local.randrange(4),)) for _ in range(3)],
+            )
+            assert evaluate(a, db) <= evaluate(b, db)
+
+
+class TestMinimize:
+    def test_redundant_atom_removed(self):
+        q = parse_query("q(x) :- r(x, y), r(x, z).")
+        minimal = minimize(q)
+        assert len(minimal.atoms) == 1
+        assert are_equivalent(minimal, q)
+
+    def test_non_redundant_self_join_kept(self):
+        q = parse_query("q(x) :- r(x, y), r(y, x).")
+        assert len(minimize(q).atoms) == 2
+
+    def test_chain_with_duplicate_suffix(self):
+        q = parse_query("q(x) :- r(x, y), s(y), r(x, w), s(w).")
+        minimal = minimize(q)
+        assert len(minimal.atoms) == 2
+        assert are_equivalent(minimal, q)
+
+    def test_inequality_blocks_collapse(self):
+        # y and z cannot be merged: the inequality needs both.
+        q = parse_query("q(x) :- r(x, y), r(x, z), y != z.")
+        assert len(minimize(q).atoms) == 2
+
+    def test_constants_block_collapse(self):
+        q = parse_query('q(x) :- r(x, "EU"), r(x, y).')
+        minimal = minimize(q)
+        # r(x, y) is subsumed by r(x, "EU")
+        assert len(minimal.atoms) == 1
+        assert minimal.atoms[0].terms[1] == "EU"
+
+    def test_workload_queries_already_minimal(self):
+        from repro.workloads import Q1, Q3, Q5, EX2
+
+        for q in (Q1, Q3, Q5, EX2):
+            assert len(minimize(q).atoms) == len(q.atoms)
+
+    def test_negation_returned_unchanged(self):
+        q = parse_query("q(x) :- r(x, y), r(x, z), not s(x).")
+        assert minimize(q) is q
+
+    def test_minimized_query_same_results(self, worldcup_gt):
+        bloated = parse_query(
+            'q(x) :- games(d1, x, y, "Final", u1), games(d1, x, y2, "Final", u2), '
+            'teams(x, "EU").'
+        )
+        minimal = minimize(bloated)
+        assert len(minimal.atoms) < len(bloated.atoms)
+        assert evaluate(minimal, worldcup_gt) == evaluate(bloated, worldcup_gt)
+
+
+SCHEMA = Schema.from_dict({"r": ["a", "b"], "s": ["a"]})
+CONSTS = [0, 1, 2]
+
+
+@st.composite
+def random_cq(draw):
+    from repro.query.ast import Atom, Query, Var
+
+    variables = [Var(n) for n in ("x", "y", "z")]
+    n = draw(st.integers(1, 3))
+    atoms = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            atoms.append(
+                Atom(
+                    "r",
+                    (
+                        draw(st.sampled_from(variables)),
+                        draw(st.sampled_from(variables + CONSTS)),  # type: ignore[operator]
+                    ),
+                )
+            )
+        else:
+            atoms.append(Atom("s", (draw(st.sampled_from(variables)),)))
+    body_vars = sorted(set().union(*(a.variables() for a in atoms)), key=str)
+    if not body_vars:
+        atoms.append(Atom("s", (variables[0],)))
+        body_vars = [variables[0]]
+    head = (draw(st.sampled_from(body_vars)),)
+    return Query(head, tuple(atoms), (), "rand")
+
+
+@given(query=random_cq())
+@settings(max_examples=80, deadline=None)
+def test_minimize_preserves_semantics(query):
+    minimal = minimize(query)
+    assert len(minimal.atoms) <= len(query.atoms)
+    rng = random.Random(0)
+    for seed in range(5):
+        local = random.Random(seed)
+        db = Database(
+            SCHEMA,
+            [
+                Fact("r", (local.randrange(3), local.randrange(3)))
+                for _ in range(5)
+            ]
+            + [Fact("s", (local.randrange(3),)) for _ in range(2)],
+        )
+        assert evaluate(minimal, db) == evaluate(query, db)

@@ -1,0 +1,97 @@
+"""Unit tests for the accounting oracle (caching, cost model)."""
+
+from repro.db.tuples import fact
+from repro.oracle.base import AccountingOracle, open_question_cost, result_question_cost
+from repro.oracle.perfect import PerfectOracle
+from repro.oracle.questions import QuestionKind
+from repro.query.ast import Var
+from repro.query.parser import parse_query
+from repro.workloads import EX1
+
+
+class TestCaching:
+    def test_fact_question_asked_once(self, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        f = fact("teams", "ESP", "EU")
+        assert oracle.verify_fact(f) is True
+        assert oracle.verify_fact(f) is True
+        assert oracle.log.question_count == 1  # cache hit is free
+
+    def test_answer_question_asked_once(self, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        assert oracle.verify_answer(EX1, ("GER",)) is True
+        assert oracle.verify_answer(EX1, ("GER",)) is True
+        assert oracle.log.count_of([QuestionKind.VERIFY_ANSWER]) == 1
+
+    def test_remember_fact_preempts_question(self, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        f = fact("teams", "ESP", "EU")
+        oracle.remember_fact(f, False)  # inferred knowledge (even if wrong)
+        assert oracle.verify_fact(f) is False
+        assert oracle.log.question_count == 0
+
+    def test_knows_fact(self, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        f = fact("teams", "ESP", "EU")
+        assert not oracle.knows_fact(f)
+        oracle.verify_fact(f)
+        assert oracle.knows_fact(f)
+        assert oracle.known_fact_value(f) is True
+
+    def test_forget_clears_cache(self, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        f = fact("teams", "ESP", "EU")
+        oracle.verify_fact(f)
+        oracle.forget()
+        oracle.verify_fact(f)
+        assert oracle.log.question_count == 2  # re-asked after forget
+
+
+class TestCosts:
+    def test_closed_cost_one(self, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        oracle.verify_fact(fact("teams", "ESP", "EU"))
+        oracle.verify_answer(EX1, ("GER",))
+        oracle.verify_candidate(EX1, {Var("x"): "GER"})
+        assert oracle.log.total_cost == 3
+
+    def test_complete_assignment_cost_counts_filled_vars(self, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        partial = {Var("x"): "GER"}
+        result = oracle.complete_assignment(EX1, partial)
+        assert result is not None
+        filled = len(EX1.variables()) - 1
+        assert oracle.log.total_cost == filled
+
+    def test_complete_assignment_null_costs_one(self, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        assert oracle.complete_assignment(EX1, {Var("x"): "BRA"}) is None
+        assert oracle.log.total_cost == 1
+
+    def test_complete_result_cost(self, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        answer = oracle.complete_result(EX1, [("GER",)])
+        assert answer == ("ITA",)
+        assert oracle.log.cost_of([QuestionKind.COMPLETE_RESULT]) == 1
+
+
+class TestCostHelpers:
+    def test_open_question_cost_null(self):
+        q = parse_query("q(x) :- r(x, y).")
+        assert open_question_cost(q, {}, None) == 1
+
+    def test_open_question_cost_counts_new_vars(self):
+        q = parse_query("q(x) :- r(x, y, z).")
+        x, y, z = Var("x"), Var("y"), Var("z")
+        result = {x: 1, y: 2, z: 3}
+        assert open_question_cost(q, {x: 1}, result) == 2
+        assert open_question_cost(q, {}, result) == 3
+
+    def test_result_question_cost(self):
+        q = parse_query("q(x, y) :- r(x, y).")
+        assert result_question_cost(q, (1, 2)) == 2
+        assert result_question_cost(q, None) == 1
+
+    def test_result_question_cost_repeated_head_var(self):
+        q = parse_query("q(x, x) :- r(x, y).")
+        assert result_question_cost(q, (1, 1)) == 1  # unique variables

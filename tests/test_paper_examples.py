@@ -1,0 +1,144 @@
+"""The paper's worked examples, verified end to end on Figure 1 data.
+
+Each test class follows one numbered example of the paper; together they
+pin the reproduction to the paper's own narrative.
+"""
+
+import random
+
+import pytest
+
+from repro.core.deletion import QOCODeletion, crowd_remove_wrong_answer
+from repro.core.insertion import crowd_add_missing_answer
+from repro.core.qoco import QOCO
+from repro.core.split import ProvenanceSplit
+from repro.datasets.figure1 import ESP_EU, ITA_EU
+from repro.db.tuples import fact
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.oracle.questions import QuestionKind
+from repro.query.ast import Var
+from repro.query.evaluator import (
+    Evaluator,
+    answer_to_partial,
+    evaluate,
+    is_satisfiable,
+    valid_assignments,
+)
+from repro.workloads import EX1, EX2
+
+
+class TestExample21And22:
+    """Examples 2.1/2.2: Q1's answers and assignments."""
+
+    def test_q1_d_result(self, fig1_dirty):
+        assert evaluate(EX1, fig1_dirty) == {("GER",), ("ESP",)}
+
+    def test_ger_has_two_assignments(self, fig1_dirty):
+        partial = answer_to_partial(EX1, ("GER",))
+        assignments = list(valid_assignments(EX1, fig1_dirty, partial))
+        # d1/d2 over the 1990 and 2014 wins, both orders.
+        assert len(assignments) == 2
+
+    def test_equal_dates_invalid(self, fig1_dirty):
+        # The assignment with d1 = d2 = 13.07.2014 violates d1 != d2.
+        partial = {
+            Var("x"): "GER",
+            Var("d1"): "13.07.2014",
+            Var("d2"): "13.07.2014",
+        }
+        assert not is_satisfiable(EX1, fig1_dirty, partial)
+
+    def test_ita_fra_unsatisfiable(self, fig1_dirty):
+        # β = {x -> ITA, y -> FRA} is non-satisfiable w.r.t. D.
+        partial = {Var("x"): "ITA", Var("y"): "FRA"}
+        assert not is_satisfiable(EX1, fig1_dirty, partial)
+
+
+class TestExample46:
+    """Example 4.6: removing the wrong answer (ESP)."""
+
+    def test_six_witnesses_of_three_facts(self, fig1_dirty):
+        witnesses = Evaluator(EX1, fig1_dirty).witnesses(("ESP",))
+        assert len(witnesses) == 6
+        assert all(len(w) == 3 for w in witnesses)
+        assert all(ESP_EU in w for w in witnesses)
+
+    def test_trace(self, fig1_dirty, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        edits = crowd_remove_wrong_answer(
+            EX1, fig1_dirty, ("ESP",), oracle, QOCODeletion(), random.Random(0)
+        )
+        # The three false game facts are deleted; the true ones survive.
+        deleted = {e.fact for e in edits}
+        assert deleted == {
+            fact("games", "12.07.1998", "ESP", "NED", "Final", "4:2"),
+            fact("games", "17.07.1994", "ESP", "NED", "Final", "3:1"),
+            fact("games", "25.06.1978", "ESP", "NED", "Final", "1:0"),
+        }
+        # Fewer questions than the naive 5 (Thm 4.5 closed the tail).
+        questions = oracle.log.cost_of([QuestionKind.VERIFY_FACT])
+        assert questions <= 4
+        assert ("ESP",) not in evaluate(EX1, fig1_dirty)
+        # The true 2010 win and the Teams fact are intact.
+        assert fact("games", "11.07.2010", "ESP", "NED", "Final", "1:0") in fig1_dirty
+        assert ESP_EU in fig1_dirty
+
+
+class TestExample54:
+    """Example 5.4: adding the missing answer (Pirlo) via query split."""
+
+    def test_pirlo_missing_because_of_teams_tuple(self, fig1_dirty, fig1_gt):
+        assert ("Andrea Pirlo",) not in evaluate(EX2, fig1_dirty)
+        assert ("Andrea Pirlo",) in evaluate(EX2, fig1_gt)
+        assert ITA_EU not in fig1_dirty
+
+    def test_split_isolates_missing_teams_tuple(self, fig1_dirty, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        edits = crowd_add_missing_answer(
+            EX2, fig1_dirty, ("Andrea Pirlo",), oracle,
+            ProvenanceSplit(), random.Random(0),
+        )
+        # QOCO concludes only Teams(ITA, EU) needs inserting.
+        assert [e.fact for e in edits] == [ITA_EU]
+        assert ("Andrea Pirlo",) in evaluate(EX2, fig1_dirty)
+
+    def test_cheaper_than_naive_six_variables(self, fig1_dirty, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        crowd_add_missing_answer(
+            EX2, fig1_dirty, ("Andrea Pirlo",), oracle,
+            ProvenanceSplit(), random.Random(0),
+        )
+        assert oracle.log.total_cost < 6
+
+
+class TestExample61:
+    """Example 6.1: fixing one error type surfaces the other."""
+
+    def test_totti_becomes_wrong_after_insertion(self, fig1_dirty):
+        fig1_dirty.insert(ITA_EU)
+        assert ("Francesco Totti",) in evaluate(EX2, fig1_dirty)
+
+    def test_iterative_loop_cleans_both(self, fig1_dirty, fig1_gt):
+        report = QOCO(fig1_dirty, AccountingOracle(PerfectOracle(fig1_gt))).clean(EX2)
+        assert evaluate(EX2, fig1_dirty) == evaluate(EX2, fig1_gt)
+        assert ("Francesco Totti",) in report.wrong_answers_removed
+        assert fact("goals", "Francesco Totti", "09.07.2006") not in fig1_dirty
+
+
+class TestPropositions:
+    """Propositions 3.3/3.4 on the example instance."""
+
+    def test_every_oracle_edit_shrinks_distance(self, fig1_dirty, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        distances = [fig1_dirty.distance(fig1_gt)]
+        report = QOCO(fig1_dirty, oracle).clean(EX1)
+        for edit in report.edits:
+            pass  # edits were applied during cleaning
+        distances.append(fig1_dirty.distance(fig1_gt))
+        assert distances[-1] <= distances[0]
+
+    def test_convergence_in_finite_questions(self, fig1_dirty, fig1_gt):
+        report = QOCO(fig1_dirty, AccountingOracle(PerfectOracle(fig1_gt))).clean(EX1)
+        assert report.converged
+        assert report.log.question_count < 100

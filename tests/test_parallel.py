@@ -1,0 +1,166 @@
+"""Tests for the parallel (round-based) main loop (Appendix B)."""
+
+import random
+
+import pytest
+
+from repro.core.parallel import (
+    ParallelQOCO,
+    RoundScheduler,
+    insertion_task,
+    removal_task,
+)
+from repro.core.qoco import QOCO, QOCOConfig
+from repro.core.split import ProvenanceSplit
+from repro.core.insertion import InsertionConfig
+from repro.db.tuples import fact
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.query.evaluator import Evaluator, evaluate
+from repro.workloads import EX1, EX2, Q3
+
+
+@pytest.fixture
+def oracle(fig1_gt):
+    return AccountingOracle(PerfectOracle(fig1_gt))
+
+
+class TestRemovalTask:
+    def test_single_task_equivalent_to_algorithm1(self, fig1_dirty, fig1_gt, oracle):
+        witnesses = [
+            frozenset(w) for w in Evaluator(EX1, fig1_dirty).witnesses(("ESP",))
+        ]
+        scheduler = RoundScheduler(oracle)
+        (edits,) = scheduler.run([removal_task(witnesses)])
+        assert edits is not None
+        fig1_dirty.apply(edits)
+        assert ("ESP",) not in evaluate(EX1, fig1_dirty)
+        for edit in edits:
+            assert edit.fact not in fig1_gt
+
+    def test_failed_task_reports_none(self, fig1_gt, oracle):
+        # an empty witness can never be destroyed: the task fails and the
+        # scheduler reports None in its slot (others keep their results)
+        bad = removal_task([frozenset()])
+        good = removal_task([])
+        scheduler = RoundScheduler(oracle)
+        results = scheduler.run([bad, good])
+        assert results[0] is None
+        assert results[1] == []
+
+    def test_yes_oracle_resolved_by_singleton_rule(self, fig1_gt):
+        # Like Algorithm 1, the singleton rule closes out even a lying
+        # yes-oracle: the last fact of a witness is deleted by inference.
+        class YesOracle(PerfectOracle):
+            def verify_fact(self, fact):
+                return True
+
+        witnesses = [frozenset({fact("teams", "A", "B"), fact("teams", "C", "D")})]
+        scheduler = RoundScheduler(AccountingOracle(YesOracle(fig1_gt)))
+        (result,) = scheduler.run([removal_task(witnesses)])
+        assert result is not None
+        assert len(result) == 1  # one inferred deletion finished the job
+
+    def test_rounds_bounded_by_max_task_questions(self, fig1_dirty, fig1_gt, oracle):
+        # two parallel removals share rounds
+        fig1_dirty.insert(fact("games", "01.01.1999", "FRA", "GER", "Final", "9:0"))
+        fig1_dirty.insert(fact("games", "02.01.1999", "FRA", "ITA", "Final", "9:0"))
+        evaluator = Evaluator(EX1, fig1_dirty)
+        tasks = [
+            removal_task([frozenset(w) for w in evaluator.witnesses(("ESP",))]),
+            removal_task([frozenset(w) for w in evaluator.witnesses(("FRA",))]),
+        ]
+        scheduler = RoundScheduler(oracle)
+        results = scheduler.run(tasks)
+        assert all(r is not None for r in results)
+        total_questions = oracle.log.question_count
+        assert scheduler.rounds < total_questions  # parallelism paid off
+        assert scheduler.peak_width == 2
+
+
+class TestInsertionTask:
+    def test_single_task_inserts_witness(self, fig1_dirty, fig1_gt, oracle):
+        task = insertion_task(
+            EX2, fig1_dirty, ("Andrea Pirlo",),
+            ProvenanceSplit(), random.Random(0), InsertionConfig(),
+        )
+        scheduler = RoundScheduler(oracle)
+        (edits,) = scheduler.run([task])
+        assert edits is not None
+        assert ("Andrea Pirlo",) in evaluate(EX2, fig1_dirty)
+
+    def test_already_present_answer_is_free(self, fig1_dirty, fig1_gt, oracle):
+        task = insertion_task(
+            EX2, fig1_dirty, ("Mario Goetze",),
+            ProvenanceSplit(), random.Random(0), InsertionConfig(),
+        )
+        scheduler = RoundScheduler(oracle)
+        (edits,) = scheduler.run([task])
+        assert edits == []
+        assert oracle.log.question_count == 0
+
+
+class TestParallelQOCO:
+    def test_same_outcome_as_sequential(self, fig1_gt):
+        from repro.datasets.figure1 import figure1_dirty
+
+        sequential_db = figure1_dirty()
+        QOCO(
+            sequential_db, AccountingOracle(PerfectOracle(fig1_gt)), QOCOConfig(seed=0)
+        ).clean(EX1)
+
+        parallel_db = figure1_dirty()
+        report = ParallelQOCO(
+            parallel_db, AccountingOracle(PerfectOracle(fig1_gt)), seed=0
+        ).clean(EX1)
+        assert evaluate(EX1, parallel_db) == evaluate(EX1, sequential_db)
+        assert evaluate(EX1, parallel_db) == evaluate(EX1, fig1_gt)
+        assert report.converged
+
+    def test_rounds_fewer_than_questions(self, fig1_dirty, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        report = ParallelQOCO(fig1_dirty, oracle, seed=0).clean(EX1)
+        assert report.rounds < oracle.log.question_count
+
+    def test_side_effects_cleaned_across_iterations(self, fig1_dirty, fig1_gt):
+        # the Totti example again, through the parallel loop
+        report = ParallelQOCO(
+            fig1_dirty, AccountingOracle(PerfectOracle(fig1_gt)), seed=0
+        ).clean(EX2)
+        assert evaluate(EX2, fig1_dirty) == evaluate(EX2, fig1_gt)
+        assert ("Francesco Totti",) in report.wrong_answers_removed
+
+    def test_on_worldcup_scale(self, worldcup_gt):
+        from repro.datasets.noise import inject_result_errors
+
+        errors = inject_result_errors(
+            worldcup_gt, Q3, n_wrong=4, n_missing=4, rng=random.Random(55)
+        )
+        dirty = errors.dirty.copy()
+        oracle = AccountingOracle(PerfectOracle(worldcup_gt))
+        report = ParallelQOCO(dirty, oracle, seed=55).clean(Q3)
+        assert evaluate(Q3, dirty) == evaluate(Q3, worldcup_gt)
+        assert report.converged
+        # with ~40 answers verified in one wave, rounds collapse
+        assert report.rounds < oracle.log.question_count / 2
+
+    def test_completion_width_batches_missing_answers(self, worldcup_gt):
+        from repro.datasets.noise import inject_result_errors
+
+        errors = inject_result_errors(
+            worldcup_gt, Q3, n_wrong=0, n_missing=4, rng=random.Random(56)
+        )
+        dirty = errors.dirty.copy()
+        oracle = AccountingOracle(PerfectOracle(worldcup_gt))
+        report = ParallelQOCO(
+            dirty, oracle, completion_width=8, seed=56
+        ).clean(Q3)
+        assert evaluate(Q3, dirty) == evaluate(Q3, worldcup_gt)
+        assert len(report.missing_answers_added) >= 1
+
+    def test_clean_database_single_round(self, fig1_gt):
+        db = fig1_gt.copy()
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        report = ParallelQOCO(db, oracle, seed=0).clean(EX1)
+        assert report.edits == []
+        assert report.rounds <= 3

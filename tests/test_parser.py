@@ -1,0 +1,124 @@
+"""Unit tests for the datalog-style query parser."""
+
+import pytest
+
+from repro.query.ast import Atom, Inequality, Var
+from repro.query.parser import ParseError, parse_queries, parse_query
+
+
+class TestBasics:
+    def test_simple_query(self):
+        q = parse_query('q(x) :- teams(x, "EU").')
+        assert q.name == "q"
+        assert q.head == (Var("x"),)
+        assert q.atoms == (Atom("teams", (Var("x"), "EU")),)
+
+    def test_anonymous_head(self):
+        q = parse_query("(x) :- r(x).")
+        assert q.name == "ans"
+
+    def test_trailing_period_optional(self):
+        assert parse_query("q(x) :- r(x)") == parse_query("q(x) :- r(x).")
+
+    def test_inequality(self):
+        q = parse_query("q(x) :- r(x, y), x != y.")
+        assert q.inequalities == (Inequality(Var("x"), Var("y")),)
+
+    def test_inequality_with_constant(self):
+        q = parse_query('q(x) :- teams(x, c), c != "AS".')
+        assert q.inequalities == (Inequality(Var("c"), "AS"),)
+
+    def test_numbers(self):
+        q = parse_query("q(x) :- players(x, 1992).")
+        assert q.atoms[0].terms == (Var("x"), 1992)
+
+    def test_floats(self):
+        q = parse_query("q(x) :- r(x, 4.5).")
+        assert q.atoms[0].terms == (Var("x"), 4.5)
+
+    def test_negative_numbers(self):
+        q = parse_query("q(x) :- r(x, -3).")
+        assert q.atoms[0].terms == (Var("x"), -3)
+
+    def test_string_with_spaces_and_colon(self):
+        q = parse_query('q(x) :- games(x, "1:0").')
+        assert q.atoms[0].terms[1] == "1:0"
+
+    def test_escaped_quote(self):
+        q = parse_query('q(x) :- r(x, "a\\"b").')
+        assert q.atoms[0].terms[1] == 'a"b'
+
+    def test_multiline(self):
+        q = parse_query(
+            """
+            q(x) :- games(d1, x, y),
+                    games(d2, x, z),
+                    d1 != d2.
+            """
+        )
+        assert len(q.atoms) == 2
+        assert len(q.inequalities) == 1
+
+    def test_head_constant(self):
+        q = parse_query('q("GER", x) :- r(x).')
+        assert q.head == ("GER", Var("x"))
+
+
+class TestRoundTrip:
+    CASES = [
+        'q1(x) :- games(d1, x, y, "Final", u1), games(d2, x, z, "Final", u2), '
+        'teams(x, "EU"), d1 != d2.',
+        "q(x, y) :- r(x), s(y), x != y.",
+        'q(x) :- r(x, 42, "hello world").',
+        "ans(x) :- r(x).",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip(self, text):
+        q = parse_query(text)
+        assert parse_query(str(q)) == q
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "q(x)",  # no body
+            "q(x) :- ",  # empty body
+            "q(x) :- r(x",  # unclosed paren
+            "q(x) :- r(x)) extra",  # trailing garbage
+            "q(x) :- x != y.",  # inequality vars not in atoms
+            "q(z) :- r(x).",  # unsafe head
+            "q(x) :- r(x) r(y).",  # missing comma
+            "q(x) :- @(x).",  # bad character
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(Exception):
+            parse_query(bad)
+
+    def test_parse_error_reports_offset(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_query("q(x) :- @(x).")
+        assert "offset" in str(excinfo.value)
+
+
+class TestParseQueries:
+    def test_multiple(self):
+        queries = parse_queries(
+            """
+            % a comment
+            q1(x) :- r(x).
+
+            q2(y) :- s(y).
+            """
+        )
+        assert [q.name for q in queries] == ["q1", "q2"]
+
+    def test_multiline_query_in_batch(self):
+        queries = parse_queries("q(x) :- r(x),\n s(x).")
+        assert len(queries) == 1
+        assert len(queries[0].atoms) == 2
+
+    def test_empty_input(self):
+        assert parse_queries("") == []

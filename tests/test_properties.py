@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.qoco import QOCO, QOCOConfig
+from repro.db.database import Database
+from repro.db.edits import delete, insert
+from repro.db.schema import RelationSchema, Schema
+from repro.db.tuples import Fact
+from repro.hitting.hitting_set import (
+    all_minimal_hitting_sets,
+    exact_minimum_hitting_set,
+    greedy_hitting_set,
+    is_hitting_set,
+    unique_minimal_hitting_set,
+)
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.query.ast import Atom, Inequality, Query, Var
+from repro.query.evaluator import evaluate, naive_evaluate
+from repro.query.parser import parse_query
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+CONSTANTS = ["a", "b", "c", "d", "e"]
+VARIABLES = [Var(name) for name in ("x", "y", "z", "w")]
+
+SCHEMA = Schema(
+    [
+        RelationSchema("r", ("p", "q")),
+        RelationSchema("s", ("p",)),
+        RelationSchema("t", ("p", "q", "u")),
+    ]
+)
+
+ARITIES = {"r": 2, "s": 1, "t": 3}
+
+
+@st.composite
+def databases(draw):
+    facts = draw(
+        st.lists(
+            st.sampled_from(["r", "s", "t"]).flatmap(
+                lambda rel: st.tuples(
+                    st.just(rel),
+                    st.tuples(
+                        *[st.sampled_from(CONSTANTS)] * ARITIES[rel]
+                    ),
+                )
+            ),
+            max_size=25,
+        )
+    )
+    return Database(SCHEMA, [Fact(rel, values) for rel, values in facts])
+
+
+@st.composite
+def queries(draw):
+    n_atoms = draw(st.integers(1, 3))
+    atoms = []
+    for _ in range(n_atoms):
+        rel = draw(st.sampled_from(["r", "s", "t"]))
+        terms = tuple(
+            draw(st.sampled_from(VARIABLES + CONSTANTS))  # type: ignore[operator]
+            for _ in range(ARITIES[rel])
+        )
+        atoms.append(Atom(rel, terms))
+    body_vars = sorted(set().union(*(a.variables() for a in atoms)), key=str)
+    if not body_vars:
+        atoms.append(Atom("s", (Var("x"),)))
+        body_vars = [Var("x")]
+    head = tuple(
+        draw(st.sampled_from(body_vars))
+        for _ in range(draw(st.integers(1, min(2, len(body_vars)))))
+    )
+    inequalities = []
+    if len(body_vars) >= 2 and draw(st.booleans()):
+        left, right = draw(st.sampled_from(body_vars)), draw(
+            st.sampled_from(body_vars + CONSTANTS)  # type: ignore[operator]
+        )
+        if left != right:
+            inequalities.append(Inequality(left, right))
+    negated = []
+    if draw(st.booleans()):
+        rel = draw(st.sampled_from(["r", "s", "t"]))
+        terms = tuple(
+            draw(st.sampled_from(body_vars + CONSTANTS))  # type: ignore[operator]
+            for _ in range(ARITIES[rel])
+        )
+        negated.append(Atom(rel, terms))
+    return Query(head, tuple(atoms), tuple(inequalities), "prop", tuple(negated))
+
+
+set_systems = st.lists(
+    st.frozensets(st.integers(0, 7), min_size=1, max_size=4),
+    min_size=0,
+    max_size=6,
+)
+
+
+# ---------------------------------------------------------------------------
+# evaluator properties
+# ---------------------------------------------------------------------------
+
+
+@given(db=databases(), query=queries())
+@settings(max_examples=120, deadline=None)
+def test_evaluator_matches_naive_semantics(db, query):
+    assert evaluate(query, db) == naive_evaluate(query, db)
+
+
+@given(db=databases(), query=queries())
+@settings(max_examples=60, deadline=None)
+def test_deleting_facts_never_adds_answers(db, query):
+    """Conjunctive queries are monotone (negation breaks this, so the
+    property is asserted on the positive part only)."""
+    if query.negated_atoms:
+        query = Query(query.head, query.atoms, query.inequalities, query.name)
+    before = evaluate(query, db)
+    victims = sorted(db, key=repr)[:3]
+    for victim in victims:
+        db.delete(victim)
+    after = evaluate(query, db)
+    assert after <= before
+
+
+@given(query=queries())
+@settings(max_examples=80, deadline=None)
+def test_parser_round_trips_printed_queries(query):
+    assert parse_query(str(query)) == query
+
+
+# ---------------------------------------------------------------------------
+# hitting set properties
+# ---------------------------------------------------------------------------
+
+
+@given(sets=set_systems)
+@settings(max_examples=150, deadline=None)
+def test_greedy_is_hitting_set_and_exact_is_optimal(sets):
+    greedy = greedy_hitting_set(sets)
+    exact = exact_minimum_hitting_set(sets)
+    assert is_hitting_set(greedy, sets)
+    assert is_hitting_set(exact, sets)
+    assert len(exact) <= len(greedy)
+
+
+@given(sets=set_systems)
+@settings(max_examples=100, deadline=None)
+def test_theorem_4_5_matches_enumeration(sets):
+    """Unique minimal hitting set exists iff enumeration finds exactly one."""
+    minimal = all_minimal_hitting_sets(sets)
+    unique = unique_minimal_hitting_set(sets)
+    if len(minimal) == 1:
+        assert unique == minimal[0]
+    else:
+        assert unique is None
+
+
+# ---------------------------------------------------------------------------
+# edit properties (Proposition 3.3)
+# ---------------------------------------------------------------------------
+
+
+@given(db=databases(), other=databases())
+@settings(max_examples=80, deadline=None)
+def test_truth_guided_edits_never_increase_distance(db, other):
+    """Inserting a true-missing or deleting a false-present fact shrinks
+    the symmetric difference — Proposition 3.3."""
+    ground_truth = other
+    before = db.distance(ground_truth)
+    missing = sorted(ground_truth.difference(db), key=repr)
+    extra = sorted(db.difference(ground_truth), key=repr)
+    if missing:
+        insert(missing[0]).apply(db)
+    if extra:
+        delete(extra[0]).apply(db)
+    assert db.distance(ground_truth) <= before
+
+
+# ---------------------------------------------------------------------------
+# end-to-end convergence (Proposition 3.4)
+# ---------------------------------------------------------------------------
+
+CONVERGENCE_QUERY = parse_query("q(x) :- r(x, y), s(y).")
+
+
+@given(gt=databases(), dirty=databases())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_qoco_converges_with_perfect_oracle(gt, dirty):
+    """For any instance pair, Algorithm 3 reaches Q(D') = Q(D_G)."""
+    oracle = AccountingOracle(PerfectOracle(gt))
+    system = QOCO(dirty, oracle, QOCOConfig(seed=0, max_iterations=25))
+    report = system.clean(CONVERGENCE_QUERY)
+    assert evaluate(CONVERGENCE_QUERY, dirty) == evaluate(CONVERGENCE_QUERY, gt)
+    assert report.converged

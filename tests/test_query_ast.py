@@ -1,0 +1,146 @@
+"""Unit tests for repro.query.ast."""
+
+import pytest
+
+from repro.db.schema import Schema, SchemaError
+from repro.query.ast import Atom, Inequality, Query, QueryError, Var, make_query
+
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+class TestVar:
+    def test_equality_by_name(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_ordering(self):
+        assert Var("a") < Var("b")
+
+    def test_str(self):
+        assert str(Var("d1")) == "d1"
+
+
+class TestAtom:
+    def test_variables_and_constants(self):
+        atom = Atom("games", (X, "Final", Y, X))
+        assert atom.variables() == {X, Y}
+        assert atom.constants() == {"Final"}
+
+    def test_is_ground(self):
+        assert Atom("teams", ("GER", "EU")).is_ground()
+        assert not Atom("teams", (X, "EU")).is_ground()
+
+    def test_substitute(self):
+        atom = Atom("teams", (X, Y))
+        ground = atom.substitute({X: "GER", Y: "EU"})
+        assert ground == Atom("teams", ("GER", "EU"))
+
+    def test_substitute_partial(self):
+        atom = Atom("teams", (X, Y))
+        assert atom.substitute({X: "GER"}) == Atom("teams", ("GER", Y))
+
+    def test_str_quotes_string_constants(self):
+        assert str(Atom("teams", (X, "EU"))) == 'teams(x, "EU")'
+
+    def test_str_numbers_unquoted(self):
+        assert str(Atom("r", (1992,))) == "r(1992)"
+
+
+class TestInequality:
+    def test_holds_true(self):
+        ineq = Inequality(X, Y)
+        assert ineq.holds({X: 1, Y: 2}) is True
+
+    def test_holds_false(self):
+        assert Inequality(X, Y).holds({X: 1, Y: 1}) is False
+
+    def test_holds_undecided(self):
+        assert Inequality(X, Y).holds({X: 1}) is None
+
+    def test_holds_against_constant(self):
+        ineq = Inequality(X, "AS")
+        assert ineq.holds({X: "EU"}) is True
+        assert ineq.holds({X: "AS"}) is False
+
+    def test_ground_inequality(self):
+        assert Inequality("a", "b").holds({}) is True
+        assert Inequality("a", "a").holds({}) is False
+
+    def test_substitute(self):
+        assert Inequality(X, Y).substitute({X: 1}) == Inequality(1, Y)
+
+    def test_variables(self):
+        assert Inequality(X, "c").variables() == {X}
+
+
+class TestQuery:
+    def _query(self):
+        return make_query(
+            head=[X],
+            atoms=[Atom("games", (Y, X)), Atom("teams", (X, "EU"))],
+            inequalities=[Inequality(X, Y)],
+            name="q",
+        )
+
+    def test_structure(self):
+        q = self._query()
+        assert q.head_variables() == (X,)
+        assert q.variables() == {X, Y}
+        assert q.constants() == {"EU"}
+        assert q.body_size == 2
+
+    def test_str_round_trippable_form(self):
+        q = self._query()
+        assert str(q) == 'q(x) :- games(y, x), teams(x, "EU"), x != y.'
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(QueryError):
+            make_query(head=[Z], atoms=[Atom("r", (X,))])
+
+    def test_head_constant_allowed(self):
+        q = make_query(head=["GER", X], atoms=[Atom("r", (X,))])
+        assert q.head == ("GER", X)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            make_query(head=[], atoms=[])
+
+    def test_inequality_variable_must_occur(self):
+        with pytest.raises(QueryError):
+            make_query(
+                head=[X],
+                atoms=[Atom("r", (X,))],
+                inequalities=[Inequality(Z, X)],
+            )
+
+    def test_substitute_builds_embedded_query(self):
+        q = self._query()
+        embedded = q.substitute({X: "GER"})
+        assert embedded.head == ("GER",)
+        assert embedded.atoms[1] == Atom("teams", ("GER", "EU"))
+        assert embedded.inequalities[0] == Inequality("GER", Y)
+
+    def test_validate_against_schema(self):
+        q = self._query()
+        good = Schema.from_dict({"games": ["w", "l"], "teams": ["t", "c"]})
+        q.validate(good)  # no raise
+        bad = Schema.from_dict({"games": ["w"], "teams": ["t", "c"]})
+        with pytest.raises(SchemaError):
+            q.validate(bad)
+
+    def test_validate_unknown_relation(self):
+        q = self._query()
+        with pytest.raises(SchemaError):
+            q.validate(Schema.from_dict({"games": ["w", "l"]}))
+
+    def test_with_name(self):
+        assert self._query().with_name("other").name == "other"
+
+    def test_constants_include_inequality_constants(self):
+        q = make_query(
+            head=[X],
+            atoms=[Atom("teams", (X, Y))],
+            inequalities=[Inequality(Y, "AS")],
+        )
+        assert "AS" in q.constants()

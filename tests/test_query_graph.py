@@ -1,0 +1,82 @@
+"""Unit tests for the weighted query graph (Figure 2 left)."""
+
+from repro.query.graph import QueryGraph, build_query_graph
+from repro.query.parser import parse_query
+
+
+class TestQueryGraph:
+    def test_weight_symmetric_access(self):
+        g = QueryGraph(3)
+        g.add_weight(2, 0, 5)
+        assert g.weight(0, 2) == 5
+        assert g.weight(2, 0) == 5
+
+    def test_add_weight_accumulates(self):
+        g = QueryGraph(2)
+        g.add_weight(0, 1, 1)
+        g.add_weight(0, 1, 2)
+        assert g.weight(0, 1) == 3
+
+    def test_self_edge_ignored(self):
+        g = QueryGraph(2)
+        g.add_weight(1, 1, 5)
+        assert g.edges() == []
+
+    def test_neighbors(self):
+        g = QueryGraph(3)
+        g.add_weight(0, 1, 1)
+        g.add_weight(0, 2, 1)
+        assert g.neighbors(0) == [1, 2]
+        assert g.neighbors(1) == [0]
+
+    def test_connectivity(self):
+        g = QueryGraph(3)
+        g.add_weight(0, 1, 1)
+        assert not g.is_connected()
+        g.add_weight(1, 2, 1)
+        assert g.is_connected()
+
+    def test_trivial_graph_connected(self):
+        assert QueryGraph(1).is_connected()
+
+
+class TestBuildQueryGraph:
+    def test_paper_figure2_example(self):
+        # (x,y,z,w) :- R1(x,y), R2(y,z), R3(z,w), R4(z,v); z != x, w != x
+        q = parse_query(
+            "q(x, y, z, w) :- r1(x, y), r2(y, z), r3(z, w), r4(z, v), "
+            "z != x, w != x."
+        )
+        g = build_query_graph(q)
+        # Shared variables: r1-r2 share y; r2-r3, r2-r4, r3-r4 share z.
+        # Inequality z != x touches every atom pair where one side has x
+        # or z; w != x touches pairs covering w and x.
+        assert g.weight(0, 1) == 1 + 1          # y + (z != x)
+        assert g.weight(1, 2) == 1 + 1          # z + (z != x)
+        assert g.weight(2, 3) == 1 + 1          # z + (z != x)
+        assert g.weight(0, 3) == 0 + 1          # (z != x) via x in r1, z in r4
+        assert g.weight(0, 2) == 0 + 2          # both inequalities bridge r1-r3
+
+    def test_weights_count_shared_variables(self):
+        q = parse_query("q(a, b, c) :- r(a, b), s(b, c), t(a, c).")
+        g = build_query_graph(q)
+        assert g.weight(0, 1) == 1  # b
+        assert g.weight(1, 2) == 1  # c
+        assert g.weight(0, 2) == 1  # a
+
+    def test_no_shared_variables_no_edge(self):
+        q = parse_query("q(a, b) :- r(a), s(b).")
+        g = build_query_graph(q)
+        assert g.edges() == []
+        assert not g.is_connected()
+
+    def test_inequality_bridges_atoms(self):
+        q = parse_query("q(a, b) :- r(a), s(b), a != b.")
+        g = build_query_graph(q)
+        assert g.weight(0, 1) == 1
+        assert g.is_connected()
+
+    def test_multiple_shared_variables(self):
+        q = parse_query("q(a, b) :- r(a, b), s(a, b).")
+        g = build_query_graph(q)
+        assert g.weight(0, 1) == 2

@@ -1,0 +1,80 @@
+"""Unit tests for interaction logging and cost accounting."""
+
+import pytest
+
+from repro.oracle.questions import (
+    CATEGORY_FILL_MISSING,
+    CATEGORY_VERIFY_ANSWERS,
+    CATEGORY_VERIFY_TUPLES,
+    CLOSED_KINDS,
+    OPEN_KINDS,
+    InteractionLog,
+    QuestionKind,
+    category_of,
+)
+
+
+class TestCategories:
+    def test_kinds_partition(self):
+        assert CLOSED_KINDS | OPEN_KINDS == set(QuestionKind)
+        assert not CLOSED_KINDS & OPEN_KINDS
+
+    def test_category_mapping(self):
+        assert category_of(QuestionKind.VERIFY_ANSWER) == CATEGORY_VERIFY_ANSWERS
+        assert category_of(QuestionKind.VERIFY_FACT) == CATEGORY_VERIFY_TUPLES
+        assert category_of(QuestionKind.VERIFY_CANDIDATE) == CATEGORY_VERIFY_TUPLES
+        assert category_of(QuestionKind.COMPLETE_ASSIGNMENT) == CATEGORY_FILL_MISSING
+        assert category_of(QuestionKind.COMPLETE_RESULT) == CATEGORY_FILL_MISSING
+
+
+class TestInteractionLog:
+    def test_totals(self):
+        log = InteractionLog()
+        log.record(QuestionKind.VERIFY_FACT, 1)
+        log.record(QuestionKind.COMPLETE_ASSIGNMENT, 4)
+        assert log.question_count == 2
+        assert log.total_cost == 5
+        assert log.closed_cost == 1
+        assert log.open_cost == 4
+
+    def test_cost_and_count_of(self):
+        log = InteractionLog()
+        log.record(QuestionKind.VERIFY_FACT, 1)
+        log.record(QuestionKind.VERIFY_FACT, 1)
+        log.record(QuestionKind.VERIFY_ANSWER, 1)
+        assert log.cost_of([QuestionKind.VERIFY_FACT]) == 2
+        assert log.count_of([QuestionKind.VERIFY_FACT]) == 2
+        assert log.count_of([QuestionKind.VERIFY_ANSWER]) == 1
+
+    def test_negative_cost_rejected(self):
+        log = InteractionLog()
+        with pytest.raises(ValueError):
+            log.record(QuestionKind.VERIFY_FACT, -1)
+
+    def test_category_costs(self):
+        log = InteractionLog()
+        log.record(QuestionKind.VERIFY_ANSWER, 1)
+        log.record(QuestionKind.VERIFY_CANDIDATE, 1)
+        log.record(QuestionKind.COMPLETE_RESULT, 2)
+        assert log.category_costs() == {
+            CATEGORY_VERIFY_ANSWERS: 1,
+            CATEGORY_VERIFY_TUPLES: 1,
+            CATEGORY_FILL_MISSING: 2,
+        }
+
+    def test_snapshot_measures_delta(self):
+        log = InteractionLog()
+        log.record(QuestionKind.VERIFY_FACT, 1)
+        snap = log.snapshot()
+        log.record(QuestionKind.VERIFY_FACT, 1)
+        log.record(QuestionKind.COMPLETE_ASSIGNMENT, 3)
+        assert snap.total_cost == 4
+        assert snap.question_count == 2
+        assert snap.cost_of([QuestionKind.VERIFY_FACT]) == 1
+
+    def test_merge(self):
+        a, b = InteractionLog(), InteractionLog()
+        a.record(QuestionKind.VERIFY_FACT, 1)
+        b.record(QuestionKind.VERIFY_ANSWER, 1)
+        a.merge(b)
+        assert a.question_count == 2

@@ -1,0 +1,148 @@
+"""Tests for the NP-hardness reduction constructions (Thms 4.2 / 5.2).
+
+These validate the *correspondences the proofs claim*, by running the
+actual cleaning machinery over the constructed instances.
+"""
+
+import random
+
+import pytest
+
+from repro.core.deletion import QOCODeletion, crowd_remove_wrong_answer
+from repro.hardness.reductions import (
+    D_CONST,
+    element_fact,
+    hitting_set_to_deletion,
+    one3sat_to_insertion,
+    witness_to_sat_assignment,
+)
+from repro.hardness.sat import is_satisfying, solve
+from repro.hitting.hitting_set import exact_minimum_hitting_set, is_hitting_set
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.oracle.questions import QuestionKind
+from repro.query.evaluator import Evaluator, evaluate, valid_assignments
+
+
+class TestHittingSetReduction:
+    UNIVERSE = ["u1", "u2", "u3", "u4"]
+    SETS = [frozenset({"u2", "u3", "u4"}), frozenset({"u1", "u2"})]
+
+    def test_d_is_wrong_answer(self):
+        inst = hitting_set_to_deletion(self.UNIVERSE, self.SETS)
+        assert evaluate(inst.query, inst.dirty) == {(D_CONST,)}
+        assert evaluate(inst.query, inst.ground_truth) == set()
+
+    def test_one_witness_per_set(self):
+        inst = hitting_set_to_deletion(self.UNIVERSE, self.SETS)
+        witnesses = Evaluator(inst.query, inst.dirty).witnesses((D_CONST,))
+        assert len(witnesses) == len(self.SETS)
+
+    def test_witnesses_encode_characteristic_vectors(self):
+        inst = hitting_set_to_deletion(self.UNIVERSE, self.SETS)
+        witnesses = Evaluator(inst.query, inst.dirty).witnesses((D_CONST,))
+        encoded = set()
+        for witness in witnesses:
+            elements = frozenset(
+                f.values[0]
+                for f in witness
+                if f.relation != "r" and f.values[0] != D_CONST
+            )
+            encoded.add(elements)
+        assert encoded == set(self.SETS)
+
+    def test_deletion_edits_form_hitting_set(self):
+        inst = hitting_set_to_deletion(self.UNIVERSE, self.SETS)
+        oracle = AccountingOracle(PerfectOracle(inst.ground_truth))
+        edits = crowd_remove_wrong_answer(
+            inst.query, inst.dirty, (D_CONST,), oracle,
+            QOCODeletion(), random.Random(0),
+        )
+        hit = {
+            edit.fact.values[0]
+            for edit in edits
+            if edit.fact.relation != "r"
+        }
+        # facts of the wide relation may also be deleted; the unary ones
+        # must hit every set.
+        wide_deleted = [e for e in edits if e.fact.relation == "r"]
+        assert is_hitting_set(hit, self.SETS) or len(wide_deleted) == len(self.SETS)
+        assert (D_CONST,) not in evaluate(inst.query, inst.dirty)
+
+    def test_hitting_set_translates_to_deletions(self):
+        inst = hitting_set_to_deletion(self.UNIVERSE, self.SETS)
+        optimum = exact_minimum_hitting_set(self.SETS)
+        db = inst.dirty.copy()
+        for element in optimum:
+            index = self.UNIVERSE.index(element)
+            db.delete(element_fact(index, element))
+        assert (D_CONST,) not in evaluate(inst.query, db)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hitting_set_to_deletion([], [])
+        with pytest.raises(ValueError):
+            hitting_set_to_deletion(["a"], [frozenset()])
+        with pytest.raises(ValueError):
+            hitting_set_to_deletion(["a"], [frozenset({"zzz"})])
+        with pytest.raises(ValueError):
+            hitting_set_to_deletion(["a", "a"], [frozenset({"a"})])
+
+
+class TestOne3SatReduction:
+    SAT = [(1, 2, 3), (-1, -2, -3), (1, -2, 3)]
+    UNSAT = [(1,), (-1,)]
+
+    def test_dirty_is_empty(self):
+        inst = one3sat_to_insertion(self.SAT)
+        assert len(inst.dirty) == 0
+        assert evaluate(inst.query, inst.dirty) == set()
+
+    def test_d_missing_iff_satisfiable(self):
+        sat_inst = one3sat_to_insertion(self.SAT)
+        assert (D_CONST,) in evaluate(sat_inst.query, sat_inst.ground_truth)
+        unsat_inst = one3sat_to_insertion(self.UNSAT)
+        assert evaluate(unsat_inst.query, unsat_inst.ground_truth) == set()
+
+    def test_witnesses_are_satisfying_assignments(self):
+        inst = one3sat_to_insertion(self.SAT)
+        for assignment in valid_assignments(inst.query, inst.ground_truth):
+            named = {str(var): value for var, value in assignment.items()}
+            named.pop("x", None)
+            sat_assignment = witness_to_sat_assignment(self.SAT, named)
+            assert is_satisfying(self.SAT, sat_assignment)
+
+    def test_solver_solution_is_a_witness(self):
+        inst = one3sat_to_insertion(self.SAT)
+        model = solve(self.SAT)
+        assert model is not None
+        # Build the facts the model implies and check they're in D_G.
+        from repro.hardness.sat import clause_variables
+        from repro.db.tuples import Fact
+
+        for i, clause in enumerate(self.SAT):
+            values = tuple(int(model[v]) for v in clause_variables(clause))
+            assert Fact(f"c{i + 1}", (D_CONST,) + values) in inst.ground_truth
+
+    def test_insertion_algorithm_solves_sat(self):
+        # Running Algorithm 2 on the reduction instance effectively asks
+        # the oracle for a satisfying assignment.
+        from repro.core.insertion import crowd_add_missing_answer
+        from repro.core.split import ProvenanceSplit
+
+        inst = one3sat_to_insertion(self.SAT)
+        oracle = AccountingOracle(PerfectOracle(inst.ground_truth))
+        db = inst.dirty.copy()
+        crowd_add_missing_answer(
+            inst.query, db, (D_CONST,), oracle, ProvenanceSplit(), random.Random(0)
+        )
+        assert (D_CONST,) in evaluate(inst.query, db)
+        # Decode the inserted facts into a satisfying assignment.
+        assignment = next(valid_assignments(inst.query, db))
+        named = {str(var): value for var, value in assignment.items()}
+        named.pop("x")
+        assert is_satisfying(self.SAT, witness_to_sat_assignment(self.SAT, named))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one3sat_to_insertion([])

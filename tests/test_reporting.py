@@ -1,0 +1,57 @@
+"""Unit tests for the plain-text reporting helpers."""
+
+from repro.experiments.reporting import (
+    render_category_stack,
+    render_figure,
+    render_stacked_bar,
+    render_table,
+)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_values_stringified(self):
+        text = render_table(["x"], [[None], [True]])
+        assert "None" in text
+        assert "True" in text
+
+    def test_empty_rows(self):
+        text = render_table(["col"], [])
+        assert "col" in text
+
+
+class TestRenderStackedBar:
+    def test_proportions(self):
+        bar = render_stacked_bar([5, 5, 10], 20)
+        assert bar.count("#") == 10
+        assert bar.count("=") == 10
+        assert bar.count(".") == 20
+
+    def test_zero_total(self):
+        assert render_stacked_bar([1, 2], 0) == ""
+
+
+class TestRenderFigure:
+    def test_title_and_notes(self):
+        text = render_figure("T", ["h"], [[1]], notes=["a note"])
+        assert text.startswith("T\n=")
+        assert "a note" in text
+
+    def test_ends_with_newline(self):
+        assert render_figure("T", ["h"], [[1]]).endswith("\n")
+
+
+class TestRenderCategoryStack:
+    def test_rows_and_total(self):
+        text = render_category_stack(
+            {"run1": {"a": 1, "b": 2}, "run2": {"a": 3, "b": 4}}
+        )
+        assert "run1" in text
+        assert "3" in text  # total of run1
+        assert "7" in text  # total of run2

@@ -1,0 +1,162 @@
+"""Robustness and failure-injection tests.
+
+Exercise the system under misbehaving oracles, mid-run exceptions, and
+edge-shaped inputs, checking that the database is never left
+inconsistent (every applied edit is recorded) and the audit trail
+round-trips.
+"""
+
+import random
+
+import pytest
+
+from repro.core.deletion import QOCODeletion, crowd_remove_wrong_answer
+from repro.core.insertion import crowd_add_missing_answer
+from repro.core.qoco import QOCO, QOCOConfig
+from repro.core.split import ProvenanceSplit
+from repro.db.tuples import fact
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.oracle.questions import InteractionLog, QuestionKind
+from repro.query.evaluator import evaluate
+from repro.workloads import EX1, EX2
+
+
+class FlakyOracle(PerfectOracle):
+    """Raises after a configurable number of questions."""
+
+    def __init__(self, ground_truth, fail_after):
+        super().__init__(ground_truth)
+        self.fail_after = fail_after
+        self.asked = 0
+
+    def _tick(self):
+        self.asked += 1
+        if self.asked > self.fail_after:
+            raise ConnectionError("crowd platform went away")
+
+    def verify_fact(self, fact):
+        self._tick()
+        return super().verify_fact(fact)
+
+    def verify_answer(self, query, answer):
+        self._tick()
+        return super().verify_answer(query, answer)
+
+    def verify_candidate(self, query, partial):
+        self._tick()
+        return super().verify_candidate(query, partial)
+
+
+class TestMidRunFailures:
+    def test_exception_propagates_cleanly(self, fig1_dirty, fig1_gt):
+        oracle = AccountingOracle(FlakyOracle(fig1_gt, fail_after=1))
+        with pytest.raises(ConnectionError):
+            crowd_remove_wrong_answer(
+                EX1, fig1_dirty, ("ESP",), oracle, QOCODeletion(), random.Random(0)
+            )
+
+    def test_database_consistent_after_failure(self, fig1_dirty, fig1_gt):
+        # Apply-at-end semantics: a deletion run that dies mid-questioning
+        # leaves the database untouched.
+        before = fig1_dirty.copy()
+        oracle = AccountingOracle(FlakyOracle(fig1_gt, fail_after=2))
+        with pytest.raises(ConnectionError):
+            crowd_remove_wrong_answer(
+                EX1, fig1_dirty, ("ESP",), oracle, QOCODeletion(), random.Random(0)
+            )
+        assert fig1_dirty == before
+
+    def test_resume_after_failure(self, fig1_dirty, fig1_gt):
+        # A fresh oracle continues where the flaky one left off; answers
+        # already collected are re-asked (the log belongs to the oracle).
+        oracle = AccountingOracle(FlakyOracle(fig1_gt, fail_after=2))
+        with pytest.raises(ConnectionError):
+            crowd_remove_wrong_answer(
+                EX1, fig1_dirty, ("ESP",), oracle, QOCODeletion(), random.Random(0)
+            )
+        retry = AccountingOracle(PerfectOracle(fig1_gt))
+        crowd_remove_wrong_answer(
+            EX1, fig1_dirty, ("ESP",), retry, QOCODeletion(), random.Random(0)
+        )
+        assert ("ESP",) not in evaluate(EX1, fig1_dirty)
+
+    def test_insertion_failure_keeps_partial_inserts_recorded(
+        self, fig1_dirty, fig1_gt
+    ):
+        # Insertion applies ground atoms before the crowd loop; if the
+        # crowd dies, those inserts happened and were true anyway.
+        oracle = AccountingOracle(FlakyOracle(fig1_gt, fail_after=0))
+        with pytest.raises(ConnectionError):
+            crowd_add_missing_answer(
+                EX2, fig1_dirty, ("Andrea Pirlo",), oracle,
+                ProvenanceSplit(), random.Random(0),
+            )
+        # any fact inserted so far is true
+        for f in fig1_dirty:
+            if f not in fig1_gt:
+                # pre-existing dirty facts only — nothing new and false
+                assert f in figure1_false_facts()
+
+
+def figure1_false_facts():
+    from repro.datasets.figure1 import FALSE_FINALS, FALSE_GOALS, FALSE_TEAMS
+    from repro.db.tuples import facts
+
+    return set(
+        facts("games", FALSE_FINALS)
+        + facts("teams", FALSE_TEAMS)
+        + facts("goals", FALSE_GOALS)
+    )
+
+
+class TestAuditTrail:
+    def test_log_round_trip(self, fig1_dirty, fig1_gt, tmp_path):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        QOCO(fig1_dirty, oracle).clean(EX1)
+        path = tmp_path / "audit.json"
+        oracle.log.save_json(path)
+        loaded = InteractionLog.load_json(path)
+        assert loaded.question_count == oracle.log.question_count
+        assert loaded.total_cost == oracle.log.total_cost
+        assert loaded.category_costs() == oracle.log.category_costs()
+
+    def test_to_from_dicts(self):
+        log = InteractionLog()
+        log.record(QuestionKind.VERIFY_FACT, 1, "x")
+        log.record(QuestionKind.COMPLETE_ASSIGNMENT, 3)
+        rebuilt = InteractionLog.from_dicts(log.to_dicts())
+        assert rebuilt.records == log.records
+
+
+class TestEdgeInputs:
+    def test_query_over_empty_database(self, fig1_gt):
+        from repro.db.database import Database
+
+        empty = Database(fig1_gt.schema)
+        assert evaluate(EX1, empty) == set()
+
+    def test_cleaning_empty_database(self, fig1_gt):
+        from repro.db.database import Database
+
+        empty = Database(fig1_gt.schema)
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        report = QOCO(empty, oracle, QOCOConfig(seed=0)).clean(EX1)
+        assert evaluate(EX1, empty) == evaluate(EX1, fig1_gt)
+        assert report.converged
+
+    def test_cleaning_against_empty_ground_truth(self, fig1_dirty):
+        from repro.db.database import Database
+
+        empty_gt = Database(fig1_dirty.schema)
+        oracle = AccountingOracle(PerfectOracle(empty_gt))
+        report = QOCO(fig1_dirty, oracle, QOCOConfig(seed=0)).clean(EX1)
+        assert evaluate(EX1, fig1_dirty) == set()
+
+    def test_single_fact_database(self, fig1_gt):
+        from repro.db.database import Database
+
+        tiny = Database(fig1_gt.schema, [fact("teams", "GER", "EU")])
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        QOCO(tiny, oracle, QOCOConfig(seed=0)).clean(EX1)
+        assert evaluate(EX1, tiny) == evaluate(EX1, fig1_gt)

@@ -1,0 +1,99 @@
+"""Unit tests for the DPLL SAT solver."""
+
+import random
+
+import pytest
+
+from repro.hardness.sat import (
+    SatError,
+    clause_satisfying_rows,
+    clause_variables,
+    is_satisfying,
+    solve,
+    validate_formula,
+)
+
+
+class TestSolve:
+    def test_trivial_sat(self):
+        assert solve([(1,)]) == {1: True}
+
+    def test_trivial_unsat(self):
+        assert solve([(1,), (-1,)]) is None
+
+    def test_simple_3cnf(self):
+        formula = [(1, 2, 3), (-1, -2, -3), (1, -2, 3)]
+        assignment = solve(formula)
+        assert assignment is not None
+        assert is_satisfying(formula, assignment)
+
+    def test_unsat_pigeonhole_2_1(self):
+        # Two pigeons, one hole: x1, x2, not both -> unsat with forcing.
+        formula = [(1,), (2,), (-1, -2)]
+        assert solve(formula) is None
+
+    def test_assigns_all_variables(self):
+        assignment = solve([(1, 2, 3)])
+        assert set(assignment) == {1, 2, 3}
+
+    def test_unit_propagation_chain(self):
+        formula = [(1,), (-1, 2), (-2, 3), (-3, 4)]
+        assignment = solve(formula)
+        assert assignment == {1: True, 2: True, 3: True, 4: True}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_3cnf_consistency(self, seed):
+        # Brute force agrees with DPLL on small formulas.
+        rng = random.Random(seed)
+        n = 5
+        formula = []
+        for _ in range(rng.randint(3, 12)):
+            variables = rng.sample(range(1, n + 1), 3)
+            clause = tuple(v if rng.random() < 0.5 else -v for v in variables)
+            formula.append(clause)
+
+        brute_sat = any(
+            is_satisfying(formula, {v: bool((m >> (v - 1)) & 1) for v in range(1, n + 1)})
+            for m in range(2 ** n)
+        )
+        result = solve(formula)
+        assert (result is not None) == brute_sat
+        if result is not None:
+            assert is_satisfying(formula, result)
+
+
+class TestValidation:
+    def test_empty_clause_rejected(self):
+        with pytest.raises(SatError):
+            validate_formula([()])
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(SatError):
+            validate_formula([(0,)])
+
+    def test_variable_count(self):
+        assert validate_formula([(1, -5), (2,)]) == 5
+
+
+class TestClauseHelpers:
+    def test_clause_variables_order_and_dedup(self):
+        assert clause_variables((3, -1, 3)) == [3, 1]
+
+    def test_satisfying_rows_seven_of_eight(self):
+        rows = clause_satisfying_rows((1, 2, 3))
+        assert len(rows) == 7
+        assert (0, 0, 0) not in rows
+
+    def test_satisfying_rows_negated(self):
+        rows = clause_satisfying_rows((1, 2, -3))
+        assert len(rows) == 7
+        assert (0, 0, 1) not in rows
+
+    def test_satisfying_rows_repeated_variable(self):
+        rows = clause_satisfying_rows((1, -1, 2))
+        # tautology over {x1, x2}: all four rows satisfy
+        assert len(rows) == 4
+
+    def test_is_satisfying_defaults_false(self):
+        assert not is_satisfying([(1,)], {})
+        assert is_satisfying([(-1,)], {})

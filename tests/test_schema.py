@@ -1,0 +1,93 @@
+"""Unit tests for repro.db.schema."""
+
+import pytest
+
+from repro.db.schema import RelationSchema, Schema, SchemaError
+
+
+class TestRelationSchema:
+    def test_arity(self):
+        rel = RelationSchema("teams", ("team", "continent"))
+        assert rel.arity == 2
+
+    def test_str(self):
+        rel = RelationSchema("teams", ("team", "continent"))
+        assert str(rel) == "teams(team, continent)"
+
+    def test_default_domains_are_distinct(self):
+        rel = RelationSchema("r", ("a", "b"))
+        assert rel.domains == ("r.a", "r.b")
+
+    def test_explicit_domains(self):
+        rel = RelationSchema("games", ("w", "l"), ("team", "team"))
+        assert rel.domains == ("team", "team")
+
+    def test_attribute_index(self):
+        rel = RelationSchema("teams", ("team", "continent"))
+        assert rel.attribute_index("continent") == 1
+
+    def test_attribute_index_unknown(self):
+        rel = RelationSchema("teams", ("team", "continent"))
+        with pytest.raises(SchemaError):
+            rel.attribute_index("color")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("a",))
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ())
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ("a", "a"))
+
+    def test_domain_count_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ("a", "b"), ("x",))
+
+    def test_frozen(self):
+        rel = RelationSchema("r", ("a",))
+        with pytest.raises(AttributeError):
+            rel.name = "other"
+
+
+class TestSchema:
+    def test_lookup(self):
+        schema = Schema([RelationSchema("r", ("a",))])
+        assert schema.relation("r").name == "r"
+        assert "r" in schema
+        assert "s" not in schema
+
+    def test_unknown_relation(self):
+        schema = Schema()
+        with pytest.raises(SchemaError):
+            schema.relation("nope")
+
+    def test_duplicate_relation_rejected(self):
+        schema = Schema([RelationSchema("r", ("a",))])
+        with pytest.raises(SchemaError):
+            schema.add(RelationSchema("r", ("b",)))
+
+    def test_iteration_and_len(self):
+        schema = Schema([RelationSchema("r", ("a",)), RelationSchema("s", ("b", "c"))])
+        assert len(schema) == 2
+        assert [r.name for r in schema] == ["r", "s"]
+
+    def test_names_and_arity(self):
+        schema = Schema([RelationSchema("r", ("a", "b"))])
+        assert schema.names == ("r",)
+        assert schema.arity("r") == 2
+
+    def test_from_dict(self):
+        schema = Schema.from_dict({"r": ["a", "b"], "s": ["c"]})
+        assert schema.arity("r") == 2
+        assert schema.arity("s") == 1
+
+    def test_equality(self):
+        a = Schema.from_dict({"r": ["a"]})
+        b = Schema.from_dict({"r": ["a"]})
+        c = Schema.from_dict({"r": ["a", "b"]})
+        assert a == b
+        assert a != c

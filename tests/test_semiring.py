@@ -1,0 +1,133 @@
+"""Tests for provenance semirings (the paper's [32] pointer)."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.db.tuples import fact
+from repro.provenance.semiring import (
+    BooleanSemiring,
+    CountingSemiring,
+    Monomial,
+    Polynomial,
+    TrustSemiring,
+    WhySemiring,
+    provenance_polynomial,
+)
+from repro.query.evaluator import Evaluator, valid_assignments
+from repro.query.parser import parse_query
+from repro.workloads import EX1
+
+
+@pytest.fixture
+def db():
+    schema = Schema.from_dict({"r": ["a", "b"], "s": ["b"]})
+    return Database(
+        schema,
+        [fact("r", 1, 2), fact("r", 1, 3), fact("s", 2), fact("s", 3)],
+    )
+
+
+QUERY = parse_query("q(a) :- r(a, b), s(b).")
+
+
+class TestPolynomialConstruction:
+    def test_one_monomial_per_assignment(self, db):
+        poly = provenance_polynomial(QUERY, db, (1,))
+        assert len(poly.monomials) == 2  # via b=2 and b=3
+        assert all(count == 1 for _, count in poly.monomials)
+
+    def test_zero_for_non_answer(self, db):
+        poly = provenance_polynomial(QUERY, db, (9,))
+        assert poly.is_zero()
+
+    def test_self_join_squares_fact(self, db):
+        q = parse_query("q(a) :- r(a, b), r(a, c), s(b), s(c).")
+        poly = provenance_polynomial(q, db, (1,))
+        degrees = sorted(m.degree() for m, _ in poly.monomials)
+        # assignments with b=c use r-fact twice and s-fact twice
+        assert 4 in degrees
+        squared = [
+            m
+            for m, _ in poly.monomials
+            if any(power == 2 for _, power in m.powers)
+        ]
+        assert squared
+
+    def test_str_rendering(self, db):
+        poly = provenance_polynomial(QUERY, db, (1,))
+        text = str(poly)
+        assert " + " in text
+        assert "r(1, 2)" in text
+
+    def test_empty_polynomial_prints_zero(self):
+        assert str(Polynomial(())) == "0"
+
+    def test_monomial_one(self):
+        assert str(Monomial(())) == "1"
+
+
+class TestSemiringEvaluation:
+    def test_boolean(self, db):
+        poly = provenance_polynomial(QUERY, db, (1,))
+        assert BooleanSemiring().evaluate(poly) is True
+        assert BooleanSemiring().evaluate(Polynomial(())) is False
+
+    def test_counting_matches_assignment_count(self, db):
+        poly = provenance_polynomial(QUERY, db, (1,))
+        expected = sum(
+            1
+            for a in valid_assignments(QUERY, db)
+            if a[list(QUERY.head_variables())[0]] == 1
+        )
+        assert CountingSemiring().evaluate(poly) == expected
+
+    def test_why_matches_evaluator_witnesses(self, db):
+        poly = provenance_polynomial(QUERY, db, (1,))
+        why = WhySemiring().evaluate(poly)
+        witnesses = {frozenset(w) for w in Evaluator(QUERY, db).witnesses((1,))}
+        assert why == witnesses
+
+    def test_why_on_figure1(self, fig1_dirty):
+        poly = provenance_polynomial(EX1, fig1_dirty, ("ESP",))
+        why = WhySemiring().evaluate(poly)
+        assert len(why) == 6  # Example 4.6's six witnesses
+
+    def test_trust_best_derivation(self, db):
+        trust = {
+            fact("r", 1, 2): 0.9,
+            fact("s", 2): 0.8,
+            fact("r", 1, 3): 0.4,
+            fact("s", 3): 0.95,
+        }
+        poly = provenance_polynomial(QUERY, db, (1,))
+        best = TrustSemiring(trust).evaluate(poly)
+        # derivation via b=2: min(0.9, 0.8)=0.8; via b=3: min(0.4,0.95)=0.4
+        assert best == pytest.approx(0.8)
+
+    def test_trust_default(self, db):
+        poly = provenance_polynomial(QUERY, db, (1,))
+        assert TrustSemiring({}, default=0.5).evaluate(poly) == pytest.approx(0.5)
+
+    def test_counting_respects_coefficients(self):
+        m = Monomial.from_facts({fact("s", 2): 1})
+        poly = Polynomial(((m, 3),))
+        assert CountingSemiring().evaluate(poly) == 3
+
+
+class TestSemiringLaws:
+    @pytest.mark.parametrize(
+        "semiring", [BooleanSemiring(), CountingSemiring(), WhySemiring()]
+    )
+    def test_identities(self, semiring, db):
+        poly = provenance_polynomial(QUERY, db, (1,))
+        value = semiring.evaluate(poly)
+        assert semiring.plus(value, semiring.zero) == value
+        assert semiring.times(value, semiring.one) == value
+
+    def test_why_distributes(self):
+        s = WhySemiring()
+        a = s.of_fact(fact("s", 1))
+        b = s.of_fact(fact("s", 2))
+        c = s.of_fact(fact("s", 3))
+        assert s.times(a, s.plus(b, c)) == s.plus(s.times(a, b), s.times(a, c))

@@ -1,0 +1,107 @@
+"""Unit tests for Q|t embedding and subqueries (Definition 5.3)."""
+
+import pytest
+
+from repro.db.tuples import Fact
+from repro.query.ast import Atom, Inequality, QueryError, Var
+from repro.query.parser import parse_query
+from repro.query.subquery import (
+    embed_answer,
+    ground_atoms,
+    is_subquery,
+    split_by_partition,
+    subquery,
+    unique_variables,
+)
+
+Q = parse_query(
+    'q(x) :- games(d1, x, y, "Final", u1), games(d2, x, z, "Final", u2), '
+    'teams(x, "EU"), d1 != d2.'
+)
+
+
+class TestEmbedAnswer:
+    def test_head_contains_all_remaining_variables(self):
+        embedded = embed_answer(Q, ("ITA",))
+        assert set(embedded.head) == embedded.body_variables()
+        assert Var("x") not in embedded.body_variables()
+
+    def test_atoms_grounded(self):
+        embedded = embed_answer(Q, ("ITA",))
+        assert embedded.atoms[2] == Atom("teams", ("ITA", "EU"))
+
+    def test_inequalities_kept(self):
+        embedded = embed_answer(Q, ("ITA",))
+        assert Inequality(Var("d1"), Var("d2")) in embedded.inequalities
+
+    def test_mismatched_answer_rejected(self):
+        with pytest.raises(QueryError):
+            embed_answer(Q, ("ITA", "extra"))
+
+    def test_name_mentions_answer(self):
+        assert "ITA" in embed_answer(Q, ("ITA",)).name
+
+
+class TestSubquery:
+    def test_atoms_subset(self):
+        sub = subquery(Q, [0, 2])
+        assert sub.atoms == (Q.atoms[0], Q.atoms[2])
+
+    def test_head_has_all_variables_no_projection(self):
+        sub = subquery(Q, [0])
+        assert set(sub.head) == Q.atoms[0].variables()
+
+    def test_inequality_kept_only_if_variables_covered(self):
+        both_games = subquery(Q, [0, 1])
+        assert both_games.inequalities == (Inequality(Var("d1"), Var("d2")),)
+        one_game = subquery(Q, [0])
+        assert one_game.inequalities == ()
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(QueryError):
+            subquery(Q, [])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(QueryError):
+            subquery(Q, [7])
+
+    def test_is_subquery(self):
+        assert is_subquery(subquery(Q, [0, 1]), Q)
+        assert is_subquery(subquery(Q, [2]), Q)
+        other = parse_query("p(a) :- other(a).")
+        assert not is_subquery(other, Q)
+
+
+class TestSplitByPartition:
+    def test_partition_covers_all_atoms(self):
+        left, right = split_by_partition(Q, [0])
+        assert len(left.atoms) + len(right.atoms) == len(Q.atoms)
+        assert set(left.atoms) | set(right.atoms) == set(Q.atoms)
+
+    def test_both_sides_nonempty_required(self):
+        with pytest.raises(QueryError):
+            split_by_partition(Q, [])
+        with pytest.raises(QueryError):
+            split_by_partition(Q, [0, 1, 2])
+
+
+class TestGroundAtoms:
+    def test_embedding_creates_ground_atoms(self):
+        # teams(ITA, EU) becomes fully ground under x -> ITA.
+        embedded = embed_answer(Q, ("ITA",))
+        assert ground_atoms(embedded) == [Fact("teams", ("ITA", "EU"))]
+
+    def test_no_ground_atoms(self):
+        assert ground_atoms(Q) == []
+
+
+class TestUniqueVariables:
+    def test_counts_body_variables(self):
+        assert unique_variables(Q) == {
+            Var("x"), Var("y"), Var("z"), Var("d1"), Var("d2"), Var("u1"), Var("u2")
+        }
+
+    def test_embedded_loses_head_variable(self):
+        embedded = embed_answer(Q, ("ITA",))
+        assert Var("x") not in unique_variables(embedded)
+        assert len(unique_variables(embedded)) == 6

@@ -1,0 +1,58 @@
+"""Tests for the §7.2 parameter sweep drivers."""
+
+import pytest
+
+from repro.experiments.sweeps import SWEEP_HEADERS, sweep_cleanliness, sweep_skewness
+from repro.workloads import Q1
+
+CONVERGED = 6
+
+
+@pytest.fixture(scope="module")
+def protected(worldcup_gt):
+    return set(worldcup_gt.facts("stages"))
+
+
+class TestCleanlinessSweep:
+    def test_two_point_sweep(self, worldcup_gt, protected):
+        result = sweep_cleanliness(
+            worldcup_gt, Q1, levels=(0.85, 0.95), protected=protected
+        )
+        assert len(result.rows) == 2
+        assert all(row[CONVERGED] for row in result.rows)
+        assert result.headers == SWEEP_HEADERS
+
+    def test_dirtier_data_more_errors(self, worldcup_gt, protected):
+        result = sweep_cleanliness(
+            worldcup_gt, Q1, levels=(0.7, 0.95), protected=protected
+        )
+        errors = [row[1] + row[2] for row in result.rows]  # wrong + missing
+        assert errors[0] >= errors[1]
+
+    def test_render(self, worldcup_gt, protected):
+        result = sweep_cleanliness(
+            worldcup_gt, Q1, levels=(0.95,), protected=protected
+        )
+        assert "cleanliness" in result.render()
+
+
+class TestSkewnessSweep:
+    def test_extremes_converge(self, worldcup_gt, protected):
+        result = sweep_skewness(
+            worldcup_gt, Q1, levels=(0.0, 1.0), protected=protected
+        )
+        assert len(result.rows) == 2
+        assert all(row[CONVERGED] for row in result.rows)
+
+    def test_pure_skew_profiles(self, worldcup_gt, protected):
+        result = sweep_skewness(
+            worldcup_gt, Q1, levels=(0.0, 1.0), cleanliness=0.85,
+            protected=protected,
+        )
+        only_missing, only_false = result.rows
+        # skew 0 plants no false facts: D ⊂ D_G, and Q1 is monotone, so
+        # no wrong answers can exist; skew 1 plants no missing facts:
+        # D ⊇ D_G, so no missing answers can exist.
+        assert only_missing[1] == 0  # wrong answers at skew 0
+        assert only_false[2] == 0    # missing answers at skew 1
+        assert only_missing[-1] and only_false[-1]  # both converge

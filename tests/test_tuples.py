@@ -1,0 +1,52 @@
+"""Unit tests for repro.db.tuples."""
+
+import pytest
+
+from repro.db.tuples import Fact, fact, facts
+
+
+class TestFact:
+    def test_construction_and_str(self):
+        f = fact("teams", "GER", "EU")
+        assert f.relation == "teams"
+        assert f.values == ("GER", "EU")
+        assert str(f) == "teams(GER, EU)"
+
+    def test_arity(self):
+        assert fact("r", 1, 2, 3).arity == 3
+
+    def test_hashable_and_equal(self):
+        assert fact("r", 1) == Fact("r", (1,))
+        assert {fact("r", 1), Fact("r", (1,))} == {fact("r", 1)}
+
+    def test_ordering(self):
+        assert fact("a", 1) < fact("b", 1)
+        assert fact("a", 1) < fact("a", 2)
+
+    def test_list_values_coerced_to_tuple(self):
+        f = Fact("r", [1, 2])  # type: ignore[arg-type]
+        assert isinstance(f.values, tuple)
+        assert hash(f)  # hashable after coercion
+
+    def test_replace(self):
+        f = fact("teams", "GER", "EU")
+        g = f.replace(1, "SA")
+        assert g == fact("teams", "GER", "SA")
+        assert f == fact("teams", "GER", "EU")  # original untouched
+
+    def test_replace_out_of_range(self):
+        with pytest.raises(IndexError):
+            fact("r", 1).replace(5, 2)
+
+    def test_mixed_value_types(self):
+        f = fact("players", "Pele", 1940)
+        assert f.values == ("Pele", 1940)
+
+
+class TestFactsHelper:
+    def test_facts_builds_rows(self):
+        rows = facts("teams", [("GER", "EU"), ("BRA", "SA")])
+        assert rows == [fact("teams", "GER", "EU"), fact("teams", "BRA", "SA")]
+
+    def test_facts_empty(self):
+        assert facts("r", []) == []

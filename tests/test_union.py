@@ -1,0 +1,93 @@
+"""Tests for unions of conjunctive queries (UCQ extension, Section 2)."""
+
+import pytest
+
+from repro.query.ast import QueryError
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_query
+from repro.query.union import (
+    UnionQuery,
+    evaluate_union,
+    make_union,
+    parse_union,
+    union_from_queries,
+)
+
+#: Teams that appeared in a final (as winner OR loser) — genuinely needs
+#: a union: CQs cannot express the disjunction.
+FINALISTS = parse_union(
+    """
+    finalists(x) :- games(d, x, y, "Final", r).
+    finalists(x) :- games(d, y, x, "Final", r).
+    """
+)
+
+
+class TestConstruction:
+    def test_arity(self):
+        assert FINALISTS.arity == 1
+        assert len(FINALISTS.disjuncts) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            UnionQuery(())
+
+    def test_mismatched_arities_rejected(self):
+        a = parse_query("q(x) :- teams(x, c).")
+        b = parse_query("q(x, c) :- teams(x, c).")
+        with pytest.raises(QueryError):
+            make_union([a, b])
+
+    def test_union_from_queries_requires_single_name(self):
+        a = parse_query("q(x) :- teams(x, c).")
+        b = parse_query("p(x) :- teams(x, c).")
+        with pytest.raises(QueryError):
+            union_from_queries([a, b])
+
+    def test_single_disjunct_union(self):
+        q = parse_query("q(x) :- teams(x, c).")
+        union = make_union([q])
+        assert union.arity == 1
+
+    def test_str_lists_rules(self):
+        text = str(FINALISTS)
+        assert text.count(":-") == 2
+
+
+class TestEvaluation:
+    def test_union_of_results(self, fig1_dirty):
+        answers = evaluate_union(FINALISTS, fig1_dirty)
+        winners = evaluate(FINALISTS.disjuncts[0], fig1_dirty)
+        losers = evaluate(FINALISTS.disjuncts[1], fig1_dirty)
+        assert answers == winners | losers
+        assert ("ARG",) in answers  # only ever a runner-up in Figure 1
+        assert ("ESP",) in answers
+
+    def test_validate(self, fig1_dirty):
+        FINALISTS.validate(fig1_dirty.schema)
+        bad = parse_union("q(x) :- nosuch(x).")
+        with pytest.raises(Exception):
+            bad.validate(fig1_dirty.schema)
+
+    def test_witnesses_combined_across_disjuncts(self, fig1_dirty):
+        # GER won 1990/2014 and lost 1966... (not in fig1) — in Figure 1
+        # GER won twice and lost 2002/1982 finals: witnesses from both
+        # disjuncts must appear.
+        witnesses = FINALISTS.witnesses(fig1_dirty, ("GER",))
+        games = {next(iter(w)) for w in witnesses}
+        assert len(witnesses) == 4  # 2 wins + 2 losses, one fact each
+
+    def test_producing_disjuncts(self, fig1_dirty):
+        producing = FINALISTS.producing_disjuncts(fig1_dirty, ("ARG",))
+        assert producing == [FINALISTS.disjuncts[1]]  # only as runner-up
+
+
+class TestParseUnion:
+    def test_round_trip(self):
+        union = parse_union(str(FINALISTS))
+        assert union.arity == FINALISTS.arity
+        assert len(union.disjuncts) == 2
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(QueryError):
+            parse_union("")

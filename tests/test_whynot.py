@@ -1,0 +1,83 @@
+"""Unit tests for the WhyNot?-style picky-join detector."""
+
+from repro.db.database import Database
+from repro.db.schema import Schema
+from repro.db.tuples import fact
+from repro.provenance.whynot import find_picky_join
+from repro.query.parser import parse_query
+from repro.query.subquery import embed_answer, subquery
+from repro.query.evaluator import Evaluator
+from repro.workloads import EX2
+
+
+def small_db():
+    schema = Schema.from_dict({"r1": ["a", "b"], "r2": ["b", "c"], "r3": ["c", "d"]})
+    return Database(
+        schema,
+        [
+            fact("r1", 1, 2),
+            fact("r2", 2, 3),
+            # r3 lacks any fact joining with c=3 -> the join r12 ⋈ r3 is picky
+            fact("r3", 9, 9),
+        ],
+    )
+
+
+CHAIN = parse_query("q(a, d) :- r1(a, b), r2(b, c), r3(c, d).")
+
+
+class TestPickyJoin:
+    def test_blocking_atom_identified(self):
+        picky = find_picky_join(CHAIN, small_db())
+        assert picky.blocking == 2
+        assert set(picky.left) == {0, 1}
+        assert set(picky.right) == {2}
+
+    def test_left_side_satisfiable(self):
+        db = small_db()
+        picky = find_picky_join(CHAIN, db)
+        left = subquery(CHAIN, list(picky.left))
+        assert next(Evaluator(left, db).assignments(), None) is not None
+
+    def test_satisfiable_query_has_no_picky_join(self):
+        db = small_db()
+        db.insert(fact("r3", 3, 4))
+        picky = find_picky_join(CHAIN, db)
+        assert picky.blocking is None
+        assert picky.right == ()
+
+    def test_single_unsatisfiable_atom(self):
+        schema = Schema.from_dict({"r": ["a"]})
+        db = Database(schema)
+        query = parse_query("q(a) :- r(a).")
+        picky = find_picky_join(query, db)
+        assert picky.blocking == 0
+
+    def test_single_satisfiable_atom(self):
+        schema = Schema.from_dict({"r": ["a"]})
+        db = Database(schema, [fact("r", 1)])
+        query = parse_query("q(a) :- r(a).")
+        picky = find_picky_join(query, db)
+        assert picky.blocking is None
+
+    def test_all_atoms_empty(self):
+        db = Database(Schema.from_dict({"r1": ["a", "b"], "r2": ["b", "c"], "r3": ["c", "d"]}))
+        picky = find_picky_join(CHAIN, db)
+        assert picky.blocking == 0
+        assert picky.left == (0,)
+
+
+class TestOnFigure1:
+    def test_missing_pirlo_split(self, fig1_dirty):
+        # Q|Pirlo is unsatisfiable in D because Teams(ITA, EU) is missing.
+        embedded = embed_answer(EX2, ("Andrea Pirlo",))
+        picky = find_picky_join(embedded, fig1_dirty)
+        assert picky.blocking is not None
+        # The blocking atom is the teams atom (index of teams in EX2 body).
+        blocked_atom = embedded.atoms[picky.blocking]
+        assert blocked_atom.relation == "teams"
+
+    def test_partition_is_exact(self, fig1_dirty):
+        embedded = embed_answer(EX2, ("Andrea Pirlo",))
+        picky = find_picky_join(embedded, fig1_dirty)
+        assert sorted(picky.left + picky.right) == list(range(len(embedded.atoms)))

@@ -1,0 +1,68 @@
+"""Unit tests for witness provenance helpers."""
+
+from repro.db.tuples import fact
+from repro.provenance.witness import (
+    fact_frequencies,
+    lineage,
+    most_frequent_fact,
+    remove_fact_from_all,
+    why_provenance,
+    witnesses_containing,
+    witnesses_without,
+)
+from repro.workloads import EX1
+
+T3 = fact("teams", ("ESP", "EU"))
+
+
+class TestWhyProvenance:
+    def test_esp_has_six_witnesses(self, fig1_dirty):
+        witnesses = why_provenance(EX1, fig1_dirty, ("ESP",))
+        assert len(witnesses) == 6
+
+    def test_every_witness_contains_teams_fact(self, fig1_dirty):
+        t3 = fact("teams", "ESP", "EU")
+        for witness in why_provenance(EX1, fig1_dirty, ("ESP",)):
+            assert t3 in witness
+            assert len(witness) == 3  # two games + teams
+
+    def test_non_answer_has_none(self, fig1_dirty):
+        assert why_provenance(EX1, fig1_dirty, ("ITA",)) == []
+
+
+class TestFrequencies:
+    def test_most_frequent_is_shared_teams_fact(self, fig1_dirty):
+        witnesses = why_provenance(EX1, fig1_dirty, ("ESP",))
+        assert most_frequent_fact(witnesses) == fact("teams", "ESP", "EU")
+
+    def test_frequencies_counts(self, fig1_dirty):
+        witnesses = why_provenance(EX1, fig1_dirty, ("ESP",))
+        counts = fact_frequencies(witnesses)
+        assert counts[fact("teams", "ESP", "EU")] == 6
+        # each of the 4 games appears in 3 of the C(4,2) pairs
+        games = [f for f in counts if f.relation == "games"]
+        assert all(counts[g] == 3 for g in games)
+
+    def test_most_frequent_fact_empty(self):
+        assert most_frequent_fact([]) is None
+
+    def test_lineage_is_union(self, fig1_dirty):
+        witnesses = why_provenance(EX1, fig1_dirty, ("ESP",))
+        assert len(lineage(witnesses)) == 5  # 4 games + 1 teams
+
+
+class TestSetOps:
+    def test_containing_and_without_partition(self, fig1_dirty):
+        witnesses = why_provenance(EX1, fig1_dirty, ("ESP",))
+        some_game = next(f for f in lineage(witnesses) if f.relation == "games")
+        with_f = witnesses_containing(witnesses, some_game)
+        without_f = witnesses_without(witnesses, some_game)
+        assert len(with_f) + len(without_f) == len(witnesses)
+        assert len(with_f) == 3
+
+    def test_remove_fact_from_all(self, fig1_dirty):
+        witnesses = why_provenance(EX1, fig1_dirty, ("ESP",))
+        t3 = fact("teams", "ESP", "EU")
+        reduced = remove_fact_from_all(witnesses, t3)
+        assert all(t3 not in w for w in reduced)
+        assert all(len(w) == 2 for w in reduced)

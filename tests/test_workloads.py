@@ -1,0 +1,139 @@
+"""Tests for the experiment workloads (paper queries)."""
+
+import pytest
+
+from repro.datasets.worldcup import worldcup_schema
+from repro.datasets.dbgroup import dbgroup_schema
+from repro.query.evaluator import evaluate
+from repro.workloads import DBGROUP_QUERIES, SOCCER_QUERIES
+
+
+class TestSoccerQueries:
+    def test_all_valid_against_schema(self):
+        schema = worldcup_schema()
+        for query in SOCCER_QUERIES.values():
+            query.validate(schema)
+
+    def test_result_sizes_span_small_to_large(self, worldcup_gt):
+        # "These queries have varying result sizes, from the smallest to
+        # largest" (Q1 smallest ... larger ones later).
+        sizes = {
+            name: len(evaluate(query, worldcup_gt))
+            for name, query in SOCCER_QUERIES.items()
+            if name.startswith("Q")
+        }
+        assert sizes["Q1"] < sizes["Q3"]
+        assert all(size > 0 for size in sizes.values())
+
+    def test_q1_semantics(self, worldcup_gt):
+        # Q1: European teams who lost at least two finals.
+        from repro.workloads import Q1
+
+        answers = {a[0] for a in evaluate(Q1, worldcup_gt)}
+        assert "NED" in answers  # lost 1974, 1978, 2010
+        assert "HUN" in answers  # lost 1938, 1954
+        assert "BRA" not in answers  # not European
+
+    def test_q3_excludes_asian_teams(self, worldcup_gt):
+        from repro.workloads import Q3
+
+        teams = dict(f.values for f in worldcup_gt.facts("teams"))
+        for (team,) in evaluate(Q3, worldcup_gt):
+            assert teams[team] != "AS"
+
+    def test_q5_requires_sa_opponent(self, worldcup_gt):
+        from repro.workloads import Q5
+
+        answers = {a[0] for a in evaluate(Q5, worldcup_gt)}
+        assert "GER" in answers  # beat ARG in two finals
+
+    def test_ex1_matches_paper_true_result(self, worldcup_gt):
+        from repro.workloads import EX1
+
+        assert evaluate(EX1, worldcup_gt) == {("GER",), ("ITA",)}
+
+    def test_queries_have_inequalities_where_expected(self):
+        from repro.workloads import Q1, Q2, Q4, Q5
+
+        for query in (Q1, Q2, Q4, Q5):
+            assert query.inequalities
+
+    def test_q6_clubmates_scored_same_game(self, worldcup_gt):
+        from repro.workloads.soccer_queries import Q6
+
+        clubs = {}
+        for f in worldcup_gt.facts("clubs"):
+            clubs.setdefault(f.values[0], set()).add(f.values[1])
+        for p1, p2 in evaluate(Q6, worldcup_gt):
+            assert p1 != p2
+            assert clubs[p1] & clubs[p2]
+
+    def test_q7_scorers_played_for_winner(self, worldcup_gt):
+        from repro.workloads.soccer_queries import Q7
+
+        teams = {f.values[0]: f.values[1] for f in worldcup_gt.facts("players")}
+        winners = {
+            (f.values[0], f.values[1]) for f in worldcup_gt.facts("games")
+        }
+        goals = {
+            (f.values[0], f.values[1]) for f in worldcup_gt.facts("goals")
+        }
+        for (player,) in evaluate(Q7, worldcup_gt):
+            assert player in teams
+
+    def test_q8_homegrown_champions(self, worldcup_gt):
+        from repro.workloads.soccer_queries import Q8
+
+        birthplaces = {
+            f.values[0]: (f.values[1], f.values[3])
+            for f in worldcup_gt.facts("players")
+        }
+        for (player,) in evaluate(Q8, worldcup_gt):
+            team, birthplace = birthplaces[player]
+            assert team == birthplace
+
+    def test_q8_cleaning_end_to_end(self, worldcup_gt):
+        import random
+
+        from repro.core.qoco import QOCO, QOCOConfig
+        from repro.datasets.noise import inject_result_errors
+        from repro.oracle.base import AccountingOracle
+        from repro.oracle.perfect import PerfectOracle
+        from repro.workloads.soccer_queries import Q8
+
+        errors = inject_result_errors(
+            worldcup_gt, Q8, n_wrong=2, n_missing=2, rng=random.Random(77)
+        )
+        dirty = errors.dirty.copy()
+        oracle = AccountingOracle(PerfectOracle(worldcup_gt))
+        report = QOCO(dirty, oracle, QOCOConfig(seed=77)).clean(Q8)
+        assert report.converged
+        assert evaluate(Q8, dirty) == evaluate(Q8, worldcup_gt)
+
+
+class TestDBGroupQueries:
+    def test_all_valid_against_schema(self):
+        schema = dbgroup_schema()
+        for query in DBGROUP_QUERIES.values():
+            query.validate(schema)
+
+    def test_g2_selects_current_erc_members(self, dbgroup_gt):
+        from repro.workloads import G2
+
+        statuses = {
+            f.values[0]: f.values[1] for f in dbgroup_gt.facts("members")
+        }
+        members = {
+            f.values[0]: f.values[2] for f in dbgroup_gt.facts("members")
+        }
+        for (name,) in evaluate(G2, dbgroup_gt):
+            assert members[name] == "ERC"
+            assert statuses[name] in ("student", "postdoc", "faculty")
+
+    def test_g4_topic_and_recency(self, dbgroup_gt):
+        from repro.workloads import G4
+
+        pubs = {f.values[0]: f for f in dbgroup_gt.facts("publications")}
+        for (pid,) in evaluate(G4, dbgroup_gt):
+            assert pubs[pid].values[3] == "crowdsourcing"
+            assert pubs[pid].values[2] >= 2013

@@ -1,0 +1,125 @@
+"""Tests for the World Cup ground-truth generator."""
+
+import pytest
+
+from repro.datasets.worldcup import (
+    FINALS,
+    TEAMS,
+    THIRD_PLACE,
+    WorldCupConfig,
+    worldcup_database,
+    worldcup_schema,
+)
+from repro.db.tuples import Fact, fact
+from repro.query.evaluator import evaluate
+from repro.query.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def db():
+    return worldcup_database()
+
+
+class TestScale:
+    def test_paper_scale(self, db):
+        # "The Soccer database ... consists of around 5000 tuples."
+        assert 4000 <= len(db) <= 6500
+
+    def test_all_relations_populated(self, db):
+        for relation in ("games", "teams", "players", "goals", "clubs", "stages"):
+            assert db.size(relation) > 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_database(self):
+        a = worldcup_database(WorldCupConfig(seed=3))
+        b = worldcup_database(WorldCupConfig(seed=3))
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = worldcup_database(WorldCupConfig(seed=3))
+        b = worldcup_database(WorldCupConfig(seed=4))
+        assert a != b
+
+
+class TestEmbeddedHistory:
+    def test_all_finals_present(self, db):
+        for _, date, winner, runner_up, score in FINALS:
+            assert fact("games", date, winner, runner_up, "Final", score) in db
+
+    def test_third_place_games_present(self, db):
+        third = [f for f in db.facts("games") if f.values[3] == "ThirdPlace"]
+        assert len(third) == len(THIRD_PLACE)
+
+    def test_paper_2006_final_score(self, db):
+        # The paper's Figure 1 records the 2006 final as 5:3.
+        assert fact("games", "09.07.2006", "ITA", "FRA", "Final", "5:3") in db
+
+    def test_teams_have_continents(self, db):
+        for team, continent in TEAMS.items():
+            assert fact("teams", team, continent) in db
+
+    def test_goetze_scored_2014_final(self, db):
+        assert fact("goals", "Mario Goetze", "13.07.2014") in db
+
+
+class TestConsistency:
+    def test_every_game_team_is_registered(self, db):
+        teams = {f.values[0] for f in db.facts("teams")}
+        for game in db.facts("games"):
+            assert game.values[1] in teams
+            assert game.values[2] in teams
+
+    def test_every_goal_scorer_is_a_player(self, db):
+        players = {f.values[0] for f in db.facts("players")}
+        for goal in db.facts("goals"):
+            assert goal.values[0] in players
+
+    def test_every_goal_belongs_to_a_game(self, db):
+        dates = {f.values[0] for f in db.facts("games")}
+        for goal in db.facts("goals"):
+            assert goal.values[1] in dates
+
+    def test_goals_match_scores(self, db):
+        # Per game, total goals recorded equals the regulation score sum
+        # (pinned scorers included).
+        from collections import Counter
+
+        by_date = Counter(goal.values[1] for goal in db.facts("goals"))
+        for game in db.facts("games"):
+            date, _, _, _, result = game.values
+            left, right = result.split(" ")[0].split(":")
+            assert by_date[date] <= int(left) + int(right)
+
+    def test_stage_classification(self, db):
+        phases = dict(f.values for f in db.facts("stages"))
+        assert phases["Final"] == "KO"
+        assert phases["Group"] == "GROUP"
+        for game in db.facts("games"):
+            assert game.values[3] in phases
+
+    def test_player_team_is_registered(self, db):
+        teams = {f.values[0] for f in db.facts("teams")}
+        for player in db.facts("players"):
+            assert player.values[1] in teams
+
+
+class TestGroundTruthSemantics:
+    def test_winners_of_two_finals(self, db):
+        q = parse_query(
+            'q(x) :- games(d1, x, y, "Final", u1), games(d2, x, z, "Final", u2), '
+            "d1 != d2."
+        )
+        multi_champions = {a[0] for a in evaluate(q, db)}
+        assert multi_champions == {"BRA", "GER", "ITA", "ARG", "URU"}
+
+    def test_ex1_true_result(self, db):
+        from repro.workloads import EX1
+
+        # European teams with >= 2 titles: ITA (4) and GER (4).
+        assert evaluate(EX1, db) == {("ITA",), ("GER",)}
+
+    def test_schema_roundtrip(self):
+        schema = worldcup_schema()
+        assert schema.arity("games") == 5
+        assert schema.arity("players") == 4
