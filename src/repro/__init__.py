@@ -48,6 +48,7 @@ from .oracle import (
     QuestionKind,
 )
 from .query import Atom, Inequality, Query, Var, evaluate, parse_query, witnesses_for
+from .telemetry import TELEMETRY, InMemorySink, JSONLSink, Telemetry, telemetry_session
 from .datasets import (
     NoiseSpec,
     dbgroup_database,
@@ -59,8 +60,13 @@ from .datasets import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "TELEMETRY",
     "AccountingOracle",
     "Atom",
+    "InMemorySink",
+    "JSONLSink",
+    "Telemetry",
+    "telemetry_session",
     "Chao92Estimator",
     "CleaningReport",
     "Crowd",

@@ -28,6 +28,7 @@ from ..oracle.base import AccountingOracle
 from ..provenance.witness import most_frequent_fact
 from ..query.ast import Query
 from ..query.evaluator import Answer, Evaluator
+from ..telemetry import TELEMETRY as _TELEMETRY
 
 
 class DeletionError(RuntimeError):
@@ -106,46 +107,52 @@ def crowd_remove_wrong_answer(
     """
     strategy = strategy if strategy is not None else QOCODeletion()
     rng = rng if rng is not None else random.Random()
+    tel = _TELEMETRY
 
-    if witnesses is None:
-        witnesses = [
-            frozenset(w) for w in Evaluator(query, database).witnesses(answer)
-        ]
-    sets: list[frozenset] = list(witnesses)
-    # Facts already known false (from earlier questions this run) destroy
-    # their witnesses for free; known-true facts can be pre-pruned.
-    sets, edits = _prune_with_knowledge(sets, oracle)
+    with tel.span("deletion.remove_answer", strategy=strategy.name):
+        tel.count("deletion.invocations")
+        if witnesses is None:
+            witnesses = [
+                frozenset(w) for w in Evaluator(query, database).witnesses(answer)
+            ]
+        sets: list[frozenset] = list(witnesses)
+        if tel.enabled:
+            tel.observe("deletion.witnesses_per_answer", len(sets))
+        # Facts already known false (from earlier questions this run) destroy
+        # their witnesses for free; known-true facts can be pre-pruned.
+        sets, edits = _prune_with_knowledge(sets, oracle)
 
-    if isinstance(strategy, RandomDeletion):
-        edits += _verify_everything(sets, oracle, rng)
-        if apply:
-            database.apply(edits)
-        return edits
+        if isinstance(strategy, RandomDeletion):
+            edits += _verify_everything(sets, oracle, rng)
+            if apply:
+                database.apply(edits)
+            return edits
 
-    while sets:
-        if strategy.infer_singletons:
-            sets, inferred = _consume_singletons(sets, oracle)
-            edits += inferred
-            if not sets:
-                break
-        if any(not s for s in sets):
-            raise DeletionError(
-                f"answer {answer!r} has a witness whose facts were all deemed true"
-            )
-        fact = strategy.choose(sets, rng)
-        if oracle.verify_fact(fact):
-            sets = [s - {fact} for s in sets]
+        while sets:
+            if strategy.infer_singletons:
+                sets, inferred = _consume_singletons(sets, oracle)
+                edits += inferred
+                if not sets:
+                    break
             if any(not s for s in sets):
                 raise DeletionError(
                     f"answer {answer!r} has a witness whose facts were all deemed true"
                 )
-        else:
-            edits.append(delete(fact))
-            sets = [s for s in sets if fact not in s]
+            fact = strategy.choose(sets, rng)
+            tel.count("deletion.facts_asked")
+            if oracle.verify_fact(fact):
+                sets = [s - {fact} for s in sets]
+                if any(not s for s in sets):
+                    raise DeletionError(
+                        f"answer {answer!r} has a witness whose facts were all deemed true"
+                    )
+            else:
+                edits.append(delete(fact))
+                sets = [s for s in sets if fact not in s]
 
-    if apply:
-        database.apply(edits)
-    return edits
+        if apply:
+            database.apply(edits)
+        return edits
 
 
 def _prune_with_knowledge(
@@ -191,6 +198,7 @@ def _consume_singletons(
         for fact in singles:
             edits.append(delete(fact))
             oracle.remember_fact(fact, False)
+            _TELEMETRY.count("deletion.singleton_inferences")
         survivors = [s for s in sets if not (s & set(singles))]
         changed = len(survivors) != len(sets)
         sets = survivors

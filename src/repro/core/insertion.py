@@ -24,6 +24,7 @@ from ..oracle.base import AccountingOracle
 from ..query.ast import Query
 from ..query.evaluator import Answer, Assignment, Evaluator, atom_pattern, witness_of
 from ..query.subquery import embed_answer, ground_atoms
+from ..telemetry import TELEMETRY as _TELEMETRY
 from .split import ProvenanceSplit, SplitStrategy
 
 
@@ -64,55 +65,61 @@ def crowd_add_missing_answer(
     split = split if split is not None else ProvenanceSplit()
     rng = rng if rng is not None else random.Random()
     config = config if config is not None else InsertionConfig()
+    tel = _TELEMETRY
 
-    embedded = embed_answer(query, answer)
-    edits: list[Edit] = []
+    with tel.span("insertion.add_answer", split=split.__class__.__name__):
+        tel.count("insertion.invocations")
+        embedded = embed_answer(query, answer)
+        edits: list[Edit] = []
 
-    # Lines 1-2: ground atoms of Q|t must hold in D_G — insert them.
-    for fact in ground_atoms(embedded):
-        if fact not in database:
-            edit = insert(fact)
-            edit.apply(database)
-            edits.append(edit)
+        # Lines 1-2: ground atoms of Q|t must hold in D_G — insert them.
+        for fact in ground_atoms(embedded):
+            if fact not in database:
+                edit = insert(fact)
+                edit.apply(database)
+                edits.append(edit)
+                tel.count("insertion.ground_inserts")
 
-    if _answer_present(embedded, database):
-        return edits
-
-    queue: deque[Query] = deque(split.split(embedded, database, rng))
-    asked: set[frozenset] = set()
-    processed = 0
-
-    while queue and not _answer_present(embedded, database):
-        if processed >= config.max_subqueries:
-            break
-        # Most selective subquery first: the one with the fewest candidate
-        # assignments costs the fewest crowd questions to rule in or out.
-        index = min(
-            range(len(queue)),
-            key=lambda i: _candidate_count(
-                queue[i], database, config.max_candidates_per_subquery
-            ),
-        )
-        queue.rotate(-index)
-        current = queue.popleft()
-        processed += 1
-        found = _try_subquery(
-            embedded, current, database, oracle, asked, config, edits
-        )
-        if found:
+        if _answer_present(embedded, database):
             return edits
-        if split.can_split(current):
-            queue.extend(split.split(current, database, rng))
 
-    if _answer_present(embedded, database):
+        queue: deque[Query] = deque(split.split(embedded, database, rng))
+        asked: set[frozenset] = set()
+        processed = 0
+
+        while queue and not _answer_present(embedded, database):
+            if processed >= config.max_subqueries:
+                break
+            # Most selective subquery first: the one with the fewest candidate
+            # assignments costs the fewest crowd questions to rule in or out.
+            index = min(
+                range(len(queue)),
+                key=lambda i: _candidate_count(
+                    queue[i], database, config.max_candidates_per_subquery
+                ),
+            )
+            queue.rotate(-index)
+            current = queue.popleft()
+            processed += 1
+            tel.count("insertion.subqueries_processed")
+            found = _try_subquery(
+                embedded, current, database, oracle, asked, config, edits
+            )
+            if found:
+                return edits
+            if split.can_split(current):
+                queue.extend(split.split(current, database, rng))
+
+        if _answer_present(embedded, database):
+            return edits
+
+        # Line 18: fall back to asking for a whole witness.
+        tel.count("insertion.fallback_completions")
+        full = oracle.complete_assignment(embedded, {})
+        if full is None:
+            raise InsertionError(f"crowd provided no witness for answer {answer!r}")
+        _insert_witness(embedded, full, database, edits)
         return edits
-
-    # Line 18: fall back to asking for a whole witness.
-    full = oracle.complete_assignment(embedded, {})
-    if full is None:
-        raise InsertionError(f"crowd provided no witness for answer {answer!r}")
-    _insert_witness(embedded, full, database, edits)
-    return edits
 
 
 def _answer_present(embedded: Query, database: Database) -> bool:
@@ -171,6 +178,7 @@ def _try_subquery(
 
     for candidate in candidates[: config.max_candidates_per_subquery]:
         asked.add(frozenset(candidate.items()))
+        _TELEMETRY.count("insertion.candidates_presented")
         if not oracle.verify_candidate(embedded, candidate):
             continue
         if set(candidate) >= embedded_vars:
@@ -208,3 +216,4 @@ def _insert_witness(
             edit = insert(fact)
             edit.apply(database)
             edits.append(edit)
+            _TELEMETRY.count("insertion.witness_inserts")

@@ -34,6 +34,7 @@ from ..oracle.base import AccountingOracle
 from ..query.ast import Query
 from ..query.evaluator import Answer, Evaluator
 from ..query.subquery import embed_answer, ground_atoms
+from ..telemetry import TELEMETRY as _TELEMETRY
 from .deletion import DeletionError
 from .insertion import (
     InsertionConfig,
@@ -200,16 +201,25 @@ class RoundScheduler:
         self.rounds = 0
         self.peak_width = 0
 
+    def tick(self, width: int) -> None:
+        """Account one crowd round carrying *width* questions."""
+        self.rounds += 1
+        self.peak_width = max(self.peak_width, width)
+        tel = _TELEMETRY
+        if tel.enabled:
+            tel.count("parallel.rounds")
+            tel.observe("parallel.round_width", width)
+
     def run(self, tasks: list[Task]) -> list[Optional[list[Edit]]]:
         """Run tasks to completion; results align with *tasks* (``None``
         marks a task that failed with :class:`DeletionError`)."""
         running = [_Running(task) for task in tasks]
+        _TELEMETRY.count("parallel.tasks", len(tasks))
         for item in running:
             self._advance(item, None)
         while any(item.pending is not None for item in running):
             batch = [item for item in running if item.pending is not None]
-            self.rounds += 1
-            self.peak_width = max(self.peak_width, len(batch))
+            self.tick(len(batch))
             # "post together": collect the whole round before advancing
             answers = [
                 (item, self._answer(item.pending)) for item in batch
@@ -284,6 +294,20 @@ class ParallelQOCO:
         report = ParallelReport(query_name=query.name, log=self.oracle.log)
         scheduler = RoundScheduler(self.oracle)
         verified: set[Answer] = set()
+        span = _TELEMETRY.span("parallel.clean", query=query.name)
+        with span:
+            self._clean_loop(query, report, scheduler, verified)
+        report.rounds = scheduler.rounds
+        report.peak_width = scheduler.peak_width
+        return report
+
+    def _clean_loop(
+        self,
+        query: Query,
+        report: ParallelReport,
+        scheduler: RoundScheduler,
+        verified: set[Answer],
+    ) -> None:
         first = True
         while first or (self._answers(query) - verified):
             if report.iterations >= self.max_iterations:
@@ -291,13 +315,13 @@ class ParallelQOCO:
                 break
             first = False
             report.iterations += 1
+            _TELEMETRY.count("parallel.iterations")
 
             # Wave 1: verify all unverified answers at the same time.
             answers = sorted(self._answers(query) - verified, key=repr)
             wrong: list[Answer] = []
             if answers:
-                scheduler.rounds += 1
-                scheduler.peak_width = max(scheduler.peak_width, len(answers))
+                scheduler.tick(len(answers))
                 for answer in answers:
                     if self.oracle.verify_answer(query, answer):
                         verified.add(answer)
@@ -326,14 +350,16 @@ class ParallelQOCO:
             for _ in range(self.max_iterations * 4):
                 missing: list[Answer] = []
                 known = set(self._answers(query))
-                scheduler.rounds += 1
+                posted = 0
                 for _ in range(self.completion_width):
                     found = self.oracle.complete_result(query, known)
+                    posted += 1
                     if found is None:
                         break
                     known.add(found)
                     if found not in self._answers(query):
                         missing.append(found)
+                scheduler.tick(posted)
                 if not missing:
                     break
                 tasks = [
@@ -350,10 +376,6 @@ class ParallelQOCO:
                     report.edits += edits
                     report.missing_answers_added.append(answer)
                     verified.add(answer)
-
-        report.rounds = scheduler.rounds
-        report.peak_width = scheduler.peak_width
-        return report
 
     def _answers(self, query: Query) -> set[Answer]:
         return Evaluator(query, self.database).answers()

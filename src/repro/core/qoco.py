@@ -20,6 +20,7 @@ from ..oracle.base import AccountingOracle, Oracle
 from ..oracle.enumeration import CompletionEstimator, ExactCompletion
 from ..query.ast import Query
 from ..query.evaluator import Answer, Evaluator
+from ..telemetry import TELEMETRY as _TELEMETRY
 from .deletion import DeletionError, DeletionStrategy, QOCODeletion, crowd_remove_wrong_answer
 from .insertion import InsertionConfig, InsertionError, crowd_add_missing_answer
 from .session import CleaningReport
@@ -81,20 +82,24 @@ class QOCO:
         report = CleaningReport(query_name=query.name, log=self.oracle.log)
         verified: set[Answer] = set()
 
-        first_iteration = True
-        while first_iteration or (self._answers(query) - verified):
-            if report.iterations >= self.config.max_iterations:
-                report.converged = False
-                break
-            if not first_iteration:
-                # Imperfect crowds: a wrong majority vote must not poison
-                # the retry — re-poll rather than trust the cached answer.
-                self.oracle.forget()
-            first_iteration = False
-            report.iterations += 1
-            report.converged = True
-            self._deletion_phase(query, verified, report)
-            self._insertion_phase(query, verified, report)
+        with _TELEMETRY.span("qoco.clean", query=query.name):
+            first_iteration = True
+            while first_iteration or (self._answers(query) - verified):
+                if report.iterations >= self.config.max_iterations:
+                    report.converged = False
+                    break
+                if not first_iteration:
+                    # Imperfect crowds: a wrong majority vote must not poison
+                    # the retry — re-poll rather than trust the cached answer.
+                    self.oracle.forget()
+                first_iteration = False
+                report.iterations += 1
+                report.converged = True
+                _TELEMETRY.count("qoco.iterations")
+                with _TELEMETRY.span("qoco.deletion_phase"):
+                    self._deletion_phase(query, verified, report)
+                with _TELEMETRY.span("qoco.insertion_phase"):
+                    self._insertion_phase(query, verified, report)
         return report
 
     # ------------------------------------------------------------------
@@ -112,7 +117,9 @@ class QOCO:
                 continue  # removed as a side effect of an earlier deletion
             if self.oracle.verify_answer(query, answer):
                 verified.add(answer)
+                _TELEMETRY.count("qoco.answers_verified")
                 continue
+            _TELEMETRY.count("qoco.wrong_answers")
             try:
                 edits = crowd_remove_wrong_answer(
                     query,
@@ -162,3 +169,4 @@ class QOCO:
             report.edits += edits
             report.missing_answers_added.append(missing)
             verified.add(missing)
+            _TELEMETRY.count("qoco.missing_answers")

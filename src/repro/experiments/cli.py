@@ -35,6 +35,16 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write per-figure CSVs and results.json into DIR",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect runtime telemetry and print the summary table",
+    )
+    parser.add_argument(
+        "--telemetry-jsonl",
+        metavar="FILE",
+        help="stream telemetry spans + final summary to FILE (implies --telemetry)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -47,10 +57,28 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown figure(s): {', '.join(unknown)}")
 
+    telemetry_on = args.telemetry or args.telemetry_jsonl
+    jsonl_sink = None
+    if telemetry_on:
+        from ..telemetry import TELEMETRY, JSONLSink
+
+        TELEMETRY.reset()
+        if args.telemetry_jsonl:
+            jsonl_sink = JSONLSink(args.telemetry_jsonl)
+            TELEMETRY.add_sink(jsonl_sink)
+        TELEMETRY.enable()
+
     results = []
     for name in selected:
         start = time.perf_counter()
-        result = ALL_FIGURES[name]()
+        with_span = ALL_FIGURES[name]
+        if telemetry_on:
+            from ..telemetry import TELEMETRY
+
+            with TELEMETRY.span("experiments.figure", figure=name):
+                result = with_span()
+        else:
+            result = with_span()
         elapsed = time.perf_counter() - start
         print(result.render())
         print(f"[{name} completed in {elapsed:.2f}s]\n")
@@ -61,6 +89,19 @@ def main(argv: list[str] | None = None) -> int:
 
         path = export_figures(results, args.export)
         print(f"[results exported to {path}]")
+
+    if telemetry_on:
+        from ..telemetry import TELEMETRY
+
+        from .reporting import render_telemetry_summary
+
+        TELEMETRY.disable()
+        TELEMETRY.flush()
+        print(render_telemetry_summary())
+        if jsonl_sink is not None:
+            TELEMETRY.remove_sink(jsonl_sink)
+            jsonl_sink.close()
+            print(f"[telemetry trace written to {args.telemetry_jsonl}]")
     return 0
 
 

@@ -50,6 +50,17 @@ def render_figure(
     return "\n".join(parts) + "\n"
 
 
+def render_telemetry_summary(hub=None, title: str = "telemetry summary") -> str:
+    """The runtime telemetry rollup (counters/histograms/spans).
+
+    Renders the global hub by default; pass an explicit
+    :class:`~repro.telemetry.Telemetry` to render another instance.
+    """
+    from ..telemetry import TELEMETRY, summary_table
+
+    return summary_table(hub if hub is not None else TELEMETRY, title=title)
+
+
 def render_category_stack(stacks: Mapping[str, Mapping[str, int]]) -> str:
     """Rows of category->count stacks (Figures 3f / 4)."""
     categories = sorted({c for stack in stacks.values() for c in stack})

@@ -16,6 +16,7 @@ from typing import Iterable, Mapping, Optional, Sequence
 from ..db.tuples import Constant, Fact
 from ..query.ast import Query, Var
 from ..query.evaluator import Answer, Assignment
+from ..telemetry import TELEMETRY as _TELEMETRY
 from .questions import InteractionLog, QuestionKind
 
 
@@ -90,6 +91,18 @@ class AccountingOracle(Oracle):
         self._fact_cache: dict[Fact, bool] = {}
         self._answer_cache: dict[tuple[int, Answer], bool] = {}
 
+    # -- accounting ------------------------------------------------------
+    def _record(self, kind: QuestionKind, cost: int, detail: str = "") -> None:
+        """One crowd interaction: append to the log and mirror it into the
+        telemetry counter stream (``oracle.questions.*`` / ``oracle.cost.*``),
+        so §7-style budgets are observable live, not only post-hoc."""
+        self.log.record(kind, cost, detail)
+        tel = _TELEMETRY
+        if tel.enabled:
+            tel.count(f"oracle.questions.{kind.value}")
+            tel.count(f"oracle.cost.{kind.value}", cost)
+            tel.count("oracle.cost.total", cost)
+
     # -- cache helpers ---------------------------------------------------
     def knows_fact(self, fact: Fact) -> bool:
         return fact in self._fact_cache
@@ -117,10 +130,12 @@ class AccountingOracle(Oracle):
     def verify_fact(self, fact: Fact) -> bool:
         cached = self._fact_cache.get(fact)
         if cached is not None:
+            if _TELEMETRY.enabled:
+                _TELEMETRY.count("oracle.cache_hits")
             return cached
         value = self.backend.verify_fact(fact)
         self._fact_cache[fact] = value
-        self.log.record(QuestionKind.VERIFY_FACT, 1, str(fact))
+        self._record(QuestionKind.VERIFY_FACT, 1, str(fact))
         return value
 
     def verify_facts(self, facts: Sequence[Fact]) -> dict[Fact, bool]:
@@ -141,24 +156,24 @@ class AccountingOracle(Oracle):
                 value = answers[fact]
                 self._fact_cache[fact] = value
                 results[fact] = value
-            self.log.record(
-                QuestionKind.VERIFY_FACTS, 1, f"{len(to_ask)} facts"
-            )
+            self._record(QuestionKind.VERIFY_FACTS, 1, f"{len(to_ask)} facts")
         return results
 
     def verify_answer(self, query: Query, answer: Answer) -> bool:
         key = (id(query), answer)
         cached = self._answer_cache.get(key)
         if cached is not None:
+            if _TELEMETRY.enabled:
+                _TELEMETRY.count("oracle.cache_hits")
             return cached
         value = self.backend.verify_answer(query, answer)
         self._answer_cache[key] = value
-        self.log.record(QuestionKind.VERIFY_ANSWER, 1, f"{query.name}{answer}")
+        self._record(QuestionKind.VERIFY_ANSWER, 1, f"{query.name}{answer}")
         return value
 
     def verify_candidate(self, query: Query, partial: Mapping[Var, Constant]) -> bool:
         value = self.backend.verify_candidate(query, partial)
-        self.log.record(QuestionKind.VERIFY_CANDIDATE, 1, query.name)
+        self._record(QuestionKind.VERIFY_CANDIDATE, 1, query.name)
         return value
 
     def complete_assignment(
@@ -166,7 +181,7 @@ class AccountingOracle(Oracle):
     ) -> Optional[Assignment]:
         result = self.backend.complete_assignment(query, partial)
         cost = open_question_cost(query, partial, result)
-        self.log.record(QuestionKind.COMPLETE_ASSIGNMENT, cost, query.name)
+        self._record(QuestionKind.COMPLETE_ASSIGNMENT, cost, query.name)
         return result
 
     def complete_result(
@@ -174,5 +189,5 @@ class AccountingOracle(Oracle):
     ) -> Optional[Answer]:
         result = self.backend.complete_result(query, known_answers)
         cost = result_question_cost(query, result)
-        self.log.record(QuestionKind.COMPLETE_RESULT, cost, query.name)
+        self._record(QuestionKind.COMPLETE_RESULT, cost, query.name)
         return result

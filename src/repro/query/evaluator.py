@@ -14,6 +14,7 @@ from typing import Iterable, Iterator, Mapping, Optional
 
 from ..db.database import Database
 from ..db.tuples import Constant, Fact
+from ..telemetry import TELEMETRY as _TELEMETRY
 from .ast import Atom, Query, QueryError, Var
 
 #: A (partial) assignment maps variables to constants.
@@ -128,14 +129,21 @@ class Evaluator:
         yield from self._search(assignment, remaining)
 
     def _search(self, assignment: Assignment, remaining: list[Atom]) -> Iterator[Assignment]:
+        tel = _TELEMETRY
         if not remaining:
+            if tel.enabled:
+                tel.count("evaluator.assignments")
             yield dict(assignment)
             return
         index = self._pick_atom(assignment, remaining)
         atom = remaining[index]
         rest = remaining[:index] + remaining[index + 1 :]
         pattern = atom_pattern(atom, assignment)
+        if tel.enabled:
+            tel.count("evaluator.index_probes")
         for fact in self.database.match(atom.relation, pattern):
+            if tel.enabled:
+                tel.count("evaluator.backtrack_steps")
             new_vars = _bind_atom(atom, fact, assignment)
             if new_vars is None:
                 continue
@@ -199,6 +207,9 @@ class Evaluator:
     # ------------------------------------------------------------------
     def answers(self) -> set[Answer]:
         """``Q(D)``: the set of head instantiations over valid assignments."""
+        tel = _TELEMETRY
+        if tel.enabled:
+            tel.count("evaluator.evaluations")
         results: set[Answer] = set()
         for assignment in self.assignments():
             results.add(instantiate_head(self.query, assignment))
@@ -215,6 +226,9 @@ class Evaluator:
         (e.g. symmetric role swaps) yield a single witness, matching the
         paper's Example 4.6.
         """
+        tel = _TELEMETRY
+        if tel.enabled:
+            tel.count("evaluator.witness_enumerations")
         partial = answer_to_partial(self.query, answer)
         if partial is None:
             return []
@@ -225,6 +239,8 @@ class Evaluator:
             if witness not in seen:
                 seen.add(witness)
                 ordered.append(witness)
+        if tel.enabled:
+            tel.observe("evaluator.witnesses_per_answer", len(ordered))
         return ordered
 
 

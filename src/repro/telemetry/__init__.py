@@ -1,0 +1,59 @@
+"""Zero-dependency tracing and metrics for the QOCO pipeline.
+
+The paper's evaluation (Section 7, Figures 3-4) is entirely about
+*budgets*: how many oracle questions and crowd rounds each algorithm
+spends.  This package gives the runtime the fine-grained accounting the
+figures need — hierarchical wall-time spans, named counters, and
+histograms — with pluggable sinks (in-memory for tests, JSONL for
+post-hoc analysis, a summary table for humans).
+
+Design constraints:
+
+* **Zero dependencies** — standard library only.
+* **Near-zero disabled cost** — every instrumentation site guards on
+  ``TELEMETRY.enabled`` (one attribute lookup) before doing any work;
+  ``benchmarks/bench_telemetry.py`` keeps this honest.
+* **Semantics-free** — instrumentation observes, never branches; the
+  differential test suite proves telemetry-on and telemetry-off runs
+  produce identical answers and edits.
+
+Usage::
+
+    from repro.telemetry import TELEMETRY, InMemorySink
+
+    sink = InMemorySink()
+    TELEMETRY.enable(sink)
+    ...  # run a cleaning session
+    print(TELEMETRY.counter("oracle.questions.verify_fact"))
+    TELEMETRY.disable()
+
+or, scoped (restores prior state on exit)::
+
+    with telemetry_session() as (tel, sink):
+        ...
+"""
+
+from .core import (
+    TELEMETRY,
+    HistogramStat,
+    Span,
+    SpanStat,
+    Telemetry,
+    get_telemetry,
+    telemetry_session,
+)
+from .sinks import InMemorySink, JSONLSink, Sink, summary_table
+
+__all__ = [
+    "TELEMETRY",
+    "HistogramStat",
+    "InMemorySink",
+    "JSONLSink",
+    "Sink",
+    "Span",
+    "SpanStat",
+    "Telemetry",
+    "get_telemetry",
+    "summary_table",
+    "telemetry_session",
+]

@@ -1,0 +1,150 @@
+"""Telemetry sinks: where spans, counter events, and observations go.
+
+Three sinks cover the reproduction's needs:
+
+* :class:`InMemorySink` — keeps everything in lists; the test suite's
+  window into the exact event stream (ordering included).
+* :class:`JSONLSink` — one JSON object per line; spans are written
+  eagerly as they close, aggregate counters/histograms on ``flush``.
+* :func:`summary_table` — the human-readable rollup printed by
+  ``qoco-experiments --telemetry``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional, Union
+
+from .core import Span, Telemetry
+
+
+class Sink:
+    """Base sink: every hook is a no-op; subclass what you need."""
+
+    def on_span(self, span: Span) -> None:
+        """A span just closed."""
+
+    def on_counter(self, name: str, delta: float, total: float) -> None:
+        """Counter *name* was incremented by *delta* (running *total*)."""
+
+    def on_observation(self, name: str, value: float) -> None:
+        """Histogram *name* recorded *value*."""
+
+    def flush(self, hub: Telemetry) -> None:
+        """Persist aggregate state (called by ``Telemetry.flush``)."""
+
+    def close(self) -> None:
+        """Release resources."""
+
+
+class InMemorySink(Sink):
+    """Records the full event stream; used by tests and notebooks."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.counter_events: list[tuple[str, float, float]] = []
+        self.observations: list[tuple[str, float]] = []
+
+    def on_span(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def on_counter(self, name: str, delta: float, total: float) -> None:
+        self.counter_events.append((name, delta, total))
+
+    def on_observation(self, name: str, value: float) -> None:
+        self.observations.append((name, value))
+
+    # -- conveniences ----------------------------------------------------
+    def span_names(self) -> list[str]:
+        return [span.name for span in self.spans]
+
+    def span_paths(self) -> list[str]:
+        return [span.path for span in self.spans]
+
+    def counter_stream(self, name: str) -> list[float]:
+        """The ordered deltas recorded against counter *name*."""
+        return [delta for n, delta, _ in self.counter_events if n == name]
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.counter_events.clear()
+        self.observations.clear()
+
+
+class JSONLSink(Sink):
+    """Writes one JSON record per line to a path or open handle.
+
+    Span records are streamed as they close::
+
+        {"type": "span", "name": ..., "path": ..., "duration_s": ..., ...}
+
+    ``flush`` appends one ``{"type": "summary", ...}`` record holding the
+    hub's aggregate counters/histograms/span stats, so a truncated file
+    still carries the trace and a complete one ends with the rollup.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._handle: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+
+    def _write(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True, default=str))
+        self._handle.write("\n")
+
+    def on_span(self, span: Span) -> None:
+        self._write(span.to_dict())
+
+    def flush(self, hub: Telemetry) -> None:
+        self._write({"type": "summary", **hub.snapshot()})
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns_handle:
+            self._handle.close()
+
+
+def summary_table(hub: Telemetry, title: str = "telemetry summary") -> str:
+    """Render the hub's aggregates as aligned plain-text tables."""
+    from ..experiments.reporting import render_table
+
+    parts: list[str] = [title, "=" * len(title)]
+
+    counters = hub.counters()
+    if counters:
+        parts.append("counters")
+        rows = [[name, _fmt(value)] for name, value in sorted(counters.items())]
+        parts.append(render_table(["name", "value"], rows))
+
+    histograms = hub.histograms()
+    if histograms:
+        parts.append("")
+        parts.append("histograms")
+        rows = [
+            [name, stat.count, _fmt(stat.mean), _fmt(stat.minimum), _fmt(stat.maximum), _fmt(stat.total)]
+            for name, stat in sorted(histograms.items())
+        ]
+        parts.append(render_table(["name", "count", "mean", "min", "max", "total"], rows))
+
+    spans = hub.span_stats()
+    if spans:
+        parts.append("")
+        parts.append("spans")
+        rows = [
+            [name, stat.calls, f"{stat.total_seconds:.4f}", f"{stat.mean_seconds * 1000:.3f}"]
+            for name, stat in sorted(spans.items())
+        ]
+        parts.append(render_table(["name", "calls", "total_s", "mean_ms"], rows))
+
+    if len(parts) == 2:
+        parts.append("(no telemetry recorded)")
+    return "\n".join(parts) + "\n"
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return str(int(value))

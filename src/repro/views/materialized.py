@@ -36,16 +36,26 @@ from ..query.evaluator import (
     instantiate_head,
     _bind_atom,
 )
+from ..telemetry import TELEMETRY as _TELEMETRY
 
 
 class MaterializedView:
-    """One query kept materialized over a database."""
+    """One query kept materialized over a database.
+
+    The view keeps a shadow set of the facts it has accounted for (only
+    for relations the query body mentions), which makes the delta path
+    robust against *no-op edits*: ``on_insert`` of a fact that is
+    already accounted, or ``on_delete`` of a fact never seen, returns an
+    empty delta instead of silently drifting the support counters.
+    """
 
     def __init__(self, query: Query, database: Database) -> None:
         query.validate(database.schema)
         self.query = query
         self.database = database
+        self._relations = {atom.relation for atom in query.atoms}
         self._support: Counter = Counter()
+        self._accounted: set[Fact] = set()
         self.refresh()
 
     # ------------------------------------------------------------------
@@ -69,17 +79,36 @@ class MaterializedView:
     # ------------------------------------------------------------------
     def refresh(self) -> None:
         """Full recomputation (used at construction and as a fallback)."""
+        _TELEMETRY.count("view.refreshes")
         self._support = Counter()
+        self._accounted = set()
+        for relation in self._relations:
+            self._accounted.update(self.database.facts(relation))
         for assignment in Evaluator(self.query, self.database).assignments():
             self._support[instantiate_head(self.query, assignment)] += 1
 
     def on_insert(self, fact: Fact) -> set[Answer]:
         """Account for *fact* having just been inserted into the database.
 
-        Returns the answers that newly appeared.
+        Returns the answers that newly appeared.  A no-op edit — a fact
+        this view already accounted for (e.g. re-inserting an existing
+        fact), a fact of a relation the query never reads, or a fact
+        that is not actually in the database (the insert never landed) —
+        returns an empty delta and leaves the supports untouched.
         """
+        if (
+            fact.relation not in self._relations
+            or fact in self._accounted
+            or fact not in self.database
+        ):
+            _TELEMETRY.count("view.noop_edits")
+            return set()
+        self._accounted.add(fact)
         added: set[Answer] = set()
-        for assignment in self._assignments_using(fact):
+        assignments = self._assignments_using(fact)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.observe("view.delta_size", len(assignments))
+        for assignment in assignments:
             answer = instantiate_head(self.query, assignment)
             if self._support[answer] == 0:
                 added.add(answer)
@@ -90,15 +119,29 @@ class MaterializedView:
         """Account for *fact* being deleted.  **Call before removing it**
         from the database (the lost assignments must still be enumerable).
 
-        Returns the answers that disappeared.
+        Returns the answers that disappeared.  Deleting a fact this view
+        never accounted for (absent fact, untracked relation, repeated
+        delete) is a no-op: empty delta, supports untouched — support
+        counters can never go negative.
         """
+        if fact.relation not in self._relations or fact not in self._accounted:
+            _TELEMETRY.count("view.noop_edits")
+            return set()
+        self._accounted.discard(fact)
         removed: set[Answer] = set()
-        for assignment in self._assignments_using(fact):
+        assignments = self._assignments_using(fact)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.observe("view.delta_size", len(assignments))
+        for assignment in assignments:
             answer = instantiate_head(self.query, assignment)
-            self._support[answer] -= 1
-            if self._support[answer] <= 0:
+            current = self._support.get(answer, 0)
+            if current == 0:
+                continue  # drift guard: never drive a support negative
+            if current == 1:
                 del self._support[answer]
                 removed.add(answer)
+            else:
+                self._support[answer] = current - 1
         return removed
 
     # ------------------------------------------------------------------
@@ -156,17 +199,27 @@ class ViewManager:
 
     # -- mutation ------------------------------------------------------
     def insert(self, fact: Fact) -> dict[str, set[Answer]]:
-        """Insert a fact; return per-view newly appeared answers."""
+        """Insert a fact; return per-view newly appeared answers.
+
+        A no-op edit (the fact already present) emits the same shape as
+        a real one — every registered view mapped to an empty delta — so
+        callers folding deltas never special-case the empty dict.
+        """
         if not self.database.insert(fact):
-            return {}
+            _TELEMETRY.count("view.noop_edits")
+            return {name: set() for name in self._views}
         return {
             name: view.on_insert(fact) for name, view in self._views.items()
         }
 
     def delete(self, fact: Fact) -> dict[str, set[Answer]]:
-        """Delete a fact; return per-view answers that disappeared."""
+        """Delete a fact; return per-view answers that disappeared.
+
+        Deleting an absent fact is a consistent no-op (see :meth:`insert`).
+        """
         if fact not in self.database:
-            return {}
+            _TELEMETRY.count("view.noop_edits")
+            return {name: set() for name in self._views}
         changes = {
             name: view.on_delete(fact) for name, view in self._views.items()
         }

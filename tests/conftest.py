@@ -7,6 +7,7 @@ Session-scoped fixtures return *fresh copies* where mutation is expected
 from __future__ import annotations
 
 import random
+import zlib
 
 import pytest
 
@@ -15,6 +16,54 @@ from repro.datasets.figure1 import figure1_dirty, figure1_ground_truth
 from repro.datasets.worldcup import worldcup_database
 from repro.oracle.base import AccountingOracle
 from repro.oracle.perfect import PerfectOracle
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-seed",
+        action="store",
+        type=int,
+        default=1234,
+        help="base seed mixed into every test's deterministic RNG state",
+    )
+
+
+@pytest.fixture(scope="session")
+def repro_seed(request) -> int:
+    """The base seed behind this run (``--repro-seed``, default 1234)."""
+    return request.config.getoption("--repro-seed")
+
+
+@pytest.fixture(autouse=True)
+def _deterministic_seed(request, repro_seed):
+    """Pin ``random`` (and numpy, when present) per test.
+
+    The per-test seed mixes the base seed with the test's node id, so
+    each test gets a stable-but-distinct stream: hypothesis shrinks and
+    crowd-sim failures replay bit-for-bit, and reordering tests cannot
+    shift another test's randomness.
+    """
+    seed = (zlib.crc32(request.node.nodeid.encode()) ^ repro_seed) & 0xFFFFFFFF
+    random.seed(seed)
+    try:
+        import numpy
+
+        numpy.random.seed(seed)
+    except ImportError:  # pragma: no cover - numpy is a hard dep today
+        pass
+    yield
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_isolation():
+    """Leave no telemetry state behind, whatever a test did."""
+    yield
+    from repro.telemetry import TELEMETRY
+
+    TELEMETRY.disable()
+    for sink in TELEMETRY.sinks:
+        TELEMETRY.remove_sink(sink)
+    TELEMETRY.reset()
 
 
 @pytest.fixture(scope="session")

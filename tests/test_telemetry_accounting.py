@@ -1,0 +1,108 @@
+"""The §7 accounting bridge: :class:`AccountingOracle`'s interaction log
+and the ``oracle.*`` telemetry counter stream must agree *exactly* —
+per-kind question counts, per-kind costs, total cost, and event order —
+for deletion sessions, insertion sessions, and parallel-round sessions."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.deletion import crowd_remove_wrong_answer
+from repro.core.insertion import crowd_add_missing_answer
+from repro.core.parallel import ParallelQOCO
+from repro.core.qoco import QOCO, QOCOConfig
+from repro.datasets.figure1 import figure1_dirty, figure1_ground_truth
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.oracle.questions import QuestionKind
+from repro.query.evaluator import evaluate
+from repro.telemetry import telemetry_session
+from repro.workloads import EX1
+
+
+def assert_log_matches_counters(log, hub, sink) -> None:
+    """Every invariant tying the interaction log to the counter stream."""
+    for kind in QuestionKind:
+        assert hub.counter(f"oracle.questions.{kind.value}") == log.count_of(
+            [kind]
+        ), f"question count mismatch for {kind.value}"
+        assert hub.counter(f"oracle.cost.{kind.value}") == log.cost_of(
+            [kind]
+        ), f"cost mismatch for {kind.value}"
+    assert hub.counter("oracle.cost.total") == log.total_cost
+    # the ordered event stream mirrors the log record-for-record
+    questions = [
+        name.removeprefix("oracle.questions.")
+        for name, _, _ in sink.counter_events
+        if name.startswith("oracle.questions.")
+    ]
+    assert questions == [record.kind.value for record in log.records]
+    costs = [
+        delta
+        for name, delta, _ in sink.counter_events
+        if name.startswith("oracle.cost.") and name != "oracle.cost.total"
+    ]
+    assert costs == [record.cost for record in log.records]
+
+
+class TestDeletionAccounting:
+    def test_counts_match_for_deletion_session(self, fig1_dirty, fig1_oracle):
+        wrong = sorted(
+            evaluate(EX1, fig1_dirty) - evaluate(EX1, figure1_ground_truth())
+        )
+        assert wrong
+        with telemetry_session() as (hub, sink):
+            for answer in wrong:
+                crowd_remove_wrong_answer(
+                    EX1, fig1_dirty, answer, fig1_oracle, rng=random.Random(1)
+                )
+            assert hub.counter("oracle.questions.verify_fact") > 0
+            assert_log_matches_counters(fig1_oracle.log, hub, sink)
+
+
+class TestInsertionAccounting:
+    def test_counts_match_for_insertion_session(self, fig1_dirty, fig1_oracle):
+        missing = sorted(
+            evaluate(EX1, figure1_ground_truth()) - evaluate(EX1, fig1_dirty)
+        )
+        assert missing
+        with telemetry_session() as (hub, sink):
+            for answer in missing:
+                crowd_add_missing_answer(
+                    EX1, fig1_dirty, answer, fig1_oracle, rng=random.Random(1)
+                )
+            assert_log_matches_counters(fig1_oracle.log, hub, sink)
+
+
+class TestFullSessionAccounting:
+    def test_counts_match_for_sequential_clean(self):
+        oracle = AccountingOracle(PerfectOracle(figure1_ground_truth()))
+        with telemetry_session() as (hub, sink):
+            report = QOCO(figure1_dirty(), oracle, QOCOConfig(seed=3)).clean(EX1)
+            assert report.converged
+            assert_log_matches_counters(report.log, hub, sink)
+
+    def test_counts_match_for_parallel_rounds(self):
+        oracle = AccountingOracle(PerfectOracle(figure1_ground_truth()))
+        with telemetry_session() as (hub, sink):
+            report = ParallelQOCO(figure1_dirty(), oracle, seed=3).clean(EX1)
+            assert report.converged
+            assert report.rounds > 0
+            assert_log_matches_counters(report.log, hub, sink)
+            # a parallel round never carries more questions than its width:
+            # total logged questions ≤ Σ per-round widths (remember-steps
+            # and cached replies are free)
+            width = hub.histogram("parallel.round_width")
+            assert width.count == report.rounds
+
+    def test_cached_questions_cost_nothing_in_both_ledgers(self, fig1_oracle):
+        from repro.db.tuples import fact
+
+        probe = fact("teams", "Germany", "EU")
+        with telemetry_session() as (hub, sink):
+            fig1_oracle.verify_fact(probe)
+            fig1_oracle.verify_fact(probe)  # cached: no log entry, no counter
+            assert fig1_oracle.log.question_count == 1
+            assert hub.counter("oracle.questions.verify_fact") == 1
+            assert hub.counter("oracle.cache_hits") == 1
+            assert_log_matches_counters(fig1_oracle.log, hub, sink)

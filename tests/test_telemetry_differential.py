@@ -1,0 +1,212 @@
+"""Differential harness: instrumentation must never change semantics.
+
+Two families of properties over randomized query/database pairs:
+
+1. ``evaluate`` (index-backed backtracking join) agrees with
+   ``naive_evaluate`` (cross-product reference semantics) — with
+   telemetry both off and on.
+2. Telemetry-on and telemetry-off runs are *semantically identical*:
+   same answers, same witnesses, and — for full cleaning sessions —
+   the same edits, question log, and report, bit for bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallel import ParallelQOCO
+from repro.core.qoco import QOCO, QOCOConfig
+from repro.db.database import Database
+from repro.db.schema import RelationSchema, Schema
+from repro.db.tuples import Fact
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.query.ast import Atom, Inequality, Query, Var
+from repro.query.evaluator import Evaluator, evaluate, naive_evaluate
+from repro.telemetry import telemetry_session
+from repro.workloads import EX1
+
+# ---------------------------------------------------------------------------
+# strategies (mirrors tests/test_properties.py)
+# ---------------------------------------------------------------------------
+
+CONSTANTS = ["a", "b", "c", "d", "e"]
+VARIABLES = [Var(name) for name in ("x", "y", "z", "w")]
+
+SCHEMA = Schema(
+    [
+        RelationSchema("r", ("p", "q")),
+        RelationSchema("s", ("p",)),
+        RelationSchema("t", ("p", "q", "u")),
+    ]
+)
+
+ARITIES = {"r": 2, "s": 1, "t": 3}
+
+
+@st.composite
+def databases(draw):
+    facts = draw(
+        st.lists(
+            st.sampled_from(["r", "s", "t"]).flatmap(
+                lambda rel: st.tuples(
+                    st.just(rel),
+                    st.tuples(*[st.sampled_from(CONSTANTS)] * ARITIES[rel]),
+                )
+            ),
+            max_size=20,
+        )
+    )
+    return Database(SCHEMA, [Fact(rel, values) for rel, values in facts])
+
+
+@st.composite
+def queries(draw):
+    n_atoms = draw(st.integers(1, 3))
+    atoms = []
+    for _ in range(n_atoms):
+        rel = draw(st.sampled_from(["r", "s", "t"]))
+        terms = tuple(
+            draw(st.sampled_from(VARIABLES + CONSTANTS))  # type: ignore[operator]
+            for _ in range(ARITIES[rel])
+        )
+        atoms.append(Atom(rel, terms))
+    body_vars = sorted(set().union(*(a.variables() for a in atoms)), key=str)
+    if not body_vars:
+        atoms.append(Atom("s", (Var("x"),)))
+        body_vars = [Var("x")]
+    head = tuple(
+        draw(st.sampled_from(body_vars))
+        for _ in range(draw(st.integers(1, min(2, len(body_vars)))))
+    )
+    inequalities = []
+    if len(body_vars) >= 2 and draw(st.booleans()):
+        left, right = draw(st.sampled_from(body_vars)), draw(
+            st.sampled_from(body_vars + CONSTANTS)  # type: ignore[operator]
+        )
+        if left != right:
+            inequalities.append(Inequality(left, right))
+    return Query(head, tuple(atoms), tuple(inequalities), "q")
+
+
+DIFFERENTIAL_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+# ---------------------------------------------------------------------------
+# evaluate vs naive_evaluate
+# ---------------------------------------------------------------------------
+
+
+class TestEvaluateAgainstReference:
+    @DIFFERENTIAL_SETTINGS
+    @given(query=queries(), database=databases())
+    def test_evaluate_matches_naive(self, query, database):
+        assert evaluate(query, database) == naive_evaluate(query, database)
+
+    @DIFFERENTIAL_SETTINGS
+    @given(query=queries(), database=databases())
+    def test_evaluate_matches_naive_with_telemetry_on(self, query, database):
+        with telemetry_session():
+            fast = evaluate(query, database)
+        assert fast == naive_evaluate(query, database)
+
+
+# ---------------------------------------------------------------------------
+# telemetry on/off equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryIsSemanticsFree:
+    @DIFFERENTIAL_SETTINGS
+    @given(query=queries(), database=databases())
+    def test_answers_identical_on_and_off(self, query, database):
+        baseline = evaluate(query, database)
+        with telemetry_session() as (hub, _):
+            instrumented = evaluate(query, database)
+            assert hub.counter("evaluator.evaluations") == 1  # it did record
+        assert instrumented == baseline
+
+    @DIFFERENTIAL_SETTINGS
+    @given(query=queries(), database=databases())
+    def test_witnesses_identical_on_and_off(self, query, database):
+        answers = sorted(evaluate(query, database))[:3]
+        baseline = [Evaluator(query, database).witnesses(a) for a in answers]
+        with telemetry_session():
+            instrumented = [
+                Evaluator(query, database).witnesses(a) for a in answers
+            ]
+        assert instrumented == baseline
+
+    def _clean(self, qoco_cls, seed, **kwargs):
+        """One full cleaning run from a fixed dirty state; returns the
+        comparable artifacts (answers, edits, question log, report shape)."""
+        from repro.datasets.figure1 import figure1_dirty, figure1_ground_truth
+
+        dirty = figure1_dirty()
+        oracle = AccountingOracle(PerfectOracle(figure1_ground_truth()))
+        if qoco_cls is QOCO:
+            runner = QOCO(dirty, oracle, QOCOConfig(seed=seed))
+        else:
+            runner = ParallelQOCO(dirty, oracle, seed=seed, **kwargs)
+        report = runner.clean(EX1)
+        return {
+            "answers": evaluate(EX1, dirty),
+            "edits": [(e.kind.value, e.fact) for e in report.edits],
+            "log": report.log.to_dicts(),
+            "iterations": report.iterations,
+            "removed": report.wrong_answers_removed,
+            "added": report.missing_answers_added,
+            "converged": report.converged,
+        }
+
+    def test_sequential_cleaning_identical_on_and_off(self):
+        for seed in (0, 7, 42):
+            baseline = self._clean(QOCO, seed)
+            with telemetry_session():
+                instrumented = self._clean(QOCO, seed)
+            assert instrumented == baseline
+
+    def test_parallel_cleaning_identical_on_and_off(self):
+        for seed in (0, 7):
+            baseline = self._clean(ParallelQOCO, seed)
+            with telemetry_session():
+                instrumented = self._clean(ParallelQOCO, seed)
+            assert instrumented == baseline
+
+    @DIFFERENTIAL_SETTINGS
+    @given(query=queries(), database=databases(), seed=st.integers(0, 2**16))
+    def test_randomized_cleaning_identical_on_and_off(self, query, database, seed):
+        """Telemetry equivalence on *randomized* instances: corrupt the
+        random database against itself-as-ground-truth via one random
+        flip, then clean and compare the full artifact set."""
+        ground_truth = database
+        dirty_base = database.copy()
+        rng = random.Random(seed)
+        pool = [f for rel in ("r", "s", "t") for f in dirty_base.facts(rel)]
+        if pool:  # delete one fact so cleaning has something to find
+            dirty_base.delete(rng.choice(sorted(pool, key=repr)))
+
+        def run():
+            dirty = dirty_base.copy()
+            oracle = AccountingOracle(PerfectOracle(ground_truth))
+            report = QOCO(
+                dirty, oracle, QOCOConfig(seed=seed, max_iterations=4)
+            ).clean(query)
+            return {
+                "answers": evaluate(query, dirty),
+                "edits": [(e.kind.value, e.fact) for e in report.edits],
+                "log": report.log.to_dicts(),
+                "converged": report.converged,
+            }
+
+        baseline = run()
+        with telemetry_session():
+            instrumented = run()
+        assert instrumented == baseline

@@ -117,7 +117,8 @@ class TestViewManager:
     def test_idempotent_insert_noop(self, db):
         manager = ViewManager(db)
         manager.register(QUERY)
-        assert manager.insert(fact("r", 1, 2)) == {}
+        # no-op edits emit the same per-view shape as real ones
+        assert manager.insert(fact("r", 1, 2)) == {"q": set()}
 
     def test_delete_routes_to_views(self, db):
         manager = ViewManager(db)
@@ -129,7 +130,7 @@ class TestViewManager:
     def test_idempotent_delete_noop(self, db):
         manager = ViewManager(db)
         manager.register(QUERY)
-        assert manager.delete(fact("s", 99)) == {}
+        assert manager.delete(fact("s", 99)) == {"q": set()}
 
     def test_apply_edit_sequence(self, db):
         manager = ViewManager(db)
@@ -146,6 +147,69 @@ class TestViewManager:
         changed = manager.insert(fact("s", 7))
         assert changed["p"] == {(7,)}
         assert changed["q"] == set()
+
+
+class TestNoOpEditDrift:
+    """Regression: no-op edits must never drift the support counters."""
+
+    def test_double_on_insert_does_not_double_count(self, db):
+        view = MaterializedView(QUERY, db)
+        db.insert(fact("r", 9, 2))
+        assert view.on_insert(fact("r", 9, 2)) == {(9,)}
+        # a second (no-op) notification for the same insert
+        assert view.on_insert(fact("r", 9, 2)) == set()
+        assert view.support((9,)) == 1
+        assert view.answers() == evaluate(QUERY, db)
+
+    def test_on_insert_of_already_present_fact_is_noop(self, db):
+        view = MaterializedView(QUERY, db)
+        # fact("r", 1, 2) was part of the initial materialization; a
+        # redundant insert notification must not bump its support
+        assert view.on_insert(fact("r", 1, 2)) == set()
+        assert view.support((1,)) == 1
+
+    def test_on_insert_before_database_insert_is_noop(self, db):
+        view = MaterializedView(QUERY, db)
+        # the insert "never landed": consistent empty delta, no drift
+        assert view.on_insert(fact("r", 9, 2)) == set()
+        assert view.support((9,)) == 0
+        # once the fact actually lands the delta is emitted normally
+        db.insert(fact("r", 9, 2))
+        assert view.on_insert(fact("r", 9, 2)) == {(9,)}
+
+    def test_double_on_delete_does_not_go_negative(self, db):
+        view = MaterializedView(QUERY, db)
+        assert view.on_delete(fact("r", 1, 2)) == {(1,)}
+        db.delete(fact("r", 1, 2))
+        # repeated delete notification: no-op, supports never negative
+        assert view.on_delete(fact("r", 1, 2)) == set()
+        assert view.support((1,)) == 0
+        # re-inserting must resurrect the answer with support exactly 1
+        db.insert(fact("r", 1, 2))
+        assert view.on_insert(fact("r", 1, 2)) == {(1,)}
+        assert view.support((1,)) == 1
+
+    def test_on_delete_of_absent_fact_is_noop(self, db):
+        view = MaterializedView(QUERY, db)
+        assert view.on_delete(fact("r", 77, 77)) == set()
+        assert view.answers() == evaluate(QUERY, db)
+
+    def test_untracked_relation_is_noop(self, schema):
+        db = Database(schema, [fact("r", 1, 2), fact("s", 2)])
+        q = parse_query("q(a) :- r(a, b).")
+        view = MaterializedView(q, db)
+        db.insert(fact("s", 5))
+        assert view.on_insert(fact("s", 5)) == set()
+        assert view.answers() == {(1,)}
+
+    def test_manager_noop_storm_keeps_views_exact(self, db):
+        manager = ViewManager(db)
+        view = manager.register(QUERY)
+        for _ in range(3):
+            manager.insert(fact("r", 1, 2))   # already present
+            manager.delete(fact("s", 99))     # absent
+        assert view.support((1,)) == 1
+        assert view.answers() == evaluate(QUERY, db)
 
 
 class TestIncrementalMatchesRecompute:
