@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..db.database import Database
 from ..db.edits import Edit, insert
@@ -56,11 +56,17 @@ def crowd_add_missing_answer(
     split: Optional[SplitStrategy] = None,
     rng: Optional[random.Random] = None,
     config: Optional[InsertionConfig] = None,
+    present: Optional[Callable[[], bool]] = None,
 ) -> list[Edit]:
     """Algorithm 2: insert facts so that *answer* appears in ``Q(D)``.
 
     Mutates *database* and returns the applied insertion edits.  Raises
     :class:`InsertionError` if the crowd fails to provide any witness.
+
+    *present*, when given, replaces the loop guard ``Q|t(D) ≠ ∅`` with a
+    caller-supplied membership probe (``Q|t(D) ≠ ∅ ⟺ t ∈ Q(D)``, so a
+    maintained answer set answers it in O(1) — the probe must track the
+    database the edits land in).
     """
     split = split if split is not None else ProvenanceSplit()
     rng = rng if rng is not None else random.Random()
@@ -71,6 +77,8 @@ def crowd_add_missing_answer(
         tel.count("insertion.invocations")
         embedded = embed_answer(query, answer)
         edits: list[Edit] = []
+        if present is None:
+            present = lambda: _answer_present(embedded, database)  # noqa: E731
 
         # Lines 1-2: ground atoms of Q|t must hold in D_G — insert them.
         for fact in ground_atoms(embedded):
@@ -80,14 +88,14 @@ def crowd_add_missing_answer(
                 edits.append(edit)
                 tel.count("insertion.ground_inserts")
 
-        if _answer_present(embedded, database):
+        if present():
             return edits
 
         queue: deque[Query] = deque(split.split(embedded, database, rng))
         asked: set[frozenset] = set()
         processed = 0
 
-        while queue and not _answer_present(embedded, database):
+        while queue and not present():
             if processed >= config.max_subqueries:
                 break
             # Most selective subquery first: the one with the fewest candidate
@@ -110,7 +118,7 @@ def crowd_add_missing_answer(
             if split.can_split(current):
                 queue.extend(split.split(current, database, rng))
 
-        if _answer_present(embedded, database):
+        if present():
             return edits
 
         # Line 18: fall back to asking for a whole witness.

@@ -32,7 +32,8 @@ from ..db.database import Database
 from ..db.edits import Edit, delete, insert
 from ..oracle.base import AccountingOracle
 from ..query.ast import Query
-from ..query.evaluator import Answer, Evaluator
+from ..query.evaluator import Answer, Evaluator, answer_to_partial
+from ..query.incremental import IncrementalAnswers, supports_incremental
 from ..query.subquery import embed_answer, ground_atoms
 from ..telemetry import TELEMETRY as _TELEMETRY
 from .deletion import DeletionError
@@ -279,6 +280,7 @@ class ParallelQOCO:
         completion_width: int = 4,
         max_iterations: int = 10,
         seed: Optional[int] = None,
+        use_incremental: bool = True,
     ) -> None:
         self.database = database
         self.oracle = (
@@ -289,14 +291,23 @@ class ParallelQOCO:
         self.completion_width = completion_width
         self.max_iterations = max_iterations
         self.rng = random.Random(seed)
+        self.use_incremental = use_incremental
+        self._engine: Optional[IncrementalAnswers] = None
 
     def clean(self, query: Query) -> ParallelReport:
         report = ParallelReport(query_name=query.name, log=self.oracle.log)
         scheduler = RoundScheduler(self.oracle)
         verified: set[Answer] = set()
-        span = _TELEMETRY.span("parallel.clean", query=query.name)
-        with span:
-            self._clean_loop(query, report, scheduler, verified)
+        if self.use_incremental and supports_incremental(query):
+            self._engine = IncrementalAnswers(query, self.database)
+        try:
+            span = _TELEMETRY.span("parallel.clean", query=query.name)
+            with span:
+                self._clean_loop(query, report, scheduler, verified)
+        finally:
+            if self._engine is not None:
+                self._engine.close()
+                self._engine = None
         report.rounds = scheduler.rounds
         report.peak_width = scheduler.peak_width
         return report
@@ -330,10 +341,14 @@ class ParallelQOCO:
 
             # Wave 2: all removals in parallel.
             if wrong:
-                evaluator = Evaluator(query, self.database)
+                engine = self._engine
+                evaluator = None if engine is not None else Evaluator(query, self.database)
                 tasks = []
                 for answer in wrong:
-                    witnesses = [frozenset(w) for w in evaluator.witnesses(answer)]
+                    if engine is not None:
+                        witnesses = list(engine.witnesses(answer))
+                    else:
+                        witnesses = [frozenset(w) for w in evaluator.witnesses(answer)]
                     tasks.append(removal_task(witnesses))
                 for answer, edits in zip(wrong, scheduler.run(tasks)):
                     if edits is None:
@@ -357,7 +372,7 @@ class ParallelQOCO:
                     if found is None:
                         break
                     known.add(found)
-                    if found not in self._answers(query):
+                    if not self._answer_alive(query, found):
                         missing.append(found)
                 scheduler.tick(posted)
                 if not missing:
@@ -378,4 +393,15 @@ class ParallelQOCO:
                     verified.add(answer)
 
     def _answers(self, query: Query) -> set[Answer]:
+        if self._engine is not None and self._engine.query is query:
+            return self._engine.answers()
         return Evaluator(query, self.database).answers()
+
+    def _answer_alive(self, query: Query, answer: Answer) -> bool:
+        """Targeted ``answer ∈ Q(D)`` membership check (see QOCO)."""
+        if self._engine is not None and self._engine.query is query:
+            return answer in self._engine
+        partial = answer_to_partial(query, answer)
+        if partial is None:
+            return False
+        return Evaluator(query, self.database).is_satisfiable(partial)

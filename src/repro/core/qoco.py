@@ -19,7 +19,8 @@ from ..db.database import Database
 from ..oracle.base import AccountingOracle, Oracle
 from ..oracle.enumeration import CompletionEstimator, ExactCompletion
 from ..query.ast import Query
-from ..query.evaluator import Answer, Evaluator
+from ..query.evaluator import Answer, Evaluator, answer_to_partial
+from ..query.incremental import IncrementalAnswers, supports_incremental
 from ..telemetry import TELEMETRY as _TELEMETRY
 from .deletion import DeletionError, DeletionStrategy, QOCODeletion, crowd_remove_wrong_answer
 from .insertion import InsertionConfig, InsertionError, crowd_add_missing_answer
@@ -47,6 +48,11 @@ class QOCOConfig:
     #: Minimize the view definition first (Chandra–Merlin core): redundant
     #: body atoms inflate witnesses and crowd questions for free.
     minimize_query: bool = False
+    #: Maintain ``Q(D)`` and every answer's witnesses incrementally under
+    #: edits (delta rules) instead of re-running the evaluator per check.
+    #: Semantics are bit-identical; query shapes the delta rules don't
+    #: cover fall back to full evaluation automatically.
+    use_incremental: bool = True
     #: Random seed for the strategies' tie-breaking.
     seed: Optional[int] = None
 
@@ -68,6 +74,9 @@ class QOCO:
             else AccountingOracle(oracle)
         )
         self.rng = random.Random(self.config.seed)
+        #: The maintained-answer engine for the query being cleaned (set
+        #: for the duration of :meth:`clean` when incremental mode is on).
+        self._engine: Optional[IncrementalAnswers] = None
 
     # ------------------------------------------------------------------
     # Algorithm 3
@@ -82,38 +91,71 @@ class QOCO:
         report = CleaningReport(query_name=query.name, log=self.oracle.log)
         verified: set[Answer] = set()
 
-        with _TELEMETRY.span("qoco.clean", query=query.name):
-            first_iteration = True
-            while first_iteration or (self._answers(query) - verified):
-                if report.iterations >= self.config.max_iterations:
-                    report.converged = False
-                    break
-                if not first_iteration:
-                    # Imperfect crowds: a wrong majority vote must not poison
-                    # the retry — re-poll rather than trust the cached answer.
-                    self.oracle.forget()
-                first_iteration = False
-                report.iterations += 1
-                report.converged = True
-                _TELEMETRY.count("qoco.iterations")
-                with _TELEMETRY.span("qoco.deletion_phase"):
-                    self._deletion_phase(query, verified, report)
-                with _TELEMETRY.span("qoco.insertion_phase"):
-                    self._insertion_phase(query, verified, report)
+        if self.config.use_incremental and supports_incremental(query):
+            self._engine = IncrementalAnswers(query, self.database)
+        try:
+            with _TELEMETRY.span("qoco.clean", query=query.name):
+                first_iteration = True
+                while first_iteration or (self._answers(query) - verified):
+                    if report.iterations >= self.config.max_iterations:
+                        report.converged = False
+                        break
+                    if not first_iteration:
+                        # Imperfect crowds: a wrong majority vote must not
+                        # poison the retry — re-poll rather than trust the
+                        # cached answer.
+                        self.oracle.forget()
+                    first_iteration = False
+                    report.iterations += 1
+                    report.converged = True
+                    _TELEMETRY.count("qoco.iterations")
+                    with _TELEMETRY.span("qoco.deletion_phase"):
+                        self._deletion_phase(query, verified, report)
+                    with _TELEMETRY.span("qoco.insertion_phase"):
+                        self._insertion_phase(query, verified, report)
+        finally:
+            if self._engine is not None:
+                self._engine.close()
+                self._engine = None
         return report
 
     # ------------------------------------------------------------------
     # phases
     # ------------------------------------------------------------------
     def _answers(self, query: Query) -> set[Answer]:
+        if self._engine is not None and self._engine.query is query:
+            return self._engine.answers()
         return Evaluator(query, self.database).answers()
+
+    def _answer_alive(self, query: Query, answer: Answer) -> bool:
+        """Whether *answer* is still in ``Q(D)`` — a targeted membership
+        check (maintained set, else a satisfiability probe of the
+        answer's partial assignment), never a full re-enumeration."""
+        if self._engine is not None and self._engine.query is query:
+            return answer in self._engine
+        partial = answer_to_partial(query, answer)
+        if partial is None:
+            return False
+        return Evaluator(query, self.database).is_satisfiable(partial)
+
+    def _witnesses(self, query: Query, answer: Answer) -> Optional[list[frozenset]]:
+        """Maintained witness sets for *answer*, or ``None`` to let
+        Algorithm 1 enumerate them itself (no engine for this query)."""
+        if self._engine is not None and self._engine.query is query:
+            return list(self._engine.witnesses(answer))
+        return None
 
     def _deletion_phase(
         self, query: Query, verified: set[Answer], report: CleaningReport
     ) -> None:
-        """Algorithm 3, lines 2-6."""
+        """Algorithm 3, lines 2-6.
+
+        One evaluation (or maintained-set read) for the sweep; whether a
+        later answer survived an earlier removal's side effects is a
+        targeted :meth:`_answer_alive` check, not a fresh ``Q(D)``.
+        """
         for answer in sorted(self._answers(query) - verified, key=repr):
-            if answer not in self._answers(query):
+            if not self._answer_alive(query, answer):
                 continue  # removed as a side effect of an earlier deletion
             if self.oracle.verify_answer(query, answer):
                 verified.add(answer)
@@ -128,6 +170,7 @@ class QOCO:
                     self.oracle,
                     strategy=self.config.deletion_strategy,
                     rng=self.rng,
+                    witnesses=self._witnesses(query, answer),
                 )
             except DeletionError:
                 report.converged = False
@@ -153,6 +196,12 @@ class QOCO:
                 continue
             if missing in current:
                 continue  # the crowd named an answer we already have
+            # ``Q|t(D) ≠ ∅ ⟺ t ∈ Q(D)``: with a maintained answer set the
+            # loop guard of Algorithm 2 becomes an O(1) membership probe.
+            present = None
+            if self._engine is not None and self._engine.query is query:
+                engine = self._engine
+                present = lambda m=missing: m in engine  # noqa: E731
             try:
                 edits = crowd_add_missing_answer(
                     query,
@@ -162,6 +211,7 @@ class QOCO:
                     split=self.config.split_strategy,
                     rng=self.rng,
                     config=self.config.insertion,
+                    present=present,
                 )
             except InsertionError:
                 report.converged = False

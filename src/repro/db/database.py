@@ -23,6 +23,23 @@ ANY = None
 Pattern = Sequence[Optional[Constant]]
 
 
+class DatabaseListener:
+    """Protocol for observers of a :class:`Database`'s edits.
+
+    Listeners are notified only for *effective* edits (ones that change
+    ``D``): :meth:`before_change` fires while the database still shows
+    the pre-edit state, :meth:`after_change` once the edit (and the
+    version bump) has landed.  Both defaults are no-ops so subclasses
+    override only the side they need.
+    """
+
+    def before_change(self, database: "Database", edit: Edit) -> None:
+        """Called before an effective edit mutates the database."""
+
+    def after_change(self, database: "Database", edit: Edit) -> None:
+        """Called after an effective edit mutated the database."""
+
+
 class Database:
     """A mutable set of facts with secondary indexes.
 
@@ -30,6 +47,12 @@ class Database:
     exist, arity must match).  All mutation goes through :meth:`insert` /
     :meth:`delete` (or :class:`~repro.db.edits.Edit`), keeping the indexes
     consistent.
+
+    Every effective mutation bumps a monotone :attr:`version` stamp (plus
+    a per-relation stamp), which lets derived state — materialized
+    answers, planner statistics — detect staleness in O(1).  Observers
+    needing the edits themselves subscribe a :class:`DatabaseListener`;
+    incremental view maintenance hangs off this hook.
     """
 
     def __init__(self, schema: Schema, facts: Iterable[Fact] = ()) -> None:
@@ -40,8 +63,33 @@ class Database:
             name: [defaultdict(set) for _ in range(schema.arity(name))]
             for name in schema.names
         }
+        self._version = 0
+        self._relation_versions: dict[str, int] = {name: 0 for name in schema.names}
+        self._listeners: list[DatabaseListener] = []
         for f in facts:
             self.insert(f)
+
+    # ------------------------------------------------------------------
+    # change tracking
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone stamp, bumped by every effective insert/delete."""
+        return self._version
+
+    def relation_version(self, relation: str) -> int:
+        """The version stamp of *relation* alone (for targeted refresh)."""
+        self._check_relation(relation)
+        return self._relation_versions[relation]
+
+    def subscribe(self, listener: DatabaseListener) -> None:
+        """Register *listener* for before/after edit notifications."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: DatabaseListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # basic set interface
@@ -77,9 +125,12 @@ class Database:
         relation = self._relations[f.relation]
         if f in relation:
             return False
+        edit = self._notify_before(EditKind.INSERT, f)
         relation.add(f)
         for position, value in enumerate(f.values):
             self._index[f.relation][position][value].add(f)
+        self._bump(f.relation)
+        self._notify_after(edit)
         return True
 
     def delete(self, f: Fact) -> bool:
@@ -88,12 +139,15 @@ class Database:
         relation = self._relations[f.relation]
         if f not in relation:
             return False
+        edit = self._notify_before(EditKind.DELETE, f)
         relation.discard(f)
         for position, value in enumerate(f.values):
             bucket = self._index[f.relation][position][value]
             bucket.discard(f)
             if not bucket:
                 del self._index[f.relation][position][value]
+        self._bump(f.relation)
+        self._notify_after(edit)
         return True
 
     def apply(self, edits: Iterable[Edit]) -> int:
@@ -157,6 +211,16 @@ class Database:
             return {value for f in self._relations[relation] for value in f.values}
         return set(self._index[relation][position])
 
+    def distinct_count(self, relation: str, position: int) -> int:
+        """``|active_domain(relation, position)|`` without building the set.
+
+        The per-position index keeps one bucket per live value, so this
+        is a single ``len`` — cheap enough to recompute statistics after
+        every edit.
+        """
+        self._check_relation(relation)
+        return len(self._index[relation][position])
+
     def domain_values(self, domain_tag: str) -> set[Constant]:
         """Constants from every column whose schema domain tag matches."""
         values: set[Constant] = set()
@@ -192,6 +256,24 @@ class Database:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _bump(self, relation: str) -> None:
+        self._version += 1
+        self._relation_versions[relation] += 1
+
+    def _notify_before(self, kind: EditKind, f: Fact) -> Optional[Edit]:
+        if not self._listeners:
+            return None
+        edit = Edit(kind, f)
+        for listener in tuple(self._listeners):
+            listener.before_change(self, edit)
+        return edit
+
+    def _notify_after(self, edit: Optional[Edit]) -> None:
+        if edit is None:
+            return
+        for listener in tuple(self._listeners):
+            listener.after_change(self, edit)
+
     def _check_relation(self, relation: str) -> None:
         if relation not in self._relations:
             raise SchemaError(f"unknown relation {relation!r}")

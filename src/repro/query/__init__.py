@@ -16,9 +16,20 @@ from .evaluator import (
     witnesses_for,
 )
 from .graph import QueryGraph, build_query_graph
+from .incremental import (
+    IncrementalAnswers,
+    assignments_using_fact,
+    supports_incremental,
+)
 from .minimize import are_equivalent, is_contained_in, minimize
 from .parser import ParseError, parse_queries, parse_query
-from .planner import PlannedEvaluator, Statistics, explain, plan_order
+from .planner import (
+    PlannedEvaluator,
+    StaleStatisticsError,
+    Statistics,
+    explain,
+    plan_order,
+)
 from .union import (
     UnionQuery,
     evaluate_union,
@@ -40,12 +51,14 @@ __all__ = [
     "Assignment",
     "Atom",
     "Evaluator",
+    "IncrementalAnswers",
     "Inequality",
     "ParseError",
     "PlannedEvaluator",
     "Query",
     "QueryError",
     "QueryGraph",
+    "StaleStatisticsError",
     "Statistics",
     "Term",
     "UnionQuery",
@@ -53,6 +66,8 @@ __all__ = [
     "Witness",
     "answer_to_partial",
     "are_equivalent",
+    "assignments_using_fact",
+    "supports_incremental",
     "build_query_graph",
     "is_contained_in",
     "minimize",

@@ -325,6 +325,12 @@ def naive_evaluate(query: Query, database: Database) -> set[Answer]:
     """
     results: set[Answer] = set()
     atoms = list(query.atoms)
+    # One snapshot per relation up front; ``Database.facts`` allocates a
+    # fresh frozenset per call, which the innermost recursion would
+    # otherwise pay at every node of the cross-product tree.
+    snapshots = {
+        atom.relation: tuple(database.facts(atom.relation)) for atom in atoms
+    }
 
     def recurse(index: int, assignment: Assignment) -> None:
         if index == len(atoms):
@@ -336,7 +342,7 @@ def naive_evaluate(query: Query, database: Database) -> set[Answer]:
             results.add(instantiate_head(query, assignment))
             return
         atom = atoms[index]
-        for fact in database.facts(atom.relation):
+        for fact in snapshots[atom.relation]:
             new_vars = _bind_atom(atom, fact, assignment)
             if new_vars is None:
                 continue

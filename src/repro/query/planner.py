@@ -19,26 +19,71 @@ from typing import Mapping, Optional, Sequence
 
 from ..db.database import Database
 from ..query.ast import Atom, Query, Var
+from ..telemetry import TELEMETRY as _TELEMETRY
 from .evaluator import Assignment, Evaluator
+
+
+class StaleStatisticsError(RuntimeError):
+    """Raised when version-checked statistics are used after the database
+    changed and the policy is ``on_stale="raise"``."""
 
 
 class Statistics:
     """Cardinalities and per-column distinct counts of a database.
 
-    A snapshot: build it once per database state (construction is a
-    single pass over the index structures, not the data).
+    The counts are tied to the database's :attr:`~Database.version`
+    stamp.  :meth:`ensure_fresh` detects staleness in O(1) and — under
+    the default ``on_stale="refresh"`` policy — re-reads the counts for
+    exactly the relations whose per-relation stamp moved (each is a few
+    ``len`` calls on index structures, no data scan, so keeping
+    statistics current across a cleaning session's edits is effectively
+    free).  With ``on_stale="raise"`` a stale use raises
+    :class:`StaleStatisticsError` instead.
     """
 
-    def __init__(self, database: Database) -> None:
+    def __init__(self, database: Database, on_stale: str = "refresh") -> None:
+        if on_stale not in ("refresh", "raise"):
+            raise ValueError(f"on_stale must be 'refresh' or 'raise', got {on_stale!r}")
+        self.database = database
+        self.on_stale = on_stale
         self.cardinality: dict[str, int] = {}
         self.distinct: dict[tuple[str, int], int] = {}
+        self.version = -1
+        self._relation_versions: dict[str, int] = {}
+        self.refresh()
+
+    @property
+    def stale(self) -> bool:
+        """Whether the database changed since the counts were read."""
+        return self.version != self.database.version
+
+    def ensure_fresh(self) -> None:
+        """Apply the staleness policy; O(1) when nothing changed."""
+        if not self.stale:
+            return
+        if self.on_stale == "raise":
+            raise StaleStatisticsError(
+                f"statistics at version {self.version} used against database "
+                f"at version {self.database.version}"
+            )
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Re-read counts for relations whose version stamp moved."""
+        database = self.database
         for relation in database.schema:
             name = relation.name
+            current = database.relation_version(name)
+            if self._relation_versions.get(name) == current:
+                continue
+            self._relation_versions[name] = current
             self.cardinality[name] = database.size(name)
             for position in range(relation.arity):
                 self.distinct[(name, position)] = max(
-                    1, len(database.active_domain(name, position))
+                    1, database.distinct_count(name, position)
                 )
+        self.version = database.version
+        _TELEMETRY.count("planner.statistics_refreshes")
 
     def estimate(self, atom: Atom, bound: set[Var]) -> float:
         """Estimated matches of *atom* given already-bound variables.
@@ -127,6 +172,12 @@ class PlannedEvaluator(Evaluator):
     ) -> None:
         super().__init__(query, database)
         self.statistics = statistics if statistics is not None else Statistics(database)
+
+    def assignments(self, partial=None):
+        # Mid-cleaning edits would otherwise leave the cost model frozen
+        # at construction time; apply the staleness policy per enumeration.
+        self.statistics.ensure_fresh()
+        return super().assignments(partial)
 
     def _pick_atom(self, assignment: Assignment, remaining: list[Atom]) -> int:
         bound = set(assignment)

@@ -34,8 +34,8 @@ from ..query.evaluator import (
     Assignment,
     Evaluator,
     instantiate_head,
-    _bind_atom,
 )
+from ..query.incremental import assignments_using_fact
 from ..telemetry import TELEMETRY as _TELEMETRY
 
 
@@ -149,26 +149,7 @@ class MaterializedView:
     # ------------------------------------------------------------------
     def _assignments_using(self, fact: Fact) -> list[Assignment]:
         """Distinct valid assignments whose witness includes *fact*."""
-        evaluator = Evaluator(self.query, self.database)
-        seen: set[frozenset] = set()
-        result: list[Assignment] = []
-        for index, atom in enumerate(self.query.atoms):
-            if atom.relation != fact.relation or atom.arity != fact.arity:
-                continue
-            partial: Assignment = {}
-            bound = _bind_atom(atom, fact, partial)
-            if bound is None:
-                continue
-            for assignment in evaluator.assignments(partial):
-                # the assignment must actually map THIS atom to the fact —
-                # guaranteed by the binding — but may also arise from other
-                # atom positions; dedupe on the assignment itself.
-                key = frozenset(assignment.items())
-                if key in seen:
-                    continue
-                seen.add(key)
-                result.append(assignment)
-        return result
+        return assignments_using_fact(Evaluator(self.query, self.database), fact)
 
 
 class ViewManager:

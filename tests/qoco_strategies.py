@@ -1,0 +1,103 @@
+"""Shared hypothesis strategies for randomized schema/instance/query tests.
+
+Extracted from ``test_telemetry_differential.py`` so the differential
+harnesses (telemetry, incremental maintenance) draw from one pool:
+a small fixed schema, random instances over a five-constant domain, and
+random conjunctive queries with optional inequalities and — where the
+subject under test supports them — safely negated atoms.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.db.database import Database
+from repro.db.schema import RelationSchema, Schema
+from repro.db.tuples import Fact
+from repro.query.ast import Atom, Inequality, Query, Var
+
+CONSTANTS = ["a", "b", "c", "d", "e"]
+VARIABLES = [Var(name) for name in ("x", "y", "z", "w")]
+
+#: Variables reserved for negated-atom local wildcards (never used in a
+#: positive body atom, so they stay existential under the negation).
+LOCAL_VARIABLES = [Var(name) for name in ("l1", "l2")]
+
+SCHEMA = Schema(
+    [
+        RelationSchema("r", ("p", "q")),
+        RelationSchema("s", ("p",)),
+        RelationSchema("t", ("p", "q", "u")),
+    ]
+)
+
+ARITIES = {"r": 2, "s": 1, "t": 3}
+
+
+@st.composite
+def databases(draw, max_size: int = 20):
+    facts = draw(
+        st.lists(
+            st.sampled_from(["r", "s", "t"]).flatmap(
+                lambda rel: st.tuples(
+                    st.just(rel),
+                    st.tuples(*[st.sampled_from(CONSTANTS)] * ARITIES[rel]),
+                )
+            ),
+            max_size=max_size,
+        )
+    )
+    return Database(SCHEMA, [Fact(rel, values) for rel, values in facts])
+
+
+@st.composite
+def facts(draw):
+    """One random fact over the shared schema (for edit sequences)."""
+    rel = draw(st.sampled_from(["r", "s", "t"]))
+    values = tuple(
+        draw(st.sampled_from(CONSTANTS)) for _ in range(ARITIES[rel])
+    )
+    return Fact(rel, values)
+
+
+@st.composite
+def queries(draw, negation: bool = False):
+    n_atoms = draw(st.integers(1, 3))
+    atoms = []
+    for _ in range(n_atoms):
+        rel = draw(st.sampled_from(["r", "s", "t"]))
+        terms = tuple(
+            draw(st.sampled_from(VARIABLES + CONSTANTS))  # type: ignore[operator]
+            for _ in range(ARITIES[rel])
+        )
+        atoms.append(Atom(rel, terms))
+    body_vars = sorted(set().union(*(a.variables() for a in atoms)), key=str)
+    if not body_vars:
+        atoms.append(Atom("s", (Var("x"),)))
+        body_vars = [Var("x")]
+    head = tuple(
+        draw(st.sampled_from(body_vars))
+        for _ in range(draw(st.integers(1, min(2, len(body_vars)))))
+    )
+    inequalities = []
+    if len(body_vars) >= 2 and draw(st.booleans()):
+        left, right = draw(st.sampled_from(body_vars)), draw(
+            st.sampled_from(body_vars + CONSTANTS)  # type: ignore[operator]
+        )
+        if left != right:
+            inequalities.append(Inequality(left, right))
+    negated_atoms = []
+    if negation and draw(st.booleans()):
+        rel = draw(st.sampled_from(["r", "s", "t"]))
+        terms = tuple(
+            draw(
+                st.sampled_from(
+                    body_vars + LOCAL_VARIABLES + CONSTANTS  # type: ignore[operator]
+                )
+            )
+            for _ in range(ARITIES[rel])
+        )
+        negated_atoms.append(Atom(rel, terms))
+    return Query(
+        head, tuple(atoms), tuple(inequalities), "q", tuple(negated_atoms)
+    )

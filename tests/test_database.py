@@ -171,3 +171,113 @@ class TestComparison:
 
     def test_repr_mentions_sizes(self, db):
         assert "teams:2" in repr(db)
+
+
+class TestVersionsAndListeners:
+    def test_version_bumps_only_on_effective_edits(self, db):
+        v = db.version
+        db.insert(fact("teams", "ITA", "EU"))
+        assert db.version == v + 1
+        db.insert(fact("teams", "ITA", "EU"))  # already present: no-op
+        assert db.version == v + 1
+        db.delete(fact("teams", "ITA", "EU"))
+        assert db.version == v + 2
+        db.delete(fact("teams", "ITA", "EU"))  # already gone: no-op
+        assert db.version == v + 2
+
+    def test_relation_versions_are_independent(self, db):
+        teams = db.relation_version("teams")
+        games = db.relation_version("games")
+        db.insert(fact("teams", "ITA", "EU"))
+        assert db.relation_version("teams") == teams + 1
+        assert db.relation_version("games") == games
+
+    def test_copy_does_not_inherit_listeners(self, db):
+        from repro.db.database import DatabaseListener
+
+        events = []
+
+        class Recorder(DatabaseListener):
+            def after_change(self, database, edit):
+                events.append(edit)
+
+        db.subscribe(Recorder())
+        clone = db.copy()
+        clone.insert(fact("teams", "FRA", "EU"))
+        assert events == []
+        assert fact("teams", "FRA", "EU") not in db
+
+    def test_listener_sees_before_and_after(self, db):
+        from repro.db.database import DatabaseListener
+
+        events = []
+
+        class Recorder(DatabaseListener):
+            def before_change(self, database, edit):
+                events.append(("before", edit.kind.value, edit.fact in database))
+
+            def after_change(self, database, edit):
+                events.append(("after", edit.kind.value, edit.fact in database))
+
+        recorder = Recorder()
+        db.subscribe(recorder)
+        db.insert(fact("teams", "ITA", "EU"))
+        db.delete(fact("teams", "ITA", "EU"))
+        assert events == [
+            ("before", "+", False),  # fact not yet in the database
+            ("after", "+", True),
+            ("before", "-", True),  # still present when notified
+            ("after", "-", False),
+        ]
+
+    def test_listener_not_notified_for_noop_edits(self, db):
+        from repro.db.database import DatabaseListener
+
+        events = []
+
+        class Recorder(DatabaseListener):
+            def after_change(self, database, edit):
+                events.append(edit)
+
+        db.subscribe(Recorder())
+        db.insert(fact("teams", "GER", "EU"))  # already present
+        db.delete(fact("teams", "ZZZ", "EU"))  # never there
+        assert events == []
+
+    def test_unsubscribe_stops_notifications(self, db):
+        from repro.db.database import DatabaseListener
+
+        events = []
+
+        class Recorder(DatabaseListener):
+            def after_change(self, database, edit):
+                events.append(edit)
+
+        recorder = Recorder()
+        db.subscribe(recorder)
+        db.insert(fact("teams", "ITA", "EU"))
+        db.unsubscribe(recorder)
+        db.insert(fact("teams", "FRA", "EU"))
+        assert len(events) == 1
+
+    def test_edit_apply_goes_through_listeners(self, db):
+        from repro.db.database import DatabaseListener
+        from repro.db.edits import insert as make_insert
+
+        events = []
+
+        class Recorder(DatabaseListener):
+            def after_change(self, database, edit):
+                events.append((edit.kind.value, edit.fact))
+
+        db.subscribe(Recorder())
+        make_insert(fact("teams", "ITA", "EU")).apply(db)
+        assert events == [("+", fact("teams", "ITA", "EU"))]
+
+    def test_distinct_count_tracks_index(self, db):
+        assert db.distinct_count("teams", 1) == 2  # EU, SA
+        db.delete(fact("teams", "BRA", "SA"))
+        assert db.distinct_count("teams", 1) == 1
+        db.delete(fact("teams", "GER", "EU"))
+        assert db.distinct_count("teams", 1) == 0
+        assert db.distinct_count("teams", 0) == 0

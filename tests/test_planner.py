@@ -13,6 +13,7 @@ from repro.query.evaluator import evaluate, naive_evaluate
 from repro.query.parser import parse_query
 from repro.query.planner import (
     PlannedEvaluator,
+    StaleStatisticsError,
     Statistics,
     explain,
     plan_order,
@@ -72,6 +73,65 @@ class TestStatistics:
         stats = Statistics(db)
         atom = parse_query("q(c) :- lookup(c).").atoms[0]
         assert stats.estimate(atom, set()) == 0.0
+
+
+class TestStatisticsStaleness:
+    """Regression: statistics snapshotted before mid-cleaning edits must
+    not silently drive the planner with stale cardinalities."""
+
+    def test_fresh_statistics_not_stale(self, db):
+        stats = Statistics(db)
+        assert not stats.stale
+        stats.ensure_fresh()  # no-op
+
+    def test_edit_marks_statistics_stale(self, db):
+        stats = Statistics(db)
+        db.insert(fact("lookup", 4))
+        assert stats.stale
+
+    def test_refresh_policy_resyncs_on_use(self, db):
+        stats = Statistics(db)
+        for i in range(5):
+            db.insert(fact("lookup", 10 + i))
+        stats.ensure_fresh()
+        assert not stats.stale
+        assert stats.cardinality["lookup"] == 6
+        assert stats.distinct[("lookup", 0)] == 6
+
+    def test_raise_policy_raises_on_use(self, db):
+        stats = Statistics(db, on_stale="raise")
+        db.insert(fact("lookup", 4))
+        with pytest.raises(StaleStatisticsError):
+            stats.ensure_fresh()
+        stats.refresh()  # explicit resync clears the condition
+        stats.ensure_fresh()
+
+    def test_invalid_policy_rejected(self, db):
+        with pytest.raises(ValueError):
+            Statistics(db, on_stale="ignore")
+
+    def test_refresh_skips_untouched_relations(self, db):
+        from repro.telemetry import telemetry_session
+
+        stats = Statistics(db)
+        with telemetry_session() as (hub, _):
+            db.insert(fact("lookup", 4))
+            stats.ensure_fresh()
+            assert hub.counter("planner.statistics_refreshes") == 1
+        # only "lookup" moved; the other relations kept their entries
+        assert stats.cardinality["big"] == 200
+        assert stats.cardinality["lookup"] == 2
+
+    def test_planned_evaluator_sees_mid_cleaning_edits(self, db):
+        q = parse_query("q(a, c) :- big(a, b), small(b, c), lookup(c).")
+        evaluator = PlannedEvaluator(q, db)
+        baseline = evaluator.answers()
+        # a mid-cleaning edit lands *after* the evaluator was built
+        db.insert(fact("lookup", 0))
+        refreshed = evaluator.answers()
+        assert refreshed == evaluate(q, db)
+        assert refreshed != baseline
+        assert not evaluator.statistics.stale
 
 
 class TestPlanOrder:

@@ -17,79 +17,14 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from qoco_strategies import databases, queries
 from repro.core.parallel import ParallelQOCO
 from repro.core.qoco import QOCO, QOCOConfig
-from repro.db.database import Database
-from repro.db.schema import RelationSchema, Schema
-from repro.db.tuples import Fact
 from repro.oracle.base import AccountingOracle
 from repro.oracle.perfect import PerfectOracle
-from repro.query.ast import Atom, Inequality, Query, Var
 from repro.query.evaluator import Evaluator, evaluate, naive_evaluate
 from repro.telemetry import telemetry_session
 from repro.workloads import EX1
-
-# ---------------------------------------------------------------------------
-# strategies (mirrors tests/test_properties.py)
-# ---------------------------------------------------------------------------
-
-CONSTANTS = ["a", "b", "c", "d", "e"]
-VARIABLES = [Var(name) for name in ("x", "y", "z", "w")]
-
-SCHEMA = Schema(
-    [
-        RelationSchema("r", ("p", "q")),
-        RelationSchema("s", ("p",)),
-        RelationSchema("t", ("p", "q", "u")),
-    ]
-)
-
-ARITIES = {"r": 2, "s": 1, "t": 3}
-
-
-@st.composite
-def databases(draw):
-    facts = draw(
-        st.lists(
-            st.sampled_from(["r", "s", "t"]).flatmap(
-                lambda rel: st.tuples(
-                    st.just(rel),
-                    st.tuples(*[st.sampled_from(CONSTANTS)] * ARITIES[rel]),
-                )
-            ),
-            max_size=20,
-        )
-    )
-    return Database(SCHEMA, [Fact(rel, values) for rel, values in facts])
-
-
-@st.composite
-def queries(draw):
-    n_atoms = draw(st.integers(1, 3))
-    atoms = []
-    for _ in range(n_atoms):
-        rel = draw(st.sampled_from(["r", "s", "t"]))
-        terms = tuple(
-            draw(st.sampled_from(VARIABLES + CONSTANTS))  # type: ignore[operator]
-            for _ in range(ARITIES[rel])
-        )
-        atoms.append(Atom(rel, terms))
-    body_vars = sorted(set().union(*(a.variables() for a in atoms)), key=str)
-    if not body_vars:
-        atoms.append(Atom("s", (Var("x"),)))
-        body_vars = [Var("x")]
-    head = tuple(
-        draw(st.sampled_from(body_vars))
-        for _ in range(draw(st.integers(1, min(2, len(body_vars)))))
-    )
-    inequalities = []
-    if len(body_vars) >= 2 and draw(st.booleans()):
-        left, right = draw(st.sampled_from(body_vars)), draw(
-            st.sampled_from(body_vars + CONSTANTS)  # type: ignore[operator]
-        )
-        if left != right:
-            inequalities.append(Inequality(left, right))
-    return Query(head, tuple(atoms), tuple(inequalities), "q")
 
 
 DIFFERENTIAL_SETTINGS = settings(
