@@ -1,0 +1,190 @@
+"""Dispatch-engine benchmark: dedup savings and fault-tolerance cost.
+
+The contract (ISSUE 3): on a Soccer workload whose wrong answers share
+witness facts across removal tasks, cross-task deduplication must
+collect *strictly fewer* member answers than naive routing (every
+duplicate re-voted), while producing the identical final database; and
+a fault-injected run (no-shows + dropouts + late answers under a
+timeout, retries enabled) must still reach the synchronous loop's final
+database, paying only retries and wall-clock.
+
+The session: the scaled-down World Cup ground truth with fabricated
+``games`` between a hub team (``YUG`` — lexicographically last in the
+EU, so the greedy witness tie-break selects its ``teams`` fact first)
+and three EU partners.  Every wrong ``Q2`` answer's witness contains
+``teams(YUG, EU)``, so all removal tasks ask it in the same dispatch
+round — the duplication dedup exists to catch.
+
+Run under pytest (``pytest benchmarks/bench_dispatch.py``) or as a
+script (``python benchmarks/bench_dispatch.py [out.json]``), which
+writes ``BENCH_dispatch.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+
+from repro.core.parallel import ParallelQOCO
+from repro.crowdsim import lognormal_latency
+from repro.datasets.worldcup import WorldCupConfig, worldcup_database
+from repro.db.tuples import fact
+from repro.dispatch import FaultModel, RetryPolicy, dispatch_clean
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.workloads import Q2
+
+SEED = 5
+N_WORKERS = 8
+VOTES = 3
+HUB = "YUG"
+PARTNERS = ("AUT", "BEL", "WAL")
+SCALE = WorldCupConfig(players_per_team=6, group_games_per_cup=4)
+FAULTS = dict(no_show_rate=0.2, dropout_rate=0.02, late_rate=0.2)
+RETRY = RetryPolicy(timeout=300.0, max_retries=6)
+
+
+def build_session():
+    """(ground truth, dirty instance) — the hub-team Q2 workload."""
+    ground_truth = worldcup_database(SCALE)
+    dirty = ground_truth.copy()
+    for i, partner in enumerate(PARTNERS):
+        for j in (1, 2):
+            dirty.insert(
+                fact(
+                    "games", f"0{j}.01.19{70 + i}", HUB, partner,
+                    "Group", f"{j}:0",
+                )
+            )
+    return ground_truth, dirty
+
+
+def snapshot(database) -> list[str]:
+    """A comparable value for a database's full state."""
+    return sorted(
+        repr(f)
+        for relation in database.schema
+        for f in database.facts(relation.name)
+    )
+
+
+def run_sync(ground_truth, dirty_base) -> dict:
+    dirty = dirty_base.copy()
+    oracle = AccountingOracle(PerfectOracle(ground_truth))
+    report = ParallelQOCO(dirty, oracle, seed=SEED).clean(Q2)
+    return {
+        "questions": report.log.question_count,
+        "cost": report.total_cost,
+        "converged": report.converged,
+        "final_db": snapshot(dirty),
+    }
+
+
+def run_dispatch(ground_truth, dirty_base, *, dedup: bool, faulted: bool) -> dict:
+    dirty = dirty_base.copy()
+    report, engine = dispatch_clean(
+        dirty,
+        Q2,
+        [PerfectOracle(ground_truth)] * N_WORKERS,
+        votes_per_closed=VOTES,
+        latency=lognormal_latency(120.0),
+        rng=random.Random(7),
+        dedup=dedup,
+        faults=FaultModel(**FAULTS, rng=random.Random(3)) if faulted else None,
+        retry=RETRY if faulted else None,
+        seed=SEED,
+    )
+    return {
+        "questions": report.log.question_count,
+        "cost": report.total_cost,
+        "converged": report.converged,
+        "rounds": report.rounds,
+        "wall_clock_s": report.wall_clock,
+        "stats": engine.stats.to_dict(),
+        "final_db": snapshot(dirty),
+    }
+
+
+def bench_report() -> dict:
+    ground_truth, dirty = build_session()
+    sync = run_sync(ground_truth, dirty)
+    dedup = run_dispatch(ground_truth, dirty, dedup=True, faulted=False)
+    naive = run_dispatch(ground_truth, dirty, dedup=False, faulted=False)
+    faulted = run_dispatch(ground_truth, dirty, dedup=True, faulted=True)
+    return {
+        "workload": {
+            "query": Q2.name,
+            "ground_truth_size": len(ground_truth),
+            "hub": HUB,
+            "partners": list(PARTNERS),
+            "workers": N_WORKERS,
+            "votes_per_closed": VOTES,
+            "seed": SEED,
+        },
+        "sync": sync,
+        "dedup": dedup,
+        "naive": naive,
+        "faulted": faulted,
+        "member_answers_saved": naive["stats"]["member_answers"]
+        - dedup["stats"]["member_answers"],
+        "dedup_coalesced": dedup["stats"]["dedup_coalesced"],
+        "identical_db_dedup": dedup["final_db"] == sync["final_db"],
+        "identical_db_naive": naive["final_db"] == sync["final_db"],
+        "identical_db_faulted": faulted["final_db"] == sync["final_db"],
+    }
+
+
+def check(result: dict) -> list[str]:
+    """The hard gates; returns the failures (empty = pass)."""
+    failures = []
+    if result["dedup_coalesced"] < 1:
+        failures.append("dedup never coalesced a duplicate question")
+    if result["member_answers_saved"] < 1:
+        failures.append("dedup did not strictly reduce member answers")
+    if result["dedup"]["cost"] >= result["naive"]["cost"]:
+        failures.append("dedup did not strictly reduce question cost")
+    for mode in ("dedup", "naive", "faulted"):
+        if not result[f"identical_db_{mode}"]:
+            failures.append(f"{mode} run diverged from the synchronous database")
+        if not result[mode]["converged"]:
+            failures.append(f"{mode} run did not converge")
+    if result["faulted"]["stats"]["retries"] < 1:
+        failures.append("faulted run exercised no retries")
+    return failures
+
+
+def test_dispatch_session_contract():
+    """The ISSUE 3 acceptance gate, end to end."""
+    result = bench_report()
+    assert check(result) == []
+
+
+def main(argv: list[str]) -> int:
+    out = argv[1] if len(argv) > 1 else "BENCH_dispatch.json"
+    result = bench_report()
+    with open(out, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+    for mode in ("sync", "dedup", "naive", "faulted"):
+        row = result[mode]
+        stats = row.get("stats", {})
+        print(
+            f"{mode:8s} cost {row['cost']:>3d}  "
+            f"member answers {stats.get('member_answers', '-'):>4}  "
+            f"retries {stats.get('retries', '-'):>3}  "
+            f"wall-clock {row.get('wall_clock_s', 0.0):8.1f}s  "
+            f"converged {row['converged']}"
+        )
+    print(
+        f"dedup coalesced {result['dedup_coalesced']} duplicates, "
+        f"saving {result['member_answers_saved']} member answers"
+    )
+    failures = check(result)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print(f"wrote {out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 from ..db.database import Database
 from ..db.edits import Edit, delete, insert
@@ -53,9 +53,12 @@ Task = Generator[Request, object, list[Edit]]
 
 @dataclass
 class ParallelReport(CleaningReport):
-    """A cleaning report extended with the round (latency) accounting."""
+    """A cleaning report extended with the round (latency) accounting.
 
-    rounds: int = 0
+    ``rounds`` and ``wall_clock`` live on the base report (they are
+    surfaced by every ``summary()``); this subclass adds the width peak.
+    """
+
     peak_width: int = 0
 
 
@@ -222,12 +225,20 @@ class RoundScheduler:
             batch = [item for item in running if item.pending is not None]
             self.tick(len(batch))
             # "post together": collect the whole round before advancing
-            answers = [
-                (item, self._answer(item.pending)) for item in batch
-            ]
-            for item, answer in answers:
+            answers = self.answer_batch([item.pending for item in batch])
+            for item, answer in zip(batch, answers):
                 self._advance(item, answer)
         return [None if item.failed else (item.result or []) for item in running]
+
+    def answer_batch(self, requests: list[Request]) -> list:
+        """Answer one round's worth of requests, in order.
+
+        The synchronous default consults the accounting oracle one
+        request at a time; :class:`repro.dispatch.DispatchRoundScheduler`
+        overrides this to route the whole round through the live
+        dispatch engine (workers, latency, faults, dedup, budgets).
+        """
+        return [self._answer(request) for request in requests]
 
     # -- internals -------------------------------------------------------
     def _advance(self, item: _Running, answer) -> None:
@@ -260,6 +271,10 @@ class RoundScheduler:
             return self.oracle.verify_candidate(request[1], request[2])
         if kind == "complete":
             return self.oracle.complete_assignment(request[1], request[2])
+        if kind == "verify_answer":
+            return self.oracle.verify_answer(request[1], request[2])
+        if kind == "complete_result":
+            return self.oracle.complete_result(request[1], request[2])
         raise ValueError(f"unknown request {request!r}")
 
 
@@ -281,6 +296,9 @@ class ParallelQOCO:
         max_iterations: int = 10,
         seed: Optional[int] = None,
         use_incremental: bool = True,
+        scheduler_factory: Optional[
+            Callable[[AccountingOracle], RoundScheduler]
+        ] = None,
     ) -> None:
         self.database = database
         self.oracle = (
@@ -292,11 +310,14 @@ class ParallelQOCO:
         self.max_iterations = max_iterations
         self.rng = random.Random(seed)
         self.use_incremental = use_incremental
+        #: builds the round scheduler for one clean() — the seam where
+        #: repro.dispatch plugs in its live engine (workers/faults/budgets)
+        self.scheduler_factory = scheduler_factory or RoundScheduler
         self._engine: Optional[IncrementalAnswers] = None
 
     def clean(self, query: Query) -> ParallelReport:
         report = ParallelReport(query_name=query.name, log=self.oracle.log)
-        scheduler = RoundScheduler(self.oracle)
+        scheduler = self.scheduler_factory(self.oracle)
         verified: set[Answer] = set()
         if self.use_incremental and supports_incremental(query):
             self._engine = IncrementalAnswers(query, self.database)
@@ -310,6 +331,11 @@ class ParallelQOCO:
                 self._engine = None
         report.rounds = scheduler.rounds
         report.peak_width = scheduler.peak_width
+        # dispatched schedulers carry the simulated wall-clock and may
+        # have degraded (budget exhausted / questions lost to faults)
+        report.wall_clock = getattr(scheduler, "wall_clock", 0.0)
+        if getattr(scheduler, "degraded", False):
+            report.converged = False
         return report
 
     def _clean_loop(
@@ -333,8 +359,11 @@ class ParallelQOCO:
             wrong: list[Answer] = []
             if answers:
                 scheduler.tick(len(answers))
-                for answer in answers:
-                    if self.oracle.verify_answer(query, answer):
+                replies = scheduler.answer_batch(
+                    [("verify_answer", query, answer) for answer in answers]
+                )
+                for answer, truthful in zip(answers, replies):
+                    if truthful:
                         verified.add(answer)
                     else:
                         wrong.append(answer)
@@ -367,7 +396,9 @@ class ParallelQOCO:
                 known = set(self._answers(query))
                 posted = 0
                 for _ in range(self.completion_width):
-                    found = self.oracle.complete_result(query, known)
+                    (found,) = scheduler.answer_batch(
+                        [("complete_result", query, frozenset(known))]
+                    )
                     posted += 1
                     if found is None:
                         break

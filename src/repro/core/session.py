@@ -20,6 +20,12 @@ class CleaningReport:
     missing_answers_added: list[Answer] = field(default_factory=list)
     converged: bool = True
     log: InteractionLog = field(default_factory=InteractionLog)
+    #: crowd rounds posted (each round costs one crowd latency); 0 for
+    #: the strictly sequential algorithms, which have no round structure
+    rounds: int = 0
+    #: simulated wall-clock seconds of a dispatched run (repro.dispatch);
+    #: 0.0 when questions were answered synchronously
+    wall_clock: float = 0.0
 
     @property
     def deletions(self) -> list[Edit]:
@@ -34,9 +40,16 @@ class CleaningReport:
         return self.log.total_cost
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.query_name}: {len(self.wrong_answers_removed)} wrong removed, "
             f"{len(self.missing_answers_added)} missing added, "
             f"{len(self.deletions)}-/{len(self.insertions)}+ edits, "
             f"{self.log.total_cost} question units in {self.iterations} iteration(s)"
         )
+        if self.rounds:
+            text += f", {self.rounds} round(s)"
+        if self.wall_clock:
+            text += f", {self.wall_clock:.0f}s simulated wall-clock"
+        if not self.converged:
+            text += " [did not converge]"
+        return text

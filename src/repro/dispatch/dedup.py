@@ -1,0 +1,75 @@
+"""Cross-task deduplication of concurrent closed questions.
+
+When the parallel loop posts a whole round at once, distinct tasks can
+ask the *same* closed question in the same round — two wrong answers
+sharing a suspect fact both yield ``TRUE(R(ā))?`` for it.  The
+synchronous path coalesces these for free because answers resolve one
+at a time against the :class:`~repro.oracle.base.AccountingOracle`
+cache; a live dispatcher posts them concurrently, *before* either
+answer has returned, so without help both go to the crowd and both pay
+for a full vote sample.
+
+:func:`question_key` maps a closed request to a structural identity —
+the same key the accounting cache would use once the answer lands — and
+the engine keeps an in-flight index per round: the first occurrence is
+routed, later occurrences subscribe to its shared vote.  Open questions
+(``COMPL``) are never deduplicated: their payload includes run-specific
+context (the known-answer set, the partial assignment's history), and
+the paper's protocol treats each as a fresh task.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from ..oracle.questions import QuestionKind
+
+#: Request kinds (as yielded by the round scheduler's tasks) that are
+#: closed questions and therefore safe to coalesce structurally.
+_CLOSED_REQUEST_KINDS = frozenset(
+    {"verify_fact", "verify_answer", "verify_candidate"}
+)
+
+
+def question_key(request: tuple) -> Optional[Hashable]:
+    """A structural identity for a closed request, ``None`` for open ones.
+
+    Keys are value-based (facts, queries, and answers are immutable and
+    hashable) — never ``id()``-based, so two structurally equal queries
+    from different task objects coalesce, and a recycled object id can
+    never alias two distinct questions.
+    """
+    kind = request[0]
+    if kind not in _CLOSED_REQUEST_KINDS:
+        return None
+    if kind == "verify_fact":
+        return ("verify_fact", request[1])
+    if kind == "verify_answer":
+        return ("verify_answer", request[1], request[2])
+    # verify_candidate: the partial assignment arrives as a mapping
+    return ("verify_candidate", request[1], frozenset(request[2].items()))
+
+
+class DedupIndex:
+    """In-flight closed questions of the current dispatch window."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[Hashable, object] = {}
+        self.coalesced = 0
+
+    def lookup(self, key: Hashable):
+        return self._inflight.get(key)
+
+    def publish(self, key: Hashable, outcome) -> None:
+        self._inflight[key] = outcome
+
+    def subscribe(self, key: Hashable):
+        """Record one coalesced duplicate and return the shared outcome."""
+        self.coalesced += 1
+        return self._inflight[key]
+
+    def clear(self) -> None:
+        self._inflight.clear()
+
+
+__all__ = ["DedupIndex", "question_key", "QuestionKind"]

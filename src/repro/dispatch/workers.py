@@ -1,0 +1,138 @@
+"""Simulated crowd workers with bounded inboxes.
+
+Each :class:`Worker` wraps one member oracle (usually a
+:class:`~repro.oracle.perfect.PerfectOracle` or
+:class:`~repro.oracle.imperfect.ImperfectOracle`) — the *knowledge* —
+while the pool owns the *availability* model: a min-heap of
+``(free_at, worker_id)`` entries, exactly the expert heap of
+:class:`repro.crowdsim.CrowdSimulator`, so a fault-free dispatch run
+consumes workers (and therefore latency samples) in the identical
+order as a post-hoc replay of its log.
+
+On top of the replay model the pool adds what a live system needs:
+
+* **bounded inboxes** — a worker holding ``inbox_capacity`` unfinished
+  assignments is skipped, so bursts spread over the pool instead of
+  stacking on whoever happens to head the heap;
+* **exclusion** — retries can route around workers that already failed
+  the question (:attr:`RetryPolicy.reroute`);
+* **dropout** — a worker that drew a dropout fault leaves the pool for
+  good (lazily discarded from the heap).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..oracle.base import Oracle
+
+
+@dataclass
+class Worker:
+    """One simulated crowd member: knowledge plus availability."""
+
+    worker_id: int
+    member: Oracle
+    free_at: float = 0.0
+    alive: bool = True
+    answered: int = 0
+    no_shows: int = 0
+    #: open (start, end) assignment windows, pruned as time passes
+    windows: list[tuple[float, float]] = field(default_factory=list)
+
+    def inbox_depth(self, at: float) -> int:
+        """Unfinished assignments at simulated time *at*."""
+        self.windows = [w for w in self.windows if w[1] > at]
+        return len(self.windows)
+
+    def occupy(self, start: float, end: float) -> None:
+        self.windows.append((start, end))
+        if end > self.free_at:
+            self.free_at = end
+
+
+class WorkerPool:
+    """The availability heap over a fixed set of workers."""
+
+    def __init__(
+        self,
+        members: Sequence[Oracle],
+        inbox_capacity: Optional[int] = None,
+    ) -> None:
+        if not members:
+            raise ValueError("pool needs at least one worker")
+        if inbox_capacity is not None and inbox_capacity < 1:
+            raise ValueError("inbox capacity must be >= 1 (or None)")
+        self.workers = [Worker(i, member) for i, member in enumerate(members)]
+        self.inbox_capacity = inbox_capacity
+        self.inbox_rejections = 0
+        self._heap: list[tuple[float, int]] = [
+            (0.0, w.worker_id) for w in self.workers
+        ]
+        heapq.heapify(self._heap)
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for w in self.workers if w.alive)
+
+    # ------------------------------------------------------------------
+    def acquire(
+        self, at: float, exclude: frozenset[int] = frozenset()
+    ) -> Optional[Worker]:
+        """The earliest-free eligible worker, or ``None`` if all dropped.
+
+        Eligible means alive, not in *exclude*, and with inbox head-room
+        at *at*.  If exclusion/capacity disqualifies everyone, the
+        earliest-free alive worker is used anyway (the question must go
+        somewhere); capacity-forced skips are counted so saturation is
+        observable.
+        """
+        skipped: list[tuple[float, int]] = []
+        chosen: Optional[Worker] = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            worker = self.workers[entry[1]]
+            if not worker.alive:
+                continue  # dropped out: discard the stale entry
+            if entry[1] in exclude:
+                skipped.append(entry)
+                continue
+            if (
+                self.inbox_capacity is not None
+                and worker.inbox_depth(at) >= self.inbox_capacity
+            ):
+                skipped.append(entry)
+                self.inbox_rejections += 1
+                continue
+            chosen = worker
+            break
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        if chosen is None and skipped:
+            # every alive worker was excluded or saturated: spill onto
+            # the earliest-free one rather than stalling forever
+            entry = heapq.heappop(self._heap)
+            chosen = self.workers[entry[1]]
+        return chosen
+
+    def commit(self, worker: Worker, free_at: float) -> None:
+        """Requeue *worker* with its new availability."""
+        heapq.heappush(self._heap, (free_at, worker.worker_id))
+
+    def drop(self, worker: Worker) -> None:
+        """Permanently remove *worker* (dropout fault)."""
+        worker.alive = False
+
+
+def perfect_pool(ground_truth, n_workers: int, **kwargs) -> WorkerPool:
+    """A pool of *n_workers* sharing one perfect member (the paper's
+    simulated-experiment setting: every expert knows ``D_G``)."""
+    from ..oracle.perfect import PerfectOracle
+
+    member = PerfectOracle(ground_truth)
+    return WorkerPool([member] * n_workers, **kwargs)

@@ -89,7 +89,11 @@ class AccountingOracle(Oracle):
         self.backend = backend
         self.log = log if log is not None else InteractionLog()
         self._fact_cache: dict[Fact, bool] = {}
-        self._answer_cache: dict[tuple[int, Answer], bool] = {}
+        # Keyed structurally by (query, answer) — Query is a frozen
+        # dataclass, so equal queries share verdicts regardless of
+        # object identity, and a recycled id() can never alias two
+        # distinct queries to one stale verdict.
+        self._answer_cache: dict[tuple[Query, Answer], bool] = {}
 
     # -- accounting ------------------------------------------------------
     def _record(self, kind: QuestionKind, cost: int, detail: str = "") -> None:
@@ -103,6 +107,11 @@ class AccountingOracle(Oracle):
             tel.count(f"oracle.cost.{kind.value}", cost)
             tel.count("oracle.cost.total", cost)
 
+    def record_interaction(self, kind: QuestionKind, cost: int, detail: str = "") -> None:
+        """Log an interaction answered outside the backend (e.g. by the
+        dispatch engine's worker pool), with the usual telemetry mirror."""
+        self._record(kind, cost, detail)
+
     # -- cache helpers ---------------------------------------------------
     def knows_fact(self, fact: Fact) -> bool:
         return fact in self._fact_cache
@@ -113,6 +122,14 @@ class AccountingOracle(Oracle):
     def remember_fact(self, fact: Fact, value: bool) -> None:
         """Record knowledge inferred without asking (e.g. Theorem 4.5)."""
         self._fact_cache[fact] = value
+
+    def cached_answer(self, query: Query, answer: Answer) -> Optional[bool]:
+        """The cached ``TRUE(Q, t)?`` verdict, if this run has one."""
+        return self._answer_cache.get((query, answer))
+
+    def remember_answer(self, query: Query, answer: Answer, value: bool) -> None:
+        """Record a ``TRUE(Q, t)?`` verdict obtained out of band."""
+        self._answer_cache[(query, answer)] = value
 
     def forget(self) -> None:
         """Drop cached answers.
@@ -160,7 +177,7 @@ class AccountingOracle(Oracle):
         return results
 
     def verify_answer(self, query: Query, answer: Answer) -> bool:
-        key = (id(query), answer)
+        key = (query, answer)
         cached = self._answer_cache.get(key)
         if cached is not None:
             if _TELEMETRY.enabled:

@@ -1,0 +1,203 @@
+"""Differential contracts for the dispatch engine.
+
+Three equivalences tie the live engine to already-validated components:
+
+1. **Dispatch ≡ synchronous loop** — a fault-free, unbudgeted dispatch
+   run produces the same edits, the same final database, and the same
+   interaction log (question kinds, costs, details, order) as
+   ``ParallelQOCO`` answering synchronously.
+2. **Dispatch ≡ replay** — the engine's timeline (every worker
+   assignment and question completion) is bit-identical to
+   ``CrowdSimulator.replay`` of the logged interactions with the same
+   pool size, vote count, latency model, and seed: the live engine and
+   the §6.2 post-hoc model are the same timing process.
+3. **Faults don't change the outcome** — a fault-injected run with
+   retries reaches the same final database as the synchronous loop on
+   the Soccer workload (the ISSUE 3 acceptance gate).
+
+The Soccer instance is built so cross-task deduplication provably
+fires: a "hub" team (``YUG``, the lexicographically last EU team, so
+the greedy tie-break picks its ``teams`` fact first) gains fabricated
+games against several EU partners.  Every wrong ``Q2`` answer's
+witness then contains ``teams(YUG, EU)``, and all removal tasks ask it
+in the same round.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.parallel import ParallelQOCO
+from repro.crowdsim import CrowdSimulator, lognormal_latency
+from repro.datasets.worldcup import WorldCupConfig, worldcup_database
+from repro.db.tuples import fact
+from repro.dispatch import Budget, FaultModel, RetryPolicy, dispatch_clean
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.query.evaluator import Evaluator
+from repro.telemetry import telemetry_session
+from repro.workloads import EX1, Q2
+
+SEED = 5
+N_WORKERS = 6
+VOTES = 3
+HUB = "YUG"
+PARTNERS = ("AUT", "BEL", "WAL")
+SCALE = WorldCupConfig(players_per_team=6, group_games_per_cup=4)
+
+
+@pytest.fixture(scope="module")
+def soccer_gt():
+    return worldcup_database(SCALE)
+
+
+@pytest.fixture
+def soccer_dirty(soccer_gt):
+    """The hub-team instance: 2 fabricated games per (YUG, partner)."""
+    dirty = soccer_gt.copy()
+    for i, partner in enumerate(PARTNERS):
+        for j in (1, 2):
+            dirty.insert(
+                fact(
+                    "games", f"0{j}.01.19{70 + i}", HUB, partner,
+                    "Group", f"{j}:0",
+                )
+            )
+    return dirty
+
+
+def sync_clean(gt, dirty, query):
+    """The synchronous reference run (same seed as the dispatch runs)."""
+    db = dirty.copy()
+    report = ParallelQOCO(
+        db, AccountingOracle(PerfectOracle(gt)), seed=SEED
+    ).clean(query)
+    return db, report
+
+
+def dispatch(gt, dirty, query, **kwargs):
+    db = dirty.copy()
+    kwargs.setdefault("votes_per_closed", VOTES)
+    kwargs.setdefault("latency", lognormal_latency(120.0))
+    kwargs.setdefault("rng", random.Random(7))
+    kwargs.setdefault("seed", SEED)
+    report, engine = dispatch_clean(
+        db, query, [PerfectOracle(gt)] * N_WORKERS, **kwargs
+    )
+    return db, report, engine
+
+
+class TestDispatchEqualsSynchronous:
+    def test_figure1_run_is_identical(self, fig1_gt, fig1_dirty):
+        sync_db, sync_report = sync_clean(fig1_gt, fig1_dirty, EX1)
+        db, report, engine = dispatch(fig1_gt, fig1_dirty, EX1)
+        assert not db.symmetric_difference(sync_db)
+        assert [(e.kind.value, repr(e.fact)) for e in report.edits] == [
+            (e.kind.value, repr(e.fact)) for e in sync_report.edits
+        ]
+        assert report.log.to_dicts() == sync_report.log.to_dicts()
+        assert report.rounds == sync_report.rounds
+        assert report.iterations == sync_report.iterations
+        assert report.converged and sync_report.converged
+        # only the wall-clock dimension differs: sync has none
+        assert sync_report.wall_clock == 0.0
+        assert report.wall_clock == engine.wall_clock > 0.0
+
+    def test_soccer_run_is_identical(self, soccer_gt, soccer_dirty):
+        sync_db, sync_report = sync_clean(soccer_gt, soccer_dirty, Q2)
+        db, report, engine = dispatch(soccer_gt, soccer_dirty, Q2)
+        assert not db.symmetric_difference(sync_db)
+        assert report.log.to_dicts() == sync_report.log.to_dicts()
+        assert sorted(map(repr, report.wrong_answers_removed)) == sorted(
+            map(repr, sync_report.wrong_answers_removed)
+        )
+        assert Evaluator(Q2, db).answers() == Evaluator(Q2, soccer_gt).answers()
+
+
+class TestDispatchEqualsReplay:
+    def _assert_timeline_parity(self, gt, dirty, query):
+        _, report, engine = dispatch(
+            gt, dirty, query, rng=random.Random(7)
+        )
+        replay = CrowdSimulator(
+            n_experts=N_WORKERS,
+            votes_per_closed=VOTES,
+            latency=lognormal_latency(120.0),
+            rng=random.Random(7),
+        ).replay(report.log, parallel=True)
+        assert replay.answers == engine.timeline.answers
+        assert replay.completions == engine.timeline.completions
+        assert replay.makespan == engine.wall_clock == report.wall_clock
+
+    def test_figure1_timeline_bit_identical(self, fig1_gt, fig1_dirty):
+        self._assert_timeline_parity(fig1_gt, fig1_dirty, EX1)
+
+    def test_soccer_timeline_bit_identical(self, soccer_gt, soccer_dirty):
+        self._assert_timeline_parity(soccer_gt, soccer_dirty, Q2)
+
+
+class TestDeduplication:
+    def test_dedup_strictly_cheaper_than_naive(self, soccer_gt, soccer_dirty):
+        sync_db, _ = sync_clean(soccer_gt, soccer_dirty, Q2)
+        db_dedup, report_dedup, engine_dedup = dispatch(
+            soccer_gt, soccer_dirty, Q2, dedup=True
+        )
+        db_naive, report_naive, engine_naive = dispatch(
+            soccer_gt, soccer_dirty, Q2, dedup=False
+        )
+        # the hub fact is asked once by every removal task concurrently
+        assert engine_dedup.stats.dedup_coalesced >= len(PARTNERS) - 1
+        assert (
+            engine_dedup.stats.member_answers
+            < engine_naive.stats.member_answers
+        )
+        assert report_dedup.total_cost < report_naive.total_cost
+        # cheaper, not different: both reach the synchronous database
+        assert not db_dedup.symmetric_difference(sync_db)
+        assert not db_naive.symmetric_difference(sync_db)
+
+
+class TestFaultedRuns:
+    def test_faulted_soccer_run_reaches_sync_database(
+        self, soccer_gt, soccer_dirty
+    ):
+        """The acceptance gate: dropouts + no-shows + late answers under
+        a timeout, with retries enabled, reach the same final database
+        as the synchronous loop."""
+        sync_db, _ = sync_clean(soccer_gt, soccer_dirty, Q2)
+        db, report, engine = dispatch(
+            soccer_gt, soccer_dirty, Q2,
+            faults=FaultModel(
+                no_show_rate=0.2, dropout_rate=0.02, late_rate=0.2,
+                rng=random.Random(3),
+            ),
+            retry=RetryPolicy(timeout=300.0, max_retries=6),
+        )
+        assert not db.symmetric_difference(sync_db)
+        assert report.converged
+        # the faults actually happened and were retried around
+        assert engine.stats.no_shows > 0
+        assert engine.stats.retries > 0
+
+    def test_budgeted_soccer_run_degrades_without_hanging(
+        self, soccer_gt, soccer_dirty
+    ):
+        db, report, engine = dispatch(
+            soccer_gt, soccer_dirty, Q2, budget=Budget(max_cost=3)
+        )
+        assert not report.converged
+        assert engine.stats.budget_denied > 0
+        assert report.total_cost <= 3
+
+
+class TestTelemetry:
+    def test_dispatch_counters_are_emitted(self, fig1_gt, fig1_dirty):
+        with telemetry_session() as (hub, _):
+            _, report, engine = dispatch(fig1_gt, fig1_dirty, EX1)
+            counters = hub.counters()
+        assert counters["dispatch.questions"] == engine.stats.questions
+        assert counters["dispatch.member_answers"] == engine.stats.member_answers
+        assert counters["oracle.cost.total"] == report.total_cost
+        assert counters["parallel.rounds"] == report.rounds

@@ -162,5 +162,5 @@ class TestRegistry:
     def test_all_figures_listed(self):
         assert set(ALL_FIGURES) == {
             "fig3a", "fig3b", "fig3c", "fig3d", "fig3e", "fig3f", "fig4",
-            "dbgroup", "sweep-cleanliness", "sweep-skewness",
+            "dbgroup", "sweep-cleanliness", "sweep-skewness", "dispatch",
         }

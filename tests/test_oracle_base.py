@@ -47,6 +47,47 @@ class TestCaching:
         assert oracle.log.question_count == 2  # re-asked after forget
 
 
+class TestAnswerCacheStructuralKey:
+    """Regression: the answer cache was keyed by ``(id(query), answer)``.
+
+    Object ids are recycled, so a dead query's id could alias a fresh,
+    structurally different query to a stale verdict — and two equal
+    queries built separately (e.g. by concurrent dispatch tasks) never
+    shared their verdicts.  The cache is now keyed by the query *value*.
+    """
+
+    EX1_TEXT = (
+        'ex1(x) :- games(d1, x, y, "Final", u1), '
+        'games(d2, x, z, "Final", u2), teams(x, "EU"), d1 != d2.'
+    )
+
+    def test_equal_queries_share_cached_verdicts(self, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        first = parse_query(self.EX1_TEXT)
+        second = parse_query(self.EX1_TEXT)
+        assert first == second and first is not second
+        assert oracle.verify_answer(first, ("GER",)) is True
+        # a distinct-but-equal query object hits the same cache entry
+        assert oracle.verify_answer(second, ("GER",)) is True
+        assert oracle.log.count_of([QuestionKind.VERIFY_ANSWER]) == 1
+
+    def test_cache_entries_never_alias_distinct_questions(self, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        other = parse_query('q(x) :- teams(x, "EU").')
+        assert oracle.verify_answer(EX1, ("GER",)) is True
+        assert oracle.cached_answer(other, ("GER",)) is None
+        assert oracle.cached_answer(EX1, ("BRA",)) is None
+        oracle.verify_answer(other, ("GER",))
+        assert oracle.log.count_of([QuestionKind.VERIFY_ANSWER]) == 2
+
+    def test_remember_answer_preempts_question(self, fig1_gt):
+        oracle = AccountingOracle(PerfectOracle(fig1_gt))
+        oracle.remember_answer(EX1, ("GER",), False)  # out-of-band verdict
+        assert oracle.verify_answer(parse_query(self.EX1_TEXT), ("GER",)) is False
+        assert oracle.log.question_count == 0
+        assert oracle.cached_answer(EX1, ("GER",)) is False
+
+
 class TestCosts:
     def test_closed_cost_one(self, fig1_gt):
         oracle = AccountingOracle(PerfectOracle(fig1_gt))
