@@ -11,7 +11,7 @@ import pytest
 
 from repro.aggregates.count import AggregateQOCO, CountView
 from repro.core.negation import remove_wrong_answer_with_negation
-from repro.core.ucq import UnionQOCO
+from repro.core.ucq import UCQCleaner
 from repro.db.tuples import fact
 from repro.oracle.base import AccountingOracle
 from repro.oracle.perfect import PerfectOracle
@@ -39,7 +39,7 @@ def test_ucq_cleaning(benchmark, worldcup_gt):
         dirty.insert(fact("games", "01.01.2031", "XXX", "GER", "Final", "1:0"))
         dirty.insert(fact("games", "02.01.2031", "GER", "XXX", "Final", "2:0"))
         oracle = AccountingOracle(PerfectOracle(worldcup_gt))
-        UnionQOCO(dirty, oracle, seed=0).clean(FINALISTS)
+        UCQCleaner(dirty, oracle, seed=0).clean(FINALISTS)
         return dirty, oracle
 
     dirty, oracle = benchmark.pedantic(run, rounds=1, iterations=1)

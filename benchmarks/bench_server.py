@@ -1,0 +1,251 @@
+"""Multi-tenant server benchmark: fork cost, concurrency, shared answers.
+
+The contract (ISSUE 4): on the worldcup dataset, ``Database.fork()``
+must be at least 5× cheaper than ``Database.copy()``; cross-session
+answer sharing must *strictly* reduce member-oracle answers when tenants
+clean overlapping views (while producing the identical final database);
+and concurrent dispatch-mode sessions must finish in less simulated
+wall-clock than running the same sessions back to back.
+
+Run under pytest (``pytest benchmarks/bench_server.py``) or as a script
+(``python benchmarks/bench_server.py [out.json]``), which writes
+``BENCH_server.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import statistics
+import sys
+import time
+
+from repro.core.qoco import QOCOConfig
+from repro.datasets.noise import inject_result_errors
+from repro.datasets.worldcup import worldcup_database
+from repro.dispatch import WorkerPool
+from repro.oracle.perfect import PerfectOracle
+from repro.server import SessionManager
+from repro.workloads import Q1, Q3
+
+SEED = 11
+FORK_ROUNDS = 200
+COPY_ROUNDS = 20
+N_WORKERS = 6
+
+
+class CountingOracle(PerfectOracle):
+    """A perfect member that counts every question it actually answers."""
+
+    def __init__(self, ground_truth):
+        super().__init__(ground_truth)
+        self.answered = 0
+
+    def verify_fact(self, fact):
+        self.answered += 1
+        return super().verify_fact(fact)
+
+    def verify_answer(self, query, answer):
+        self.answered += 1
+        return super().verify_answer(query, answer)
+
+    def verify_candidate(self, query, partial):
+        self.answered += 1
+        return super().verify_candidate(query, partial)
+
+    def complete_assignment(self, query, partial):
+        self.answered += 1
+        return super().complete_assignment(query, partial)
+
+    def complete_result(self, query, known):
+        self.answered += 1
+        return super().complete_result(query, known)
+
+
+def build_session():
+    """(ground truth, dirty instance) — worldcup with Q3 result errors."""
+    ground_truth = worldcup_database()
+    errors = inject_result_errors(
+        ground_truth, Q3, 3, 2, rng=random.Random(SEED)
+    )
+    return ground_truth, errors.dirty
+
+
+def snapshot(database) -> list[str]:
+    return sorted(
+        repr(f)
+        for relation in database.schema
+        for f in database.facts(relation.name)
+    )
+
+
+# ----------------------------------------------------------------------
+# fork vs copy
+# ----------------------------------------------------------------------
+def bench_fork_vs_copy(database) -> dict:
+    def timed(operation, rounds):
+        samples = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            operation()
+            samples.append(time.perf_counter() - start)
+        return statistics.median(samples)
+
+    fork_s = timed(database.fork, FORK_ROUNDS)
+    copy_s = timed(database.copy, COPY_ROUNDS)
+    return {
+        "facts": len(database),
+        "fork_median_us": fork_s * 1e6,
+        "copy_median_us": copy_s * 1e6,
+        "speedup": copy_s / fork_s if fork_s else float("inf"),
+    }
+
+
+# ----------------------------------------------------------------------
+# cross-session sharing on overlapping views
+# ----------------------------------------------------------------------
+def run_tenants(ground_truth, dirty_base, *, share: bool) -> dict:
+    """Three tenants over overlapping views (Q3, Q3, Q1), sequential
+    admission so both configurations resolve questions in one order."""
+    base = dirty_base.copy()
+    member = CountingOracle(ground_truth)
+    manager = SessionManager(
+        base,
+        config=QOCOConfig(seed=SEED),
+        share_answers=share,
+        max_concurrent=1,
+    )
+    for tenant, query in enumerate((Q3, Q3, Q1)):
+        manager.open_session(query, member, tenant=f"t{tenant}")
+    report = manager.run_all()
+    return {
+        "member_answers": member.answered,
+        "cost": report.total_cost,
+        "shared_hits": report.shared_hits,
+        "committed": report.committed,
+        "failed": report.failed,
+        "replays": report.replays,
+        "final_db": snapshot(base),
+    }
+
+
+# ----------------------------------------------------------------------
+# sequential vs concurrent wall clock (dispatch mode)
+# ----------------------------------------------------------------------
+def run_dispatch_fleet(ground_truth, dirty_base) -> dict:
+    """Two dispatch-mode tenants, each with its own simulated crowd.
+
+    Concurrent service time is the slowest tenant (they overlap);
+    sequential service time is the sum (one crowd session after the
+    other) — the latency win of serving tenants concurrently.
+    """
+    base = dirty_base.copy()
+    member = PerfectOracle(ground_truth)
+    manager = SessionManager(base, mode="dispatch", config=QOCOConfig(seed=SEED))
+    for tenant, query in enumerate((Q3, Q1)):
+        manager.open_session(
+            query,
+            member,
+            tenant=f"t{tenant}",
+            pool=WorkerPool([member] * N_WORKERS),
+        )
+    report = manager.run_all()
+    clocks = [s.report.wall_clock for s in report.sessions]
+    return {
+        "session_wall_clocks_s": clocks,
+        "concurrent_s": max(clocks) if clocks else 0.0,
+        "sequential_s": sum(clocks),
+        "committed": report.committed,
+        "failed": report.failed,
+    }
+
+
+def bench_report() -> dict:
+    ground_truth, dirty = build_session()
+    fork = bench_fork_vs_copy(dirty)
+    shared = run_tenants(ground_truth, dirty, share=True)
+    isolated = run_tenants(ground_truth, dirty, share=False)
+    fleet = run_dispatch_fleet(ground_truth, dirty)
+    return {
+        "workload": {
+            "dataset": "worldcup",
+            "facts": len(ground_truth),
+            "queries": [Q3.name, Q3.name, Q1.name],
+            "seed": SEED,
+        },
+        "fork_vs_copy": fork,
+        "shared": {k: v for k, v in shared.items() if k != "final_db"},
+        "isolated": {k: v for k, v in isolated.items() if k != "final_db"},
+        "member_answers_saved": isolated["member_answers"]
+        - shared["member_answers"],
+        "identical_db": shared["final_db"] == isolated["final_db"],
+        "wall_clock": fleet,
+    }
+
+
+def check(result: dict) -> list[str]:
+    """The hard gates; returns the failures (empty = pass)."""
+    failures = []
+    if result["fork_vs_copy"]["speedup"] < 5.0:
+        failures.append(
+            f"fork only {result['fork_vs_copy']['speedup']:.1f}x cheaper "
+            "than copy (need >= 5x)"
+        )
+    if result["member_answers_saved"] < 1:
+        failures.append(
+            "cross-session sharing did not strictly reduce member answers"
+        )
+    if result["shared"]["shared_hits"] < 1:
+        failures.append("the answer board was never hit")
+    if not result["identical_db"]:
+        failures.append("sharing changed the final database")
+    for mode in ("shared", "isolated"):
+        if result[mode]["failed"] or result[mode]["replays"]:
+            failures.append(f"{mode} run had failures or unexpected replays")
+    if result["wall_clock"]["failed"]:
+        failures.append("a dispatch-mode session failed")
+    if (
+        result["wall_clock"]["concurrent_s"]
+        >= result["wall_clock"]["sequential_s"]
+    ):
+        failures.append("concurrent service was not faster than sequential")
+    return failures
+
+
+def test_server_contract():
+    """The ISSUE 4 acceptance gate, end to end."""
+    result = bench_report()
+    assert check(result) == []
+
+
+def main(argv: list[str]) -> int:
+    out = argv[1] if len(argv) > 1 else "BENCH_server.json"
+    result = bench_report()
+    with open(out, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+    fork = result["fork_vs_copy"]
+    print(
+        f"fork {fork['fork_median_us']:.1f}us vs copy "
+        f"{fork['copy_median_us']:.1f}us on {fork['facts']} facts "
+        f"({fork['speedup']:.0f}x)"
+    )
+    for mode in ("shared", "isolated"):
+        row = result[mode]
+        print(
+            f"{mode:9s} member answers {row['member_answers']:>4d}  "
+            f"cost {row['cost']:>3d}  board hits {row['shared_hits']:>3d}"
+        )
+    print(
+        f"sharing saved {result['member_answers_saved']} member answers; "
+        f"concurrent {result['wall_clock']['concurrent_s']:.0f}s vs "
+        f"sequential {result['wall_clock']['sequential_s']:.0f}s"
+    )
+    failures = check(result)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print(f"wrote {out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,14 +3,16 @@
 Recreates the paper's running example (Figure 1): a small World Cup
 database where Spain appears to have won the World Cup several times,
 and Italy is missing entirely.  A perfect oracle (backed by the ground
-truth) guides QOCO to the minimal repair.
+truth) guides QOCO to the minimal repair — through the stable
+``repro.api`` facade.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import AccountingOracle, PerfectOracle, QOCO, evaluate, parse_query
+import repro.api as qoco
+from repro import PerfectOracle, evaluate, parse_query
 from repro.datasets import figure1_dirty, figure1_ground_truth
 
 
@@ -19,7 +21,8 @@ def main() -> None:
     ground_truth = figure1_ground_truth()
 
     # "European teams that won the World Cup at least twice" (query Q1
-    # of the paper's introduction).
+    # of the paper's introduction).  repro.api also accepts the parsed
+    # Query object if you prefer to build it yourself.
     query = parse_query(
         'q(x) :- games(d1, x, y, "Final", u1), games(d2, x, z, "Final", u2), '
         'teams(x, "EU"), d1 != d2.'
@@ -29,8 +32,7 @@ def main() -> None:
     print(f"  Q(D)   = {sorted(evaluate(query, dirty))}")
     print(f"  Q(D_G) = {sorted(evaluate(query, ground_truth))}")
 
-    oracle = AccountingOracle(PerfectOracle(ground_truth))
-    report = QOCO(dirty, oracle).clean(query)
+    report = qoco.clean(dirty, query, PerfectOracle(ground_truth))
 
     print("\nAfter cleaning:")
     print(f"  Q(D')  = {sorted(evaluate(query, dirty))}")
@@ -38,8 +40,8 @@ def main() -> None:
     print("\nEdits applied to the underlying database:")
     for edit in report.edits:
         print(f"  {edit}")
-    print(f"\nCrowd interactions: {oracle.log.question_count} questions, "
-          f"{oracle.log.total_cost} cost units")
+    print(f"\nCrowd interactions: {report.log.question_count} questions, "
+          f"{report.total_cost} cost units")
 
 
 if __name__ == "__main__":

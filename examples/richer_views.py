@@ -18,7 +18,7 @@ import random
 
 from repro import AccountingOracle, PerfectOracle
 from repro.aggregates import AggregateQOCO, CountView
-from repro.core import UnionQOCO, remove_wrong_answer_with_negation
+from repro.core import UCQCleaner, remove_wrong_answer_with_negation
 from repro.datasets import figure1_dirty, figure1_ground_truth
 from repro.db import Database, fact
 from repro.query import evaluate, parse_query, parse_union
@@ -43,7 +43,7 @@ def main() -> None:
     dirty.insert(fact("games", "01.01.1999", "XXX", "GER", "Final", "1:0"))
     show("dirty result:", sorted(a[0] for a in finalists.answers(dirty)))
     oracle = AccountingOracle(PerfectOracle(ground_truth))
-    UnionQOCO(dirty, oracle, seed=0).clean(finalists)
+    UCQCleaner(dirty, oracle, seed=0).clean(finalists)
     show("cleaned result:", sorted(a[0] for a in finalists.answers(dirty)))
     show("questions:", oracle.log.question_count)
 

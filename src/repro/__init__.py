@@ -3,21 +3,24 @@
 A full reproduction of Bergman, Milo, Novgorodov and Tan,
 "Query-Oriented Data Cleaning with Oracles", SIGMOD 2015.
 
-Quickstart::
+Quickstart — the stable facade is :mod:`repro.api`::
 
-    from repro import (
-        Database, PerfectOracle, AccountingOracle, QOCO, QOCOConfig,
-        parse_query, worldcup_database,
-    )
+    import repro.api as qoco
+    from repro import Database, PerfectOracle, worldcup_database
 
     ground_truth = worldcup_database()
     dirty = ...                       # your scraped/dirty instance
-    oracle = AccountingOracle(PerfectOracle(ground_truth))
-    query = parse_query('q(x) :- games(d, x, y, "Final", u), teams(x, "EU").')
-    report = QOCO(dirty, oracle).clean(query)
+    report = qoco.clean(
+        dirty,
+        'q(x) :- games(d, x, y, "Final", u), teams(x, "EU").',
+        PerfectOracle(ground_truth),
+    )
     print(report.summary())
 """
 
+import warnings as _warnings
+
+from . import api
 from .core import (
     QOCO,
     CleaningReport,
@@ -25,16 +28,39 @@ from .core import (
     InsertionError,
     MinCutSplit,
     NaiveSplit,
+    ParallelQOCO,
     ProvenanceSplit,
     QOCOConfig,
     QOCODeletion,
     QOCOMinusDeletion,
     RandomDeletion,
     RandomSplit,
+    Report,
+    ReportLike,
+    UCQCleaner,
     crowd_add_missing_answer,
     crowd_remove_wrong_answer,
 )
-from .db import Database, Edit, Fact, RelationSchema, Schema, delete, fact, insert
+from .db import (
+    Database,
+    DatabaseFork,
+    Edit,
+    Fact,
+    ForkError,
+    RelationSchema,
+    Schema,
+    delete,
+    fact,
+    insert,
+)
+from .server import (
+    AnswerBoard,
+    CleaningSession,
+    ServerReport,
+    SessionManager,
+    SessionState,
+    TenantPolicy,
+)
 from .oracle import (
     AccountingOracle,
     Chao92Estimator,
@@ -57,33 +83,36 @@ from .datasets import (
     worldcup_database,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TELEMETRY",
     "AccountingOracle",
+    "AnswerBoard",
     "Atom",
-    "InMemorySink",
-    "JSONLSink",
-    "Telemetry",
-    "telemetry_session",
     "Chao92Estimator",
     "CleaningReport",
+    "CleaningSession",
     "Crowd",
     "Database",
+    "DatabaseFork",
     "DeletionError",
     "Edit",
     "ExactCompletion",
     "Fact",
+    "ForkError",
     "ImperfectOracle",
+    "InMemorySink",
     "Inequality",
     "InsertionError",
     "InteractionLog",
+    "JSONLSink",
     "MajorityVote",
     "MinCutSplit",
     "NaiveSplit",
     "NoiseSpec",
     "Oracle",
+    "ParallelQOCO",
     "PerfectOracle",
     "ProvenanceSplit",
     "QOCO",
@@ -95,8 +124,17 @@ __all__ = [
     "RandomDeletion",
     "RandomSplit",
     "RelationSchema",
+    "Report",
+    "ReportLike",
     "Schema",
+    "ServerReport",
+    "SessionManager",
+    "SessionState",
+    "Telemetry",
+    "TenantPolicy",
+    "UCQCleaner",
     "Var",
+    "api",
     "crowd_add_missing_answer",
     "crowd_remove_wrong_answer",
     "dbgroup_database",
@@ -107,6 +145,26 @@ __all__ = [
     "insert",
     "make_dirty",
     "parse_query",
+    "telemetry_session",
     "witnesses_for",
     "worldcup_database",
 ]
+
+#: renamed/moved names served with a DeprecationWarning instead of breaking
+_DEPRECATED = {
+    "UnionQOCO": ("UCQCleaner", lambda: __import__(
+        "repro.core.ucq", fromlist=["UnionQOCO"]).UnionQOCO),
+    "ParallelReport": ("Report", lambda: Report),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        replacement, resolve = _DEPRECATED[name]
+        _warnings.warn(
+            f"repro.{name} is deprecated; use repro.{replacement}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return resolve()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,148 @@
+"""The stable public facade.
+
+One flat module with the half-dozen entry points a user of the
+reproduction actually needs, hiding which subpackage currently hosts
+which class.  Everything here accepts queries as either parsed
+:class:`~repro.query.ast.Query` objects or source strings, takes the
+shared :class:`~repro.core.qoco.QOCOConfig`, and returns the unified
+:class:`~repro.core.report.Report`::
+
+    import repro.api as qoco
+
+    report = qoco.clean(dirty, 'q(x) :- teams(x, "EU").', oracle, seed=0)
+    print(report.summary())
+
+The deeper layers (``repro.core``, ``repro.db``, ``repro.dispatch``,
+``repro.server``, ...) remain importable for research use; this module
+is the surface the docs teach and the snapshot test in
+``tests/test_api_surface.py`` pins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .core.parallel import ParallelQOCO
+from .core.qoco import QOCO, QOCOConfig
+from .core.report import Report
+from .core.ucq import UCQCleaner
+from .db.database import Database
+from .dispatch.engine import dispatch_clean as _dispatch_clean
+from .oracle.base import AccountingOracle, Oracle
+from .query.ast import Query
+from .query.parser import parse_query
+from .query.union import UnionQuery, parse_union
+from .server.manager import SessionManager
+from .server.session import CleaningSession
+
+__all__ = [
+    "clean",
+    "clean_parallel",
+    "clean_union",
+    "dispatch_clean",
+    "open_session",
+    "serve",
+]
+
+
+def _as_query(query: Union[Query, str]) -> Query:
+    return parse_query(query) if isinstance(query, str) else query
+
+
+def _as_union(union: Union[UnionQuery, str]) -> UnionQuery:
+    return parse_union(union) if isinstance(union, str) else union
+
+
+def clean(
+    database: Database,
+    query: Union[Query, str],
+    oracle: Oracle,
+    *,
+    config: Optional[QOCOConfig] = None,
+    **overrides,
+) -> Report:
+    """Clean *database* w.r.t. one conjunctive query (Algorithm 3).
+
+    Equivalent to ``QOCO(database, oracle, config, **overrides).clean(query)``;
+    keyword overrides are :class:`QOCOConfig` fields (``seed=0``,
+    ``max_iterations=5``, ...).
+    """
+    return QOCO(database, oracle, config, **overrides).clean(_as_query(query))
+
+
+def clean_union(
+    database: Database,
+    union: Union[UnionQuery, str],
+    oracle: Oracle,
+    *,
+    config: Optional[QOCOConfig] = None,
+    **overrides,
+) -> Report:
+    """Clean w.r.t. a union of conjunctive queries (the §2 extension)."""
+    return UCQCleaner(database, oracle, config, **overrides).clean(_as_union(union))
+
+
+def clean_parallel(
+    database: Database,
+    query: Union[Query, str],
+    oracle: Oracle,
+    *,
+    config: Optional[QOCOConfig] = None,
+    **overrides,
+) -> Report:
+    """Clean with the round-structured parallel loop (Appendix B)."""
+    return ParallelQOCO(database, oracle, config, **overrides).clean(
+        _as_query(query)
+    )
+
+
+def dispatch_clean(
+    database: Database,
+    query: Union[Query, str],
+    members: Sequence[Oracle],
+    *,
+    oracle: Optional[AccountingOracle] = None,
+    **kwargs,
+):
+    """Clean through the live crowd-dispatch engine (§6.2).
+
+    Returns ``(report, engine)`` — see
+    :func:`repro.dispatch.engine.dispatch_clean` for the full knob set
+    (retry/fault/budget policies, vote width, latency model, ...).
+    """
+    return _dispatch_clean(
+        database, _as_query(query), members, oracle=oracle, **kwargs
+    )
+
+
+def serve(database: Database, **kwargs) -> SessionManager:
+    """A multi-tenant session manager over *database* (``repro.server``).
+
+    Keyword arguments are :class:`~repro.server.manager.SessionManager`
+    options (``mode=``, ``share_answers=``, ``max_concurrent=``, ...).
+    """
+    return SessionManager(database, **kwargs)
+
+
+def open_session(
+    target: Union[Database, SessionManager],
+    query: Union[Query, str],
+    oracle: Oracle,
+    **kwargs,
+) -> CleaningSession:
+    """Queue one cleaning session against *target*.
+
+    *target* may be an existing :class:`SessionManager` (multi-tenant:
+    sessions share its base, board, and commit log) or a bare
+    :class:`Database` (a fresh single-purpose manager is created and
+    attached).  Either way the returned session's ``manager`` attribute
+    drains the queue::
+
+        session = repro.api.open_session(db, query, oracle)
+        session.manager.run_all()
+        print(session.report.summary())
+    """
+    manager = target if isinstance(target, SessionManager) else serve(target)
+    session = manager.open_session(_as_query(query), oracle, **kwargs)
+    session.manager = manager
+    return session

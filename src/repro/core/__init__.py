@@ -17,10 +17,15 @@ from .negation import (
     add_missing_answer_with_negation,
     remove_wrong_answer_with_negation,
 )
-from .parallel import ParallelQOCO, ParallelReport, RoundScheduler
-from .qoco import QOCO, QOCOConfig
-from .session import CleaningReport
-from .ucq import UnionQOCO, add_missing_answer_union, remove_wrong_answer_union
+from .parallel import ParallelQOCO, RoundScheduler
+from .qoco import QOCO, QOCOConfig, resolve_config
+from .report import CleaningReport, ParallelReport, Report, ReportLike
+from .ucq import (
+    UCQCleaner,
+    UnionQOCO,
+    add_missing_answer_union,
+    remove_wrong_answer_union,
+)
 from .split import (
     SPLIT_STRATEGIES,
     MinCutSplit,
@@ -56,9 +61,13 @@ __all__ = [
     "QOCOMinusDeletion",
     "RandomDeletion",
     "RandomSplit",
+    "Report",
+    "ReportLike",
     "SPLIT_STRATEGIES",
     "SplitStrategy",
+    "UCQCleaner",
     "UnionQOCO",
+    "resolve_config",
     "add_missing_answer_union",
     "add_missing_answer_with_negation",
     "remove_wrong_answer_with_negation",

@@ -25,7 +25,8 @@ Tasks are cooperative generators yielding question requests:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Callable, Generator, Optional
 
 from ..db.database import Database
@@ -44,22 +45,12 @@ from .insertion import (
     _insert_witness,
     _near_witness_score,
 )
-from .session import CleaningReport
+from .qoco import QOCOConfig, resolve_config
+from .report import ParallelReport, Report
 from .split import ProvenanceSplit, SplitStrategy
 
 Request = tuple
 Task = Generator[Request, object, list[Edit]]
-
-
-@dataclass
-class ParallelReport(CleaningReport):
-    """A cleaning report extended with the round (latency) accounting.
-
-    ``rounds`` and ``wall_clock`` live on the base report (they are
-    surfaced by every ``summary()``); this subclass adds the width peak.
-    """
-
-    peak_width: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -284,35 +275,63 @@ class RoundScheduler:
 
 
 class ParallelQOCO:
-    """Algorithm 3 with the Appendix-B parallel modifications."""
+    """Algorithm 3 with the Appendix-B parallel modifications.
+
+    Configured by the same :class:`~repro.core.qoco.QOCOConfig` as the
+    sequential loop (third positional argument); the historical
+    per-class keywords (``split_strategy=``, ``insertion_config=``,
+    ``completion_width=``, ...) remain as compat shims that override the
+    corresponding config fields.
+    """
 
     def __init__(
         self,
         database: Database,
         oracle: AccountingOracle,
+        config: Optional[QOCOConfig] = None,
+        *,
         split_strategy: Optional[SplitStrategy] = None,
         insertion_config: Optional[InsertionConfig] = None,
-        completion_width: int = 4,
-        max_iterations: int = 10,
+        completion_width: Optional[int] = None,
+        max_iterations: Optional[int] = None,
         seed: Optional[int] = None,
-        use_incremental: bool = True,
+        use_incremental: Optional[bool] = None,
         scheduler_factory: Optional[
             Callable[[AccountingOracle], RoundScheduler]
         ] = None,
     ) -> None:
+        if config is not None and not isinstance(config, QOCOConfig):
+            # the third positional argument used to be split_strategy
+            warnings.warn(
+                "passing split_strategy positionally to ParallelQOCO is "
+                "deprecated; pass a QOCOConfig or split_strategy=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            split_strategy, config = config, None
         self.database = database
         self.oracle = (
             oracle if isinstance(oracle, AccountingOracle) else AccountingOracle(oracle)
         )
-        self.split_strategy = split_strategy or ProvenanceSplit()
-        self.insertion_config = insertion_config or InsertionConfig()
-        self.completion_width = completion_width
-        self.max_iterations = max_iterations
-        self.rng = random.Random(seed)
-        self.use_incremental = use_incremental
+        self.config = resolve_config(
+            config,
+            split_strategy=split_strategy,
+            insertion=insertion_config,
+            completion_width=completion_width,
+            max_iterations=max_iterations,
+            seed=seed,
+            use_incremental=use_incremental,
+            scheduler_factory=scheduler_factory,
+        )
+        self.split_strategy = self.config.split_strategy
+        self.insertion_config = self.config.insertion
+        self.completion_width = self.config.completion_width
+        self.max_iterations = self.config.max_iterations
+        self.rng = random.Random(self.config.seed)
+        self.use_incremental = self.config.use_incremental
         #: builds the round scheduler for one clean() — the seam where
         #: repro.dispatch plugs in its live engine (workers/faults/budgets)
-        self.scheduler_factory = scheduler_factory or RoundScheduler
+        self.scheduler_factory = self.config.scheduler_factory or RoundScheduler
         self._engine: Optional[IncrementalAnswers] = None
 
     def clean(self, query: Query) -> ParallelReport:

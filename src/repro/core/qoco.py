@@ -11,9 +11,10 @@ every edit moves ``D`` toward ``D_G``, so the loop converges.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from ..db.database import Database
 from ..oracle.base import AccountingOracle, Oracle
@@ -30,7 +31,14 @@ from .split import ProvenanceSplit, SplitStrategy
 
 @dataclass
 class QOCOConfig:
-    """Configuration of the main loop."""
+    """Configuration shared by every cleaning loop.
+
+    One config type drives :class:`QOCO`,
+    :class:`~repro.core.parallel.ParallelQOCO`, and
+    :class:`~repro.core.ucq.UCQCleaner`; fields a given loop has no use
+    for (e.g. ``completion_width`` on the sequential loop) are simply
+    ignored by it.
+    """
 
     #: Strategy for Algorithm 1 (deletion).
     deletion_strategy: DeletionStrategy = field(default_factory=QOCODeletion)
@@ -55,19 +63,68 @@ class QOCOConfig:
     use_incremental: bool = True
     #: Random seed for the strategies' tie-breaking.
     seed: Optional[int] = None
+    #: COMPL(Q(D)) questions posted together per parallel wave
+    #: (ParallelQOCO only; the sequential loops ignore it).
+    completion_width: int = 4
+    #: Builds the round scheduler for one parallel clean() — the seam
+    #: where ``repro.dispatch`` plugs in its live engine.  ``None``
+    #: selects the synchronous ``RoundScheduler``.  ParallelQOCO only.
+    scheduler_factory: Optional[Callable[..., Any]] = None
+
+
+def resolve_config(config: Optional[QOCOConfig], **overrides: Any) -> QOCOConfig:
+    """Merge per-call keyword overrides into *config*.
+
+    The keyword-compat seam behind the unified constructor signatures:
+    legacy per-class kwargs (``max_iterations=...``, ``seed=...``,
+    ``split_strategy=...``, ...) become targeted field replacements on
+    the shared :class:`QOCOConfig`.  ``None`` overrides are ignored, so
+    plain ``Cleaner(db, oracle, config)`` passes through untouched.
+    """
+    resolved = config if config is not None else QOCOConfig()
+    actual = {name: value for name, value in overrides.items() if value is not None}
+    if not actual:
+        return resolved
+    return dataclasses.replace(resolved, **actual)
 
 
 class QOCO:
-    """The QOCO cleaning system over one database and one oracle."""
+    """The QOCO cleaning system over one database and one oracle.
+
+    Configure with a shared :class:`QOCOConfig` (third positional
+    argument) or with per-field keyword overrides — ``QOCO(db, oracle,
+    seed=7)`` is shorthand for ``QOCO(db, oracle, QOCOConfig(seed=7))``.
+    """
 
     def __init__(
         self,
         database: Database,
         oracle: Oracle,
         config: Optional[QOCOConfig] = None,
+        *,
+        deletion_strategy: Optional[DeletionStrategy] = None,
+        split_strategy: Optional[SplitStrategy] = None,
+        estimator_factory: Optional[Callable[[], CompletionEstimator]] = None,
+        insertion: Optional[InsertionConfig] = None,
+        max_iterations: Optional[int] = None,
+        max_completions_per_phase: Optional[int] = None,
+        minimize_query: Optional[bool] = None,
+        use_incremental: Optional[bool] = None,
+        seed: Optional[int] = None,
     ) -> None:
         self.database = database
-        self.config = config if config is not None else QOCOConfig()
+        self.config = resolve_config(
+            config,
+            deletion_strategy=deletion_strategy,
+            split_strategy=split_strategy,
+            estimator_factory=estimator_factory,
+            insertion=insertion,
+            max_iterations=max_iterations,
+            max_completions_per_phase=max_completions_per_phase,
+            minimize_query=minimize_query,
+            use_incremental=use_incremental,
+            seed=seed,
+        )
         self.oracle = (
             oracle
             if isinstance(oracle, AccountingOracle)

@@ -1,55 +1,12 @@
-"""Cleaning reports and measurement helpers shared by the experiments."""
+"""Cleaning reports and measurement helpers shared by the experiments.
+
+The report type now lives in :mod:`repro.core.report` as the unified
+:class:`~repro.core.report.Report`; this module keeps the historical
+``CleaningReport`` import path as a thin alias.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from .report import CleaningReport, Report, ReportLike
 
-from ..db.edits import Edit, EditKind
-from ..oracle.questions import InteractionLog
-from ..query.evaluator import Answer
-
-
-@dataclass
-class CleaningReport:
-    """The outcome of one cleaning run (one query)."""
-
-    query_name: str
-    edits: list[Edit] = field(default_factory=list)
-    iterations: int = 0
-    wrong_answers_removed: list[Answer] = field(default_factory=list)
-    missing_answers_added: list[Answer] = field(default_factory=list)
-    converged: bool = True
-    log: InteractionLog = field(default_factory=InteractionLog)
-    #: crowd rounds posted (each round costs one crowd latency); 0 for
-    #: the strictly sequential algorithms, which have no round structure
-    rounds: int = 0
-    #: simulated wall-clock seconds of a dispatched run (repro.dispatch);
-    #: 0.0 when questions were answered synchronously
-    wall_clock: float = 0.0
-
-    @property
-    def deletions(self) -> list[Edit]:
-        return [e for e in self.edits if e.kind is EditKind.DELETE]
-
-    @property
-    def insertions(self) -> list[Edit]:
-        return [e for e in self.edits if e.kind is EditKind.INSERT]
-
-    @property
-    def total_cost(self) -> int:
-        return self.log.total_cost
-
-    def summary(self) -> str:
-        text = (
-            f"{self.query_name}: {len(self.wrong_answers_removed)} wrong removed, "
-            f"{len(self.missing_answers_added)} missing added, "
-            f"{len(self.deletions)}-/{len(self.insertions)}+ edits, "
-            f"{self.log.total_cost} question units in {self.iterations} iteration(s)"
-        )
-        if self.rounds:
-            text += f", {self.rounds} round(s)"
-        if self.wall_clock:
-            text += f", {self.wall_clock:.0f}s simulated wall-clock"
-        if not self.converged:
-            text += " [did not converge]"
-        return text
+__all__ = ["CleaningReport", "Report", "ReportLike"]

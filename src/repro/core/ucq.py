@@ -19,12 +19,12 @@ The CQ algorithms lift to UCQs almost verbatim:
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Optional
 
 from ..db.database import Database
 from ..db.edits import Edit
 from ..oracle.base import AccountingOracle
-from ..oracle.enumeration import ExactCompletion
 from ..query.ast import Query
 from ..query.evaluator import Answer, Evaluator, answer_to_partial
 from ..query.subquery import embed_answer
@@ -32,12 +32,12 @@ from ..query.union import UnionQuery
 from .deletion import (
     DeletionError,
     DeletionStrategy,
-    QOCODeletion,
     crowd_remove_wrong_answer,
 )
 from .insertion import InsertionConfig, InsertionError, crowd_add_missing_answer
-from .session import CleaningReport
-from .split import ProvenanceSplit, SplitStrategy
+from .qoco import QOCOConfig, resolve_config
+from .report import CleaningReport
+from .split import SplitStrategy
 
 
 def remove_wrong_answer_union(
@@ -130,28 +130,52 @@ def _rank_disjuncts(
     return [d for score, _, d in sorted(ranked, key=lambda r: (-r[0], r[1])) if score >= 0]
 
 
-class UnionQOCO:
-    """Algorithm 3 over a union of conjunctive queries."""
+class UCQCleaner:
+    """Algorithm 3 over a union of conjunctive queries.
+
+    Takes the same :class:`~repro.core.qoco.QOCOConfig` as the CQ loops
+    (third positional argument); the historical per-class keywords stay
+    as compat shims that override the corresponding config fields.
+    """
 
     def __init__(
         self,
         database: Database,
         oracle: AccountingOracle,
+        config: Optional[QOCOConfig] = None,
+        *,
         deletion_strategy: Optional[DeletionStrategy] = None,
         split_strategy: Optional[SplitStrategy] = None,
-        estimator_factory=ExactCompletion,
-        max_iterations: int = 10,
+        estimator_factory=None,
+        max_iterations: Optional[int] = None,
         seed: Optional[int] = None,
     ) -> None:
+        if config is not None and not isinstance(config, QOCOConfig):
+            # the third positional argument used to be deletion_strategy
+            warnings.warn(
+                "passing deletion_strategy positionally to the UCQ cleaner "
+                "is deprecated; pass a QOCOConfig or deletion_strategy=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            deletion_strategy, config = config, None
         self.database = database
         self.oracle = (
             oracle if isinstance(oracle, AccountingOracle) else AccountingOracle(oracle)
         )
-        self.deletion_strategy = deletion_strategy or QOCODeletion()
-        self.split_strategy = split_strategy or ProvenanceSplit()
-        self.estimator_factory = estimator_factory
-        self.max_iterations = max_iterations
-        self.rng = random.Random(seed)
+        self.config = resolve_config(
+            config,
+            deletion_strategy=deletion_strategy,
+            split_strategy=split_strategy,
+            estimator_factory=estimator_factory,
+            max_iterations=max_iterations,
+            seed=seed,
+        )
+        self.deletion_strategy = self.config.deletion_strategy
+        self.split_strategy = self.config.split_strategy
+        self.estimator_factory = self.config.estimator_factory
+        self.max_iterations = self.config.max_iterations
+        self.rng = random.Random(self.config.seed)
 
     def clean(self, union: UnionQuery) -> CleaningReport:
         report = CleaningReport(query_name=union.name, log=self.oracle.log)
@@ -196,7 +220,10 @@ class UnionQOCO:
     ) -> None:
         estimator = self.estimator_factory()
         probes = 0
-        while not estimator.is_complete() and probes < 100:
+        while (
+            not estimator.is_complete()
+            and probes < self.config.max_completions_per_phase
+        ):
             current = union.answers(self.database)
             missing = self._complete_union_result(union, current)
             probes += 1
@@ -238,3 +265,16 @@ class UnionQOCO:
             if missing is not None:
                 return missing
         return None
+
+
+class UnionQOCO(UCQCleaner):
+    """Deprecated name for :class:`UCQCleaner`."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "UnionQOCO has been renamed to UCQCleaner; the old name will "
+            "be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

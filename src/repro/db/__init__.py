@@ -3,6 +3,7 @@
 from .constraints import ConstraintSet, ForeignKey, Key
 from .database import ANY, Database
 from .edits import Edit, EditKind, apply_edits, delete, insert
+from .fork import DatabaseFork, ForkError
 from .io import load_csv, load_json, save_csv, save_json
 from .schema import RelationSchema, Schema, SchemaError
 from .tuples import Constant, Fact, fact, facts
@@ -12,9 +13,11 @@ __all__ = [
     "Constant",
     "ConstraintSet",
     "Database",
+    "DatabaseFork",
     "Edit",
     "EditKind",
     "Fact",
+    "ForkError",
     "ForeignKey",
     "Key",
     "RelationSchema",

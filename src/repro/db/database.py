@@ -23,6 +23,32 @@ ANY = None
 Pattern = Sequence[Optional[Constant]]
 
 
+def match_indexed(
+    facts: Iterable[Fact],
+    index: Sequence[dict[Constant, set[Fact]]],
+    bound: Sequence[tuple[int, Constant]],
+) -> Iterator[Fact]:
+    """Facts matching the bound positions, via the per-position index.
+
+    The shared core of :meth:`Database.match` and the overlay matching of
+    :class:`~repro.db.fork.DatabaseFork`: pick the smallest candidate
+    bucket among the bound positions and verify the rest.
+    """
+    if not bound:
+        yield from facts
+        return
+    buckets = []
+    for position, value in bound:
+        bucket = index[position].get(value)
+        if bucket is None:
+            return
+        buckets.append(bucket)
+    smallest = min(buckets, key=len)
+    for f in smallest:
+        if all(f.values[i] == v for i, v in bound):
+            yield f
+
+
 class DatabaseListener:
     """Protocol for observers of a :class:`Database`'s edits.
 
@@ -66,6 +92,10 @@ class Database:
         self._version = 0
         self._relation_versions: dict[str, int] = {name: 0 for name in schema.names}
         self._listeners: list[DatabaseListener] = []
+        # Relations whose fact set / index objects are referenced by a
+        # live fork snapshot: they must be replaced (copy-on-write), not
+        # mutated in place, before the next effective edit.
+        self._cow: set[str] = set()
         for f in facts:
             self.insert(f)
 
@@ -122,11 +152,11 @@ class Database:
     def insert(self, f: Fact) -> bool:
         """Insert a fact; return ``True`` if the database changed."""
         self._validate(f)
-        relation = self._relations[f.relation]
-        if f in relation:
+        if f in self._relations[f.relation]:
             return False
+        self._materialize(f.relation)
         edit = self._notify_before(EditKind.INSERT, f)
-        relation.add(f)
+        self._relations[f.relation].add(f)
         for position, value in enumerate(f.values):
             self._index[f.relation][position][value].add(f)
         self._bump(f.relation)
@@ -136,11 +166,11 @@ class Database:
     def delete(self, f: Fact) -> bool:
         """Delete a fact; return ``True`` if the database changed."""
         self._validate(f)
-        relation = self._relations[f.relation]
-        if f not in relation:
+        if f not in self._relations[f.relation]:
             return False
+        self._materialize(f.relation)
         edit = self._notify_before(EditKind.DELETE, f)
-        relation.discard(f)
+        self._relations[f.relation].discard(f)
         for position, value in enumerate(f.values):
             bucket = self._index[f.relation][position][value]
             bucket.discard(f)
@@ -176,20 +206,9 @@ class Database:
                 f"pattern arity {len(pattern)} != arity of {relation!r}"
             )
         bound = [(i, v) for i, v in enumerate(pattern) if v is not ANY]
-        if not bound:
-            yield from self._relations[relation]
-            return
-        # Smallest candidate bucket first.
-        buckets = []
-        for position, value in bound:
-            bucket = self._index[relation][position].get(value)
-            if bucket is None:
-                return
-            buckets.append(bucket)
-        smallest = min(buckets, key=len)
-        for f in smallest:
-            if all(f.values[i] == v for i, v in bound):
-                yield f
+        yield from match_indexed(
+            self._relations[relation], self._index[relation], bound
+        )
 
     def count_matches(self, relation: str, pattern: Pattern) -> int:
         return sum(1 for _ in self.match(relation, pattern))
@@ -242,7 +261,28 @@ class Database:
         return len(self.symmetric_difference(other))
 
     def copy(self) -> "Database":
+        """A fully independent deep copy — O(|D|) facts and index work.
+
+        For a cheap snapshot that shares structure with this instance,
+        see :meth:`fork`.
+        """
         return Database(self.schema, self)
+
+    def fork(self) -> "Database":
+        """A copy-on-write snapshot of this instance.
+
+        The returned :class:`~repro.db.fork.DatabaseFork` sees exactly
+        the facts of ``self`` at fork time and takes edits of its own
+        without touching the base: fork creation is O(#relations), fork
+        edits land in O(pending edits) overlay structures, and an edit
+        to the *base* copies only the touched relation's set/index first
+        (so every live fork keeps its snapshot).  Forks record their
+        effective edits in an edit log for later commit/merge — the
+        substrate of :mod:`repro.server`'s concurrent sessions.
+        """
+        from .fork import DatabaseFork
+
+        return DatabaseFork(self)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Database):
@@ -259,6 +299,32 @@ class Database:
     def _bump(self, relation: str) -> None:
         self._version += 1
         self._relation_versions[relation] += 1
+
+    def _snapshot_structures(
+        self,
+    ) -> tuple[dict[str, set[Fact]], dict[str, list[dict[Constant, set[Fact]]]]]:
+        """Hand the current fact sets and indexes to a new fork.
+
+        Marks every relation copy-on-write, so the next base edit to a
+        relation replaces (rather than mutates) the structures the fork
+        now references.
+        """
+        self._cow.update(self._relations)
+        return dict(self._relations), dict(self._index)
+
+    def _materialize(self, relation: str) -> None:
+        """Un-share *relation*'s structures before an in-place mutation."""
+        if relation not in self._cow:
+            return
+        self._cow.discard(relation)
+        self._relations[relation] = set(self._relations[relation])
+        fresh: list[dict[Constant, set[Fact]]] = []
+        for position_index in self._index[relation]:
+            copied: dict[Constant, set[Fact]] = defaultdict(set)
+            for value, bucket in position_index.items():
+                copied[value] = set(bucket)
+            fresh.append(copied)
+        self._index[relation] = fresh
 
     def _notify_before(self, kind: EditKind, f: Fact) -> Optional[Edit]:
         if not self._listeners:

@@ -10,7 +10,7 @@ questions, and deadline/cost budgets with graceful degradation.  See
 ``docs/dispatch.md``.
 """
 
-from .dedup import DedupIndex, question_key
+from .dedup import AnswerBoard, DedupIndex, question_key
 from .engine import (
     DispatchEngine,
     DispatchRoundScheduler,
@@ -21,6 +21,7 @@ from .policy import Budget, FaultKind, FaultModel, RetryPolicy
 from .workers import Worker, WorkerPool, perfect_pool
 
 __all__ = [
+    "AnswerBoard",
     "Budget",
     "DedupIndex",
     "DispatchEngine",

@@ -20,7 +20,8 @@ the paper's protocol treats each as a fresh task.
 
 from __future__ import annotations
 
-from typing import Hashable, Optional
+import threading
+from typing import Any, Hashable, Optional
 
 from ..oracle.questions import QuestionKind
 
@@ -72,4 +73,51 @@ class DedupIndex:
         self._inflight.clear()
 
 
-__all__ = ["DedupIndex", "question_key", "QuestionKind"]
+class AnswerBoard:
+    """Completed closed answers shared *across* cleaning sessions.
+
+    The :class:`DedupIndex` coalesces duplicates inside one round of one
+    session; the board extends the same structural identity across
+    sessions running concurrently against a shared crowd.  Tenants whose
+    views overlap ask many of the same closed questions — once any
+    session has a final value for a key, every other session reads it
+    for free instead of paying a fresh vote sample.
+
+    Only *final* values are published (a closed question's majority
+    verdict, never an in-flight vote), so reads need no blocking: a miss
+    simply means "ask the crowd yourself".  The board is keyed by
+    :func:`question_key`, the same value-based identity the accounting
+    cache uses, and is safe to share between session threads.
+    """
+
+    def __init__(self) -> None:
+        self._answers: dict[Hashable, Any] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.publishes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._answers)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The published value for *key*, or ``None`` (also counts the hit)."""
+        if key is None:
+            return None
+        with self._lock:
+            value = self._answers.get(key)
+            if value is not None:
+                self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Publish a final value for *key* (first writer wins)."""
+        if key is None or value is None:
+            return
+        with self._lock:
+            if key not in self._answers:
+                self._answers[key] = value
+                self.publishes += 1
+
+
+__all__ = ["AnswerBoard", "DedupIndex", "question_key", "QuestionKind"]

@@ -51,7 +51,7 @@ from ..oracle.base import (
 )
 from ..oracle.questions import QuestionKind
 from ..telemetry import TELEMETRY as _TELEMETRY
-from .dedup import question_key
+from .dedup import AnswerBoard, question_key
 from .policy import Budget, FaultKind, FaultModel, RetryPolicy
 from .workers import Worker, WorkerPool
 
@@ -63,6 +63,7 @@ class DispatchStats:
     questions: int = 0            # questions actually routed to workers
     cache_hits: int = 0           # answered free from the accounting cache
     dedup_coalesced: int = 0      # duplicates folded into a shared vote
+    shared_hits: int = 0          # answered free from a cross-session board
     member_answers: int = 0       # answers collected from workers (incl. discarded)
     discarded_answers: int = 0    # arrived past the timeout, thrown away
     late_answers: int = 0         # assignments that drew the LATE fault
@@ -120,10 +121,13 @@ class DispatchEngine:
         latency: Optional[LatencySampler] = None,
         rng: Optional[random.Random] = None,
         dedup: bool = True,
+        shared: Optional[AnswerBoard] = None,
     ) -> None:
         if votes_per_closed < 1:
             raise ValueError("need at least one vote per closed question")
         self.pool = pool
+        #: cross-session answer board (repro.server); None = solo session
+        self.shared = shared
         self.retry = retry if retry is not None else RetryPolicy()
         self.faults = faults if faults is not None else FaultModel()
         if self.faults.lossy and self.retry.timeout is None:
@@ -226,6 +230,17 @@ class DispatchEngine:
             self.stats.dedup_coalesced += 1
             self._count("dispatch.dedup_coalesced")
             return inflight[key]
+        if key is not None and self.shared is not None:
+            published = self.shared.get(key)
+            if published is not None:
+                # another session already paid for this closed question;
+                # adopt its final verdict and remember it locally so the
+                # accounting cache serves repeats
+                self.stats.shared_hits += 1
+                self._count("dispatch.shared_hits")
+                commits.append((spec, published))
+                inflight[key] = published
+                return published
         if self.budget is not None and (
             self.budget.cost_exhausted()
             or self.budget.time_exhausted(deadline_ref)
@@ -240,6 +255,8 @@ class DispatchEngine:
             commits.append((spec, value))
             if key is not None:
                 inflight[key] = value
+                if self.shared is not None:
+                    self.shared.put(key, value)
         return value
 
     def _dispatch(self, spec: _Spec) -> tuple[Any, bool]:
@@ -444,6 +461,7 @@ def dispatch_clean(
     latency: Optional[LatencySampler] = None,
     rng: Optional[random.Random] = None,
     dedup: bool = True,
+    shared: Optional[AnswerBoard] = None,
     inbox_capacity: Optional[int] = None,
     **parallel_kwargs,
 ):
@@ -465,6 +483,7 @@ def dispatch_clean(
         latency=latency,
         rng=rng,
         dedup=dedup,
+        shared=shared,
     )
     accounting = oracle if oracle is not None else AccountingOracle(members[0])
     qoco = ParallelQOCO(

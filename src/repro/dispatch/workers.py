@@ -23,6 +23,7 @@ On top of the replay model the pool adds what a live system needs:
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -72,13 +73,18 @@ class WorkerPool:
             (0.0, w.worker_id) for w in self.workers
         ]
         heapq.heapify(self._heap)
+        #: serializes heap access when the pool is shared by concurrent
+        #: sessions (repro.server); reentrant so acquire's spill path
+        #: stays simple
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self.workers)
 
     @property
     def alive_count(self) -> int:
-        return sum(1 for w in self.workers if w.alive)
+        with self._lock:
+            return sum(1 for w in self.workers if w.alive)
 
     # ------------------------------------------------------------------
     def acquire(
@@ -92,6 +98,12 @@ class WorkerPool:
         somewhere); capacity-forced skips are counted so saturation is
         observable.
         """
+        with self._lock:
+            return self._acquire_locked(at, exclude)
+
+    def _acquire_locked(
+        self, at: float, exclude: frozenset[int]
+    ) -> Optional[Worker]:
         skipped: list[tuple[float, int]] = []
         chosen: Optional[Worker] = None
         while self._heap:
@@ -122,11 +134,13 @@ class WorkerPool:
 
     def commit(self, worker: Worker, free_at: float) -> None:
         """Requeue *worker* with its new availability."""
-        heapq.heappush(self._heap, (free_at, worker.worker_id))
+        with self._lock:
+            heapq.heappush(self._heap, (free_at, worker.worker_id))
 
     def drop(self, worker: Worker) -> None:
         """Permanently remove *worker* (dropout fault)."""
-        worker.alive = False
+        with self._lock:
+            worker.alive = False
 
 
 def perfect_pool(ground_truth, n_workers: int, **kwargs) -> WorkerPool:

@@ -1,0 +1,26 @@
+"""Multi-tenant cleaning service: concurrent sessions, one database.
+
+The paper cleans one query for one curator; a deployment serves many
+tenants against one shared database.  This package runs N concurrent
+cleaning sessions, each on a copy-on-write fork of the base
+(:meth:`repro.db.Database.fork`), with an optimistic
+first-committer-wins commit protocol, conflict replay, per-tenant
+cost/deadline budgets, and cross-session sharing of closed crowd
+answers.  See ``docs/server.md``.
+"""
+
+from .manager import ServerReport, SessionManager
+from .policy import TenantLedger, TenantPolicy
+from .session import CleaningSession, SessionState
+from .sharing import AnswerBoard, SharedOracle
+
+__all__ = [
+    "AnswerBoard",
+    "CleaningSession",
+    "ServerReport",
+    "SessionManager",
+    "SessionState",
+    "SharedOracle",
+    "TenantLedger",
+    "TenantPolicy",
+]

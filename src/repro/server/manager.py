@@ -1,0 +1,309 @@
+"""The session manager: N concurrent cleaning sessions, one database.
+
+The multi-tenant service the §7 deployment implies: tenants submit
+cleaning requests against one shared database; each admitted session
+runs an unmodified cleaning loop on a private copy-on-write fork
+(:meth:`repro.db.Database.fork`) and commits its edit log back through
+an optimistic first-committer-wins protocol:
+
+1. **fork** — taken under the commit lock, O(pending edits);
+2. **run** — entirely lock-free: the fork's snapshot is immune to
+   concurrent commits (the base copies a shared relation before its
+   own first write to it);
+3. **commit** — under the lock, the session's touched-fact set is
+   intersected with every commit that landed after its fork point.
+   Disjoint → the edit log is applied and the commit is recorded.
+   Overlapping → the session lost the race: it *replays* on a fresh
+   fork of the advanced base (bounded by ``max_replays``).  With a
+   reliable oracle replay converges — the ground truth did not move,
+   so the replayed session re-derives a compatible edit log (mostly
+   from cache and the cross-session answer board, i.e. cheaply).
+
+Cross-session question sharing is on by default: every session answers
+closed questions from one :class:`~repro.dispatch.dedup.AnswerBoard`
+before paying its oracle, so tenants with overlapping views share the
+crowd's work (``server.shared_hits``).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..core.qoco import QOCOConfig
+from ..db.database import Database
+from ..db.edits import EditKind
+from ..db.fork import DatabaseFork
+from ..db.tuples import Fact
+from ..oracle.base import Oracle
+from ..query.ast import Query
+from ..telemetry import TELEMETRY as _TELEMETRY
+from .policy import TenantLedger, TenantPolicy
+from .session import CleaningSession, SessionState
+from .sharing import AnswerBoard
+
+
+@dataclass(frozen=True)
+class _CommitRecord:
+    """One landed commit: who touched what, at which base version."""
+
+    version: int            # base version after the edit log applied
+    touched: frozenset      # facts the committed session inserted/deleted
+    session_id: int
+    tenant: str
+
+
+@dataclass
+class ServerReport:
+    """The outcome of one :meth:`SessionManager.run_all` drain."""
+
+    sessions: list = field(default_factory=list)
+
+    def _count(self, state: SessionState) -> int:
+        return sum(1 for s in self.sessions if s.state is state)
+
+    @property
+    def committed(self) -> int:
+        return self._count(SessionState.COMMITTED)
+
+    @property
+    def denied(self) -> int:
+        return self._count(SessionState.DENIED)
+
+    @property
+    def failed(self) -> int:
+        return self._count(SessionState.FAILED)
+
+    @property
+    def replays(self) -> int:
+        return sum(s.replays for s in self.sessions)
+
+    @property
+    def shared_hits(self) -> int:
+        return sum(s.shared_hits for s in self.sessions)
+
+    @property
+    def total_cost(self) -> int:
+        return sum(s.total_cost for s in self.sessions)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.sessions)} session(s): {self.committed} committed, "
+            f"{self.denied} denied, {self.failed} failed; "
+            f"{self.replays} replay(s), {self.shared_hits} shared hit(s), "
+            f"{self.total_cost} question units"
+        )
+
+
+class SessionManager:
+    """Admits, schedules, and commits concurrent cleaning sessions.
+
+    Parameters
+    ----------
+    database:
+        The shared base.  Must not itself be a fork.
+    mode:
+        Default execution mode for sessions — ``"sync"`` (direct oracle
+        calls) or ``"dispatch"`` (live engine over a worker pool).
+    config:
+        Default :class:`~repro.core.qoco.QOCOConfig` for sessions that
+        do not bring their own.
+    share_answers:
+        Give every session one cross-session
+        :class:`~repro.dispatch.dedup.AnswerBoard` (pass an existing
+        board to share beyond this manager, ``False`` to isolate).
+    pool:
+        Shared :class:`~repro.dispatch.WorkerPool` for dispatch-mode
+        sessions (each may also bring its own via ``open_session``).
+    max_concurrent:
+        Run-slot cap; ``None`` runs every admitted session at once.
+    max_replays:
+        Conflict replays per session before it is marked ``FAILED``.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        mode: str = "sync",
+        config: Optional[QOCOConfig] = None,
+        share_answers: Union[bool, AnswerBoard] = True,
+        pool=None,
+        max_concurrent: Optional[int] = None,
+        max_replays: int = 3,
+    ) -> None:
+        if isinstance(database, DatabaseFork):
+            raise ValueError("the shared base must not itself be a fork")
+        if max_concurrent is not None and max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1 (or None)")
+        if max_replays < 0:
+            raise ValueError("max_replays must be >= 0")
+        self.database = database
+        self.mode = mode
+        self.config = config
+        if isinstance(share_answers, AnswerBoard):
+            self.board: Optional[AnswerBoard] = share_answers
+        else:
+            self.board = AnswerBoard() if share_answers else None
+        self.pool = pool
+        self.max_concurrent = max_concurrent
+        self.max_replays = max_replays
+        self.ledger = TenantLedger()
+        self.commit_log: list[_CommitRecord] = []
+        self._sessions: list[CleaningSession] = []
+        self._queue: list[CleaningSession] = []
+        self._commit_lock = threading.Lock()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        query: Query,
+        oracle: Oracle,
+        *,
+        tenant: str = "default",
+        policy: Optional[TenantPolicy] = None,
+        config: Optional[QOCOConfig] = None,
+        mode: Optional[str] = None,
+        pool=None,
+        votes_per_closed: int = 1,
+    ) -> CleaningSession:
+        """Queue one cleaning request; returns the (not yet run) session.
+
+        *oracle* is the tenant's crowd backend — a raw
+        :class:`~repro.oracle.base.Oracle`; the manager wraps it with
+        accounting (and the shared board) per run attempt.
+        """
+        session = CleaningSession(
+            self._next_id,
+            query,
+            oracle,
+            tenant=tenant,
+            policy=policy,
+            config=config if config is not None else self.config,
+            mode=mode if mode is not None else self.mode,
+            board=self.board,
+            pool=pool if pool is not None else self.pool,
+            votes_per_closed=votes_per_closed,
+            submitted_at=self._next_id,
+        )
+        self._next_id += 1
+        self._sessions.append(session)
+        self._queue.append(session)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("server.sessions_opened")
+        return session
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+    def run_all(self) -> ServerReport:
+        """Run every queued session to a terminal state; returns a report.
+
+        Admission order is (priority desc, submission order); the actual
+        interleaving under ``max_concurrent > 1`` is up to the scheduler,
+        which is exactly what the commit protocol makes safe.
+        """
+        queued = sorted(
+            self._queue,
+            key=lambda s: (-s.policy.priority, s.submitted_at),
+        )
+        self._queue = []
+        if not queued:
+            return ServerReport(sessions=list(self._sessions))
+        workers = (
+            self.max_concurrent
+            if self.max_concurrent is not None
+            else len(queued)
+        )
+        with _TELEMETRY.span("server.run_all", sessions=len(queued)):
+            if workers == 1:
+                for session in queued:
+                    self._drive(session)
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as executor:
+                    list(executor.map(self._drive, queued))
+        return ServerReport(sessions=list(self._sessions))
+
+    # ------------------------------------------------------------------
+    # one session, fork → run → commit (→ replay)
+    # ------------------------------------------------------------------
+    def _drive(self, session: CleaningSession) -> None:
+        if self.ledger.over_budget(session.tenant, session.policy):
+            session.state = SessionState.DENIED
+            if _TELEMETRY.enabled:
+                _TELEMETRY.count("server.sessions_denied")
+            return
+        try:
+            while True:
+                with self._commit_lock:
+                    fork = self.database.fork()
+                session.run(fork)
+                if self._try_commit(session, fork):
+                    session.state = SessionState.COMMITTED
+                    break
+                session.replays += 1
+                if _TELEMETRY.enabled:
+                    _TELEMETRY.count("server.conflicts")
+                    _TELEMETRY.count("server.replays")
+                if session.replays > self.max_replays:
+                    session.state = SessionState.FAILED
+                    break
+        except Exception as error:  # the run itself blew up
+            session.error = error
+            session.state = SessionState.FAILED
+            if _TELEMETRY.enabled:
+                _TELEMETRY.count("server.session_errors")
+        finally:
+            spent = session.total_cost
+            if spent:
+                self.ledger.charge(session.tenant, spent)
+                if _TELEMETRY.enabled:
+                    _TELEMETRY.observe("server.session_cost", spent)
+
+    def _try_commit(self, session: CleaningSession, fork: DatabaseFork) -> bool:
+        """First-committer-wins: apply the fork's edit log or report a
+        conflict (True = committed)."""
+        touched = fork.touched_facts()
+        with self._commit_lock:
+            if self._conflicts(fork.forked_at_version, touched):
+                return False
+            applied = 0
+            for edit in fork.pending_edits:
+                if edit.kind is EditKind.INSERT:
+                    applied += self.database.insert(edit.fact)
+                else:
+                    applied += self.database.delete(edit.fact)
+            self.commit_log.append(
+                _CommitRecord(
+                    version=self.database.version,
+                    touched=touched,
+                    session_id=session.session_id,
+                    tenant=session.tenant,
+                )
+            )
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("server.commits")
+            _TELEMETRY.observe("server.commit_edits", applied)
+        return True
+
+    def _conflicts(self, forked_at: int, touched: frozenset[Fact]) -> bool:
+        """Did any commit after *forked_at* touch a fact we touched?
+
+        An empty edit log never conflicts (a read-only session commits
+        trivially), and commits at or before the fork point are already
+        part of the fork's snapshot.
+        """
+        if not touched:
+            return False
+        for record in self.commit_log:
+            if record.version > forked_at and record.touched & touched:
+                return True
+        return False
+
+
+__all__ = ["ServerReport", "SessionManager", "TenantPolicy"]

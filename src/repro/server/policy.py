@@ -1,0 +1,61 @@
+"""Per-tenant admission policies for the multi-tenant cleaning service.
+
+A tenant is whoever owns a cleaning session — the §7 experiments map one
+tenant per workload.  The manager admits sessions through a priority
+queue and holds each tenant to a :class:`TenantPolicy`:
+
+* ``cost_budget`` — cumulative §7 question units the tenant may spend
+  across all of its sessions.  A session whose tenant is already over
+  budget is *denied* at admission (it never forks, never asks); a
+  session admitted under budget runs to completion — budgets bound
+  admission, they never truncate a run half-way (dispatch-mode sessions
+  additionally degrade gracefully via :class:`repro.dispatch.Budget`).
+* ``deadline`` — simulated wall-clock bound handed to dispatch-mode
+  sessions as their engine :class:`~repro.dispatch.policy.Budget`;
+  synchronous sessions have no clock and ignore it.
+* ``priority`` — admission order among queued sessions (higher first;
+  ties run in submission order, so a run is reproducible).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Budget and scheduling knobs for one tenant's sessions."""
+
+    #: cumulative question-unit allowance across the tenant's sessions
+    #: (``None`` = unmetered)
+    cost_budget: Optional[int] = None
+    #: simulated-seconds deadline per dispatched session (``None`` = none)
+    deadline: Optional[float] = None
+    #: admission priority (higher admits first)
+    priority: int = 0
+
+
+class TenantLedger:
+    """Thread-safe per-tenant spend tracking for admission decisions."""
+
+    def __init__(self) -> None:
+        self._spent: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def spent(self, tenant: str) -> int:
+        with self._lock:
+            return self._spent.get(tenant, 0)
+
+    def charge(self, tenant: str, cost: int) -> None:
+        with self._lock:
+            self._spent[tenant] = self._spent.get(tenant, 0) + cost
+
+    def over_budget(self, tenant: str, policy: TenantPolicy) -> bool:
+        if policy.cost_budget is None:
+            return False
+        return self.spent(tenant) >= policy.cost_budget
+
+
+__all__ = ["TenantLedger", "TenantPolicy"]

@@ -1,0 +1,178 @@
+"""One tenant's cleaning session over a copy-on-write snapshot.
+
+A session is the unit of multi-tenant isolation: it forks the shared
+base database (:meth:`repro.db.Database.fork` — O(pending edits), not
+O(|D|)), runs an unmodified cleaning loop against the fork, and hands
+its edit log back to the :class:`~repro.server.manager.SessionManager`
+for the commit protocol.  The loops themselves never learn they are
+running on a fork — :class:`~repro.db.DatabaseFork` is a ``Database``.
+
+Two execution modes share the session surface:
+
+* ``"sync"`` — :class:`~repro.core.qoco.QOCO` against the tenant's
+  oracle directly (wrapped in a board-aware
+  :class:`~repro.server.sharing.SharedOracle` when sharing is on);
+* ``"dispatch"`` — :class:`~repro.core.parallel.ParallelQOCO` driven by
+  a :class:`~repro.dispatch.engine.DispatchEngine` over a (possibly
+  shared) worker pool, with the cross-session
+  :class:`~repro.dispatch.dedup.AnswerBoard` plugged into the engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..core.qoco import QOCO, QOCOConfig
+from ..core.report import Report
+from ..db.fork import DatabaseFork
+from ..oracle.base import AccountingOracle, Oracle
+from ..query.ast import Query
+from ..telemetry import TELEMETRY as _TELEMETRY
+from .policy import TenantPolicy
+from .sharing import AnswerBoard, SharedOracle
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of a session inside the manager."""
+
+    QUEUED = "queued"        # admitted, waiting for a run slot
+    DENIED = "denied"        # tenant over budget: never forked, never asked
+    RUNNING = "running"      # cleaning its fork
+    COMMITTED = "committed"  # edit log merged into the base database
+    FAILED = "failed"        # replay limit hit, or the run itself raised
+
+
+class CleaningSession:
+    """One cleaning request: a query, a tenant, and a private fork.
+
+    Sessions are created by
+    :meth:`~repro.server.manager.SessionManager.open_session`; the
+    manager owns forking, scheduling, and the commit protocol.  The
+    session owns running the cleaning loop on whatever fork it is
+    handed — :meth:`run` may be called more than once (conflict replay
+    re-runs the session on a fresh fork of the newly-advanced base).
+    """
+
+    def __init__(
+        self,
+        session_id: int,
+        query: Query,
+        backend: Oracle,
+        *,
+        tenant: str = "default",
+        policy: Optional[TenantPolicy] = None,
+        config: Optional[QOCOConfig] = None,
+        mode: str = "sync",
+        board: Optional[AnswerBoard] = None,
+        pool=None,
+        votes_per_closed: int = 1,
+        submitted_at: int = 0,
+    ) -> None:
+        if mode not in ("sync", "dispatch"):
+            raise ValueError(f"unknown session mode {mode!r}")
+        if mode == "dispatch" and pool is None:
+            raise ValueError("dispatch-mode sessions need a worker pool")
+        self.session_id = session_id
+        self.query = query
+        self.backend = backend
+        self.tenant = tenant
+        self.policy = policy if policy is not None else TenantPolicy()
+        self.config = config
+        self.mode = mode
+        self.board = board
+        self.pool = pool
+        self.votes_per_closed = votes_per_closed
+        self.submitted_at = submitted_at
+        self.state = SessionState.QUEUED
+        self.fork: Optional[DatabaseFork] = None
+        self.report: Optional[Report] = None
+        self.oracle: Optional[AccountingOracle] = None
+        self.replays = 0
+        self.error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"CleaningSession(#{self.session_id} tenant={self.tenant!r} "
+            f"query={self.query.name!r} {self.state.value})"
+        )
+
+    @property
+    def total_cost(self) -> int:
+        """Question units this session has spent (0 before any run)."""
+        return self.oracle.log.total_cost if self.oracle is not None else 0
+
+    @property
+    def shared_hits(self) -> int:
+        """Closed questions this session answered free from the board."""
+        if isinstance(self.oracle, SharedOracle):
+            return self.oracle.shared_hits
+        if self._engine is not None:
+            return self._engine.stats.shared_hits
+        return 0
+
+    _engine = None  # dispatch engine of the latest run, if any
+
+    # ------------------------------------------------------------------
+    def run(self, fork: DatabaseFork) -> Report:
+        """Clean the session's query on *fork*; returns the report.
+
+        A fresh oracle wrapper (and, in dispatch mode, a fresh engine)
+        is built per run so a conflict replay re-polls nothing stale —
+        only the cross-session board survives between attempts.
+        """
+        self.fork = fork
+        self.state = SessionState.RUNNING
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("server.session_runs")
+        if self.mode == "sync":
+            report = self._run_sync(fork)
+        else:
+            report = self._run_dispatch(fork)
+        self.report = report
+        return report
+
+    def _run_sync(self, fork: DatabaseFork) -> Report:
+        if self.board is not None:
+            self.oracle = SharedOracle(self.backend, self.board)
+        else:
+            self.oracle = AccountingOracle(self.backend)
+        cleaner = QOCO(fork, self.oracle, self.config)
+        return cleaner.clean(self.query)
+
+    def _run_dispatch(self, fork: DatabaseFork) -> Report:
+        import random
+
+        from ..core.parallel import ParallelQOCO
+        from ..dispatch.engine import DispatchEngine
+        from ..dispatch.policy import Budget
+
+        budget = None
+        if self.policy.deadline is not None or self.policy.cost_budget is not None:
+            budget = Budget(
+                max_cost=self.policy.cost_budget,
+                deadline=self.policy.deadline,
+            )
+        seed = self.config.seed if self.config is not None else None
+        engine = DispatchEngine(
+            self.pool,
+            budget=budget,
+            votes_per_closed=self.votes_per_closed,
+            rng=random.Random(seed),
+            shared=self.board,
+        )
+        self._engine = engine
+        self.oracle = AccountingOracle(self.backend)
+        cleaner = ParallelQOCO(
+            fork,
+            self.oracle,
+            self.config,
+            scheduler_factory=engine.scheduler_factory,
+        )
+        # the dispatch scheduler already stamps wall_clock and flags a
+        # degraded run as converged=False on the report
+        return cleaner.clean(self.query)
+
+
+__all__ = ["CleaningSession", "SessionState"]

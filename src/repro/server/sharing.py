@@ -1,0 +1,102 @@
+"""Cross-session answer sharing for synchronous sessions.
+
+The dispatch engine consults the :class:`~repro.dispatch.dedup.AnswerBoard`
+between its cache probe and the worker pool; synchronous sessions (plain
+:class:`~repro.core.qoco.QOCO` driving an oracle directly) get the same
+benefit through :class:`SharedOracle` — an accounting oracle that checks
+the board before paying the backend for a closed question, and publishes
+every verdict it does pay for.
+
+Board keys are the same structural identities
+:func:`~repro.dispatch.dedup.question_key` produces for dispatched
+requests, so synchronous and dispatched sessions sharing one board
+coalesce with each other, not just among themselves.
+
+Open questions (``COMPL``) never touch the board — their answers depend
+on run-local context (the known-answer set, the assignment's history).
+The board holds *final* verdicts; it is intended for reliable oracles
+(the paper's simulated-expert setting).  ``forget()`` clears only the
+session-local caches — one tenant's iterative re-poll must not destroy
+every other tenant's sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..db.tuples import Constant, Fact
+from ..dispatch.dedup import AnswerBoard
+from ..oracle.base import AccountingOracle, Oracle
+from ..oracle.questions import InteractionLog
+from ..query.ast import Query, Var
+from ..query.evaluator import Answer
+from ..telemetry import TELEMETRY as _TELEMETRY
+
+
+class SharedOracle(AccountingOracle):
+    """An accounting oracle backed by a cross-session answer board.
+
+    Lookup order for a closed question: session-local cache (free),
+    then the shared board (free, counted as ``server.shared_hits``),
+    then the backend (logged and charged as usual, verdict published).
+    """
+
+    def __init__(
+        self,
+        backend: Oracle,
+        board: AnswerBoard,
+        log: Optional[InteractionLog] = None,
+    ) -> None:
+        super().__init__(backend, log)
+        self.board = board
+        #: closed questions answered free from the board by this session
+        self.shared_hits = 0
+
+    def _board_hit(self) -> None:
+        self.shared_hits += 1
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("server.shared_hits")
+
+    # -- closed questions, board-aware ----------------------------------
+    def verify_fact(self, fact: Fact) -> bool:
+        cached = self._fact_cache.get(fact)
+        if cached is not None:
+            if _TELEMETRY.enabled:
+                _TELEMETRY.count("oracle.cache_hits")
+            return cached
+        published = self.board.get(("verify_fact", fact))
+        if published is not None:
+            self._board_hit()
+            self._fact_cache[fact] = published
+            return published
+        value = super().verify_fact(fact)
+        self.board.put(("verify_fact", fact), value)
+        return value
+
+    def verify_answer(self, query: Query, answer: Answer) -> bool:
+        cached = self._answer_cache.get((query, answer))
+        if cached is not None:
+            if _TELEMETRY.enabled:
+                _TELEMETRY.count("oracle.cache_hits")
+            return cached
+        published = self.board.get(("verify_answer", query, answer))
+        if published is not None:
+            self._board_hit()
+            self._answer_cache[(query, answer)] = published
+            return published
+        value = super().verify_answer(query, answer)
+        self.board.put(("verify_answer", query, answer), value)
+        return value
+
+    def verify_candidate(self, query: Query, partial: Mapping[Var, Constant]) -> bool:
+        key = ("verify_candidate", query, frozenset(partial.items()))
+        published = self.board.get(key)
+        if published is not None:
+            self._board_hit()
+            return published
+        value = super().verify_candidate(query, partial)
+        self.board.put(key, value)
+        return value
+
+
+__all__ = ["AnswerBoard", "SharedOracle"]

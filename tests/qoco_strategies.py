@@ -61,19 +61,24 @@ def facts(draw):
 
 
 @st.composite
-def queries(draw, negation: bool = False):
+def queries(draw, negation: bool = False, relations=("r", "s", "t"), name="q"):
+    """A random CQ over *relations* (arity = that of the base r/s/t
+    relation the name starts with, so namespaced tenant relations like
+    ``r3``/``s3`` draw structurally identical queries)."""
+    relations = list(relations)
     n_atoms = draw(st.integers(1, 3))
     atoms = []
     for _ in range(n_atoms):
-        rel = draw(st.sampled_from(["r", "s", "t"]))
+        rel = draw(st.sampled_from(relations))
         terms = tuple(
             draw(st.sampled_from(VARIABLES + CONSTANTS))  # type: ignore[operator]
-            for _ in range(ARITIES[rel])
+            for _ in range(ARITIES[rel[0]])
         )
         atoms.append(Atom(rel, terms))
     body_vars = sorted(set().union(*(a.variables() for a in atoms)), key=str)
     if not body_vars:
-        atoms.append(Atom("s", (Var("x"),)))
+        unary = next(r for r in relations if r.startswith("s"))
+        atoms.append(Atom(unary, (Var("x"),)))
         body_vars = [Var("x")]
     head = tuple(
         draw(st.sampled_from(body_vars))
@@ -88,16 +93,83 @@ def queries(draw, negation: bool = False):
             inequalities.append(Inequality(left, right))
     negated_atoms = []
     if negation and draw(st.booleans()):
-        rel = draw(st.sampled_from(["r", "s", "t"]))
+        rel = draw(st.sampled_from(relations))
         terms = tuple(
             draw(
                 st.sampled_from(
                     body_vars + LOCAL_VARIABLES + CONSTANTS  # type: ignore[operator]
                 )
             )
-            for _ in range(ARITIES[rel])
+            for _ in range(ARITIES[rel[0]])
         )
         negated_atoms.append(Atom(rel, terms))
     return Query(
-        head, tuple(atoms), tuple(inequalities), "q", tuple(negated_atoms)
+        head, tuple(atoms), tuple(inequalities), name, tuple(negated_atoms)
+    )
+
+
+# ----------------------------------------------------------------------
+# multi-tenant workloads (repro.server)
+# ----------------------------------------------------------------------
+def tenant_relations(tenant: int) -> tuple[str, str]:
+    """The private relation namespace of one tenant."""
+    return (f"r{tenant}", f"s{tenant}")
+
+
+def tenant_schema(n_tenants: int) -> Schema:
+    """One shared schema with *n_tenants* disjoint relation namespaces."""
+    relations = []
+    for tenant in range(n_tenants):
+        r_name, s_name = tenant_relations(tenant)
+        relations.append(RelationSchema(r_name, ("p", "q")))
+        relations.append(RelationSchema(s_name, ("p",)))
+    return Schema(relations)
+
+
+@st.composite
+def tenant_workloads(draw, n_tenants: int = 8, max_facts: int = 8):
+    """Disjoint per-tenant workloads over one shared database.
+
+    Returns ``(ground_truth, dirty, queries)``: every tenant owns a
+    private relation pair, so the tenants' cleaning edits are disjoint
+    by construction — the property the server's commit protocol must
+    preserve under any interleaving.
+    """
+    schema = tenant_schema(n_tenants)
+    gt_facts: list[Fact] = []
+    dirty_facts: list[Fact] = []
+    tenant_queries = []
+    for tenant in range(n_tenants):
+        r_name, s_name = tenant_relations(tenant)
+        arities = {r_name: 2, s_name: 1}
+        for rel, arity in arities.items():
+            values = draw(
+                st.lists(
+                    st.tuples(*[st.sampled_from(CONSTANTS)] * arity),
+                    max_size=max_facts,
+                )
+            )
+            gt_facts.extend(Fact(rel, v) for v in values)
+            # the dirty copy drops ~half and invents a few extras
+            for v in values:
+                if draw(st.booleans()):
+                    dirty_facts.append(Fact(rel, v))
+            extras = draw(
+                st.lists(
+                    st.tuples(*[st.sampled_from(CONSTANTS)] * arity),
+                    max_size=2,
+                )
+            )
+            dirty_facts.extend(Fact(rel, v) for v in extras)
+        tenant_queries.append(
+            draw(
+                queries(
+                    relations=(r_name, s_name), name=f"q{tenant}"
+                )
+            )
+        )
+    return (
+        Database(schema, gt_facts),
+        Database(schema, dirty_facts),
+        tenant_queries,
     )

@@ -11,6 +11,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.db",
     "repro.query",
     "repro.provenance",
@@ -21,8 +22,11 @@ PACKAGES = [
     "repro.aggregates",
     "repro.views",
     "repro.crowdsim",
+    "repro.dispatch",
     "repro.hardness",
     "repro.datasets",
+    "repro.server",
+    "repro.telemetry",
     "repro.workloads",
     "repro.experiments",
 ]
@@ -72,7 +76,8 @@ def test_star_import_is_clean():
 
 def test_readme_quickstart_runs():
     """The README's quickstart snippet must actually work."""
-    from repro import AccountingOracle, PerfectOracle, QOCO, evaluate, parse_query
+    import repro.api as qoco
+    from repro import PerfectOracle, evaluate, parse_query
     from repro.datasets import figure1_dirty, figure1_ground_truth
 
     dirty = figure1_dirty()
@@ -82,7 +87,6 @@ def test_readme_quickstart_runs():
         'teams(x, "EU"), d1 != d2.'
     )
     assert evaluate(query, dirty) == {("GER",), ("ESP",)}
-    oracle = AccountingOracle(PerfectOracle(ground_truth))
-    report = QOCO(dirty, oracle).clean(query)
+    report = qoco.clean(dirty, query, PerfectOracle(ground_truth))
     assert evaluate(query, dirty) == {("GER",), ("ITA",)}
     assert "wrong removed" in report.summary()

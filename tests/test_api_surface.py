@@ -1,0 +1,226 @@
+"""The public API surface: snapshot, deprecation shims, facade parity.
+
+The snapshot lists are the contract: changing ``repro.api.__all__`` or
+``repro.__all__`` without updating them here is a CI failure
+(the ``api-surface`` check), which is the point — public-surface drift
+should be a reviewed decision, not an accident.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api
+from repro.core import QOCO, QOCOConfig, UCQCleaner
+from repro.core.parallel import ParallelQOCO
+from repro.core.report import Report, ReportLike
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.query.evaluator import evaluate
+
+API_SURFACE = [
+    "clean",
+    "clean_parallel",
+    "clean_union",
+    "dispatch_clean",
+    "open_session",
+    "serve",
+]
+
+PACKAGE_SURFACE = [
+    "TELEMETRY",
+    "AccountingOracle",
+    "AnswerBoard",
+    "Atom",
+    "Chao92Estimator",
+    "CleaningReport",
+    "CleaningSession",
+    "Crowd",
+    "Database",
+    "DatabaseFork",
+    "DeletionError",
+    "Edit",
+    "ExactCompletion",
+    "Fact",
+    "ForkError",
+    "ImperfectOracle",
+    "InMemorySink",
+    "Inequality",
+    "InsertionError",
+    "InteractionLog",
+    "JSONLSink",
+    "MajorityVote",
+    "MinCutSplit",
+    "NaiveSplit",
+    "NoiseSpec",
+    "Oracle",
+    "ParallelQOCO",
+    "PerfectOracle",
+    "ProvenanceSplit",
+    "QOCO",
+    "QOCOConfig",
+    "QOCODeletion",
+    "QOCOMinusDeletion",
+    "Query",
+    "QuestionKind",
+    "RandomDeletion",
+    "RandomSplit",
+    "RelationSchema",
+    "Report",
+    "ReportLike",
+    "Schema",
+    "ServerReport",
+    "SessionManager",
+    "SessionState",
+    "Telemetry",
+    "TenantPolicy",
+    "UCQCleaner",
+    "Var",
+    "api",
+    "crowd_add_missing_answer",
+    "crowd_remove_wrong_answer",
+    "dbgroup_database",
+    "delete",
+    "evaluate",
+    "fact",
+    "inject_result_errors",
+    "insert",
+    "make_dirty",
+    "parse_query",
+    "telemetry_session",
+    "witnesses_for",
+    "worldcup_database",
+]
+
+
+class TestSurfaceSnapshot:
+    def test_api_all_matches_snapshot(self):
+        assert sorted(repro.api.__all__) == API_SURFACE
+
+    def test_package_all_matches_snapshot(self):
+        assert sorted(repro.__all__) == sorted(PACKAGE_SURFACE)
+
+    def test_every_exported_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None
+
+
+class TestDeprecationShims:
+    def test_union_qoco_name_warns_and_works(self, fig1_dirty, fig1_gt):
+        with pytest.warns(DeprecationWarning, match="UCQCleaner"):
+            cls = repro.UnionQOCO
+        assert issubclass(cls, UCQCleaner)
+
+    def test_parallel_report_name_warns_and_aliases(self):
+        with pytest.warns(DeprecationWarning, match="Report"):
+            alias = repro.ParallelReport
+        assert alias is Report
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_positional_split_strategy_warns(self, fig1_dirty, fig1_oracle):
+        from repro.core.split import NaiveSplit
+
+        with pytest.warns(DeprecationWarning, match="split_strategy"):
+            qoco = ParallelQOCO(fig1_dirty, fig1_oracle, NaiveSplit())
+        assert isinstance(qoco.split_strategy, NaiveSplit)
+
+    def test_positional_deletion_strategy_warns(self, fig1_dirty, fig1_oracle):
+        from repro.core.deletion import RandomDeletion
+
+        with pytest.warns(DeprecationWarning, match="deletion_strategy"):
+            cleaner = UCQCleaner(fig1_dirty, fig1_oracle, RandomDeletion())
+        assert isinstance(cleaner.deletion_strategy, RandomDeletion)
+
+    def test_old_report_names_are_thin_aliases(self):
+        from repro.core.parallel import ParallelReport
+        from repro.core.session import CleaningReport
+
+        assert CleaningReport is Report
+        assert ParallelReport is Report
+
+
+class TestUnifiedConfig:
+    def test_all_three_loops_accept_the_same_config(self, fig1_dirty, fig1_oracle):
+        config = QOCOConfig(seed=7, max_iterations=3)
+        assert QOCO(fig1_dirty, fig1_oracle, config).config is config
+        assert ParallelQOCO(fig1_dirty, fig1_oracle, config).config is config
+        assert UCQCleaner(fig1_dirty, fig1_oracle, config).config is config
+
+    def test_keyword_shims_override_config_fields(self, fig1_dirty, fig1_oracle):
+        config = QOCOConfig(seed=7, max_iterations=3)
+        qoco = QOCO(fig1_dirty, fig1_oracle, config, max_iterations=9)
+        assert qoco.config.max_iterations == 9
+        assert qoco.config.seed == 7  # untouched fields pass through
+        assert config.max_iterations == 3  # the caller's config is not mutated
+
+    def test_parallel_keywords_map_to_config(self, fig1_dirty, fig1_oracle):
+        qoco = ParallelQOCO(
+            fig1_dirty, fig1_oracle, completion_width=2, seed=5
+        )
+        assert qoco.config.completion_width == 2
+        assert qoco.completion_width == 2
+        assert qoco.config.seed == 5
+
+    def test_reports_satisfy_the_protocol(self):
+        report = Report(query_name="q")
+        assert isinstance(report, ReportLike)
+        assert report.total_cost == 0
+        assert "q" in report.summary()
+
+
+class TestFacadeParity:
+    def test_api_clean_equals_direct_qoco(self, fig1_gt):
+        from repro.datasets.figure1 import figure1_dirty
+        from repro.workloads import EX1
+
+        direct_db = figure1_dirty()
+        direct = QOCO(
+            direct_db,
+            AccountingOracle(PerfectOracle(fig1_gt)),
+            QOCOConfig(seed=0),
+        ).clean(EX1)
+
+        facade_db = figure1_dirty()
+        facade = repro.api.clean(
+            facade_db, EX1, PerfectOracle(fig1_gt), seed=0
+        )
+
+        assert facade_db == direct_db
+        assert evaluate(EX1, facade_db) == evaluate(EX1, direct_db)
+        assert [(e.kind.value, e.fact) for e in facade.edits] == [
+            (e.kind.value, e.fact) for e in direct.edits
+        ]
+        assert facade.log.to_dicts() == direct.log.to_dicts()
+        assert facade.summary() == direct.summary()
+
+    def test_api_clean_parses_query_strings(self, fig1_gt):
+        from repro.datasets.figure1 import figure1_dirty
+
+        db = figure1_dirty()
+        source = 'q(x) :- games(d, x, y, "Final", u), teams(x, "EU").'
+        report = repro.api.clean(db, source, PerfectOracle(fig1_gt), seed=0)
+        assert report.converged
+        assert report.query_name == "q"
+
+    def test_open_session_on_a_bare_database(self, fig1_dirty, fig1_gt):
+        from repro.workloads import EX1
+
+        session = repro.api.open_session(
+            fig1_dirty, EX1, PerfectOracle(fig1_gt)
+        )
+        session.manager.run_all()
+        assert session.report is not None
+        assert session.state.value == "committed"
+
+    def test_serve_returns_a_manager(self, fig1_dirty):
+        manager = repro.api.serve(fig1_dirty, max_concurrent=2)
+        assert manager.database is fig1_dirty
+        assert manager.max_concurrent == 2

@@ -1,0 +1,306 @@
+"""The multi-tenant cleaning service: forks, commits, replay, sharing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from qoco_strategies import databases, queries, tenant_workloads
+from repro.core import QOCO, QOCOConfig
+from repro.db.database import Database
+from repro.db.fork import DatabaseFork, ForkError
+from repro.db.schema import RelationSchema, Schema
+from repro.db.tuples import Fact
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.query.evaluator import evaluate
+from repro.server import (
+    AnswerBoard,
+    SessionManager,
+    SessionState,
+    SharedOracle,
+    TenantPolicy,
+)
+
+SERVER_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def _config(seed: int) -> QOCOConfig:
+    return QOCOConfig(seed=seed, max_iterations=4)
+
+
+# ----------------------------------------------------------------------
+# the fork itself
+# ----------------------------------------------------------------------
+class TestDatabaseFork:
+    def _db(self) -> Database:
+        schema = Schema([RelationSchema("r", ("p", "q"))])
+        return Database(
+            schema, [Fact("r", ("a", "b")), Fact("r", ("c", "d"))]
+        )
+
+    def test_fork_is_a_database_with_identical_content(self):
+        base = self._db()
+        fork = base.fork()
+        assert isinstance(fork, DatabaseFork)
+        assert fork == base
+        assert set(fork) == set(base)
+
+    def test_fork_edits_are_invisible_to_base(self):
+        base = self._db()
+        fork = base.fork()
+        fork.insert(Fact("r", ("x", "y")))
+        fork.delete(Fact("r", ("a", "b")))
+        assert Fact("r", ("x", "y")) not in base
+        assert Fact("r", ("a", "b")) in base
+        assert fork.delta_size() == 2
+
+    def test_base_edits_after_fork_are_invisible_to_fork(self):
+        base = self._db()
+        fork = base.fork()
+        base.insert(Fact("r", ("x", "y")))
+        base.delete(Fact("r", ("a", "b")))
+        assert Fact("r", ("x", "y")) not in fork
+        assert Fact("r", ("a", "b")) in fork
+
+    def test_pending_edits_and_touched_facts(self):
+        base = self._db()
+        fork = base.fork()
+        fork.insert(Fact("r", ("x", "y")))
+        fork.delete(Fact("r", ("a", "b")))
+        assert len(fork.pending_edits) == 2
+        assert fork.touched_facts() == frozenset(
+            {Fact("r", ("x", "y")), Fact("r", ("a", "b"))}
+        )
+
+    def test_fork_of_fork_is_refused(self):
+        fork = self._db().fork()
+        with pytest.raises(ForkError):
+            fork.fork()
+
+    @given(database=databases(), query=queries())
+    @SERVER_SETTINGS
+    def test_fork_reads_equal_copy_reads(self, database, query):
+        """A fresh fork answers queries exactly like an O(|D|) copy."""
+        fork = database.fork()
+        assert evaluate(query, fork) == evaluate(query, database.copy())
+
+
+# ----------------------------------------------------------------------
+# the commit protocol
+# ----------------------------------------------------------------------
+class TestCommitProtocol:
+    def test_disjoint_sessions_all_commit(self, fig1_dirty, fig1_gt):
+        from repro.workloads import EX1
+
+        manager = SessionManager(fig1_dirty, config=_config(0))
+        a = manager.open_session(EX1, PerfectOracle(fig1_gt), tenant="a")
+        report = manager.run_all()
+        assert a.state is SessionState.COMMITTED
+        assert report.committed == 1 and report.failed == 0
+
+    def test_conflicting_sessions_converge_via_replay(self, fig1_dirty, fig1_gt):
+        """Two tenants cleaning the same query race on the same facts;
+        the loser replays and the base ends exactly as one clean."""
+        from repro.workloads import EX1
+
+        single = fig1_dirty.copy()
+        QOCO(single, AccountingOracle(PerfectOracle(fig1_gt)), _config(0)).clean(EX1)
+
+        manager = SessionManager(fig1_dirty, config=_config(0))
+        manager.open_session(EX1, PerfectOracle(fig1_gt), tenant="a")
+        manager.open_session(EX1, PerfectOracle(fig1_gt), tenant="b")
+        report = manager.run_all()
+        assert report.failed == 0
+        assert report.committed == 2
+        assert fig1_dirty == single
+
+    def test_budget_denial_before_forking(self, fig1_dirty, fig1_gt):
+        from repro.workloads import EX1
+
+        manager = SessionManager(fig1_dirty, config=_config(0), max_concurrent=1)
+        policy = TenantPolicy(cost_budget=1)
+        first = manager.open_session(
+            EX1, PerfectOracle(fig1_gt), tenant="poor", policy=policy
+        )
+        second = manager.open_session(
+            EX1, PerfectOracle(fig1_gt), tenant="poor", policy=policy
+        )
+        manager.run_all()
+        assert first.state is SessionState.COMMITTED
+        assert second.state is SessionState.DENIED
+        assert second.fork is None  # denied sessions never fork
+
+    def test_priority_orders_admission(self, fig1_dirty, fig1_gt):
+        from repro.workloads import EX1
+
+        manager = SessionManager(fig1_dirty, config=_config(0), max_concurrent=1)
+        low = manager.open_session(
+            EX1, PerfectOracle(fig1_gt), policy=TenantPolicy(priority=0)
+        )
+        high = manager.open_session(
+            EX1, PerfectOracle(fig1_gt), policy=TenantPolicy(priority=5)
+        )
+        manager.run_all()
+        # the high-priority session ran first: it paid for the cleaning,
+        # the low-priority one found a clean database
+        assert high.total_cost > low.total_cost
+
+    def test_manager_refuses_a_fork_base(self, fig1_dirty):
+        with pytest.raises(ValueError):
+            SessionManager(fig1_dirty.fork())
+
+
+# ----------------------------------------------------------------------
+# concurrent == sequential (the acceptance property)
+# ----------------------------------------------------------------------
+class TestConcurrentEquivalence:
+    @given(workload=tenant_workloads(n_tenants=8))
+    @settings(max_examples=15, deadline=None)
+    def test_eight_disjoint_sessions_match_sequential(self, workload):
+        ground_truth, dirty, tenant_queries = workload
+
+        # sequential baseline: one database, one tenant after another
+        sequential = dirty.copy()
+        baseline_edits = []
+        for tenant, query in enumerate(tenant_queries):
+            report = QOCO(
+                sequential,
+                AccountingOracle(PerfectOracle(ground_truth)),
+                _config(tenant),
+            ).clean(query)
+            baseline_edits.append(
+                [(e.kind.value, e.fact) for e in report.edits]
+            )
+
+        # concurrent: eight sessions racing over one base
+        base = dirty.copy()
+        manager = SessionManager(base, share_answers=False)
+        sessions = [
+            manager.open_session(
+                query,
+                PerfectOracle(ground_truth),
+                tenant=f"t{tenant}",
+                config=_config(tenant),
+            )
+            for tenant, query in enumerate(tenant_queries)
+        ]
+        report = manager.run_all()
+
+        assert report.failed == 0 and report.denied == 0
+        assert report.replays == 0  # disjoint namespaces: no conflicts
+        assert base == sequential
+        for session, expected in zip(sessions, baseline_edits):
+            got = [(e.kind.value, e.fact) for e in session.report.edits]
+            assert got == expected
+
+    @given(
+        database=databases(),
+        query=queries(),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_racing_duplicate_sessions_converge(self, database, query, seed):
+        """Randomized conflict property: N sessions cleaning the *same*
+        query never corrupt the base — whatever the interleaving, the
+        final state equals one sequential clean."""
+        ground_truth = database
+        dirty = database.copy()
+        rng = random.Random(seed)
+        pool = [f for rel in ("r", "s", "t") for f in dirty.facts(rel)]
+        if pool:
+            dirty.delete(rng.choice(sorted(pool, key=repr)))
+
+        single = dirty.copy()
+        QOCO(
+            single, AccountingOracle(PerfectOracle(ground_truth)), _config(seed)
+        ).clean(query)
+
+        base = dirty.copy()
+        manager = SessionManager(base, config=_config(seed))
+        for tenant in range(3):
+            manager.open_session(
+                query, PerfectOracle(ground_truth), tenant=f"t{tenant}"
+            )
+        report = manager.run_all()
+        assert report.failed == 0
+        assert base == single
+
+
+# ----------------------------------------------------------------------
+# cross-session sharing
+# ----------------------------------------------------------------------
+class TestAnswerSharing:
+    def _run(self, dirty, gt, share):
+        from repro.workloads import EX1
+
+        base = dirty.copy()
+        manager = SessionManager(
+            base, config=_config(0), max_concurrent=1, share_answers=share
+        )
+        manager.open_session(EX1, PerfectOracle(gt), tenant="a")
+        manager.open_session(EX1, PerfectOracle(gt), tenant="b")
+        return manager.run_all(), base
+
+    def test_board_strictly_reduces_cost_on_overlapping_views(
+        self, fig1_dirty, fig1_gt
+    ):
+        shared, shared_base = self._run(fig1_dirty, fig1_gt, share=True)
+        isolated, isolated_base = self._run(fig1_dirty, fig1_gt, share=False)
+        assert shared_base == isolated_base  # sharing never changes results
+        assert shared.shared_hits > 0
+        assert shared.total_cost < isolated.total_cost
+
+    def test_shared_oracle_reads_published_verdicts(self, fig1_gt):
+        board = AnswerBoard()
+        first = SharedOracle(PerfectOracle(fig1_gt), board)
+        second = SharedOracle(PerfectOracle(fig1_gt), board)
+        fact = next(iter(fig1_gt))
+        assert first.verify_fact(fact) is True
+        assert second.verify_fact(fact) is True
+        assert second.shared_hits == 1
+        assert second.log.total_cost == 0  # answered free from the board
+
+    def test_forget_keeps_the_board(self, fig1_gt):
+        board = AnswerBoard()
+        oracle = SharedOracle(PerfectOracle(fig1_gt), board)
+        fact = next(iter(fig1_gt))
+        oracle.verify_fact(fact)
+        oracle.forget()
+        assert len(board) == 1  # one tenant's re-poll keeps others' sharing
+
+
+# ----------------------------------------------------------------------
+# dispatch-mode sessions
+# ----------------------------------------------------------------------
+class TestDispatchSessions:
+    def test_dispatch_session_commits_with_wall_clock(self, fig1_dirty, fig1_gt):
+        from repro.dispatch import WorkerPool
+        from repro.workloads import EX1
+
+        member = PerfectOracle(fig1_gt)
+        manager = SessionManager(
+            fig1_dirty,
+            mode="dispatch",
+            pool=WorkerPool([member] * 4),
+            config=_config(0),
+        )
+        session = manager.open_session(EX1, member)
+        report = manager.run_all()
+        assert report.committed == 1
+        assert session.report.wall_clock > 0
+        assert session.report.rounds > 0
+
+    def test_dispatch_mode_requires_a_pool(self, fig1_dirty, fig1_gt):
+        from repro.workloads import EX1
+
+        manager = SessionManager(fig1_dirty, mode="dispatch")
+        with pytest.raises(ValueError):
+            manager.open_session(EX1, PerfectOracle(fig1_gt))

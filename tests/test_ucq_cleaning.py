@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core.ucq import (
-    UnionQOCO,
+    UCQCleaner,
     add_missing_answer_union,
     remove_wrong_answer_union,
 )
@@ -96,7 +96,7 @@ class TestUnionMainLoop:
         fig1_dirty.insert(fact("games", "01.01.1999", "XXX", "GER", "Final", "1:0"))
         fig1_dirty.delete(fact("games", "09.07.2006", "ITA", "FRA", "Final", "5:3"))
 
-        system = UnionQOCO(fig1_dirty, oracle, seed=0)
+        system = UCQCleaner(fig1_dirty, oracle, seed=0)
         report = system.clean(FINALISTS)
         assert report.converged
         assert FINALISTS.answers(fig1_dirty) == FINALISTS.answers(fig1_gt)
@@ -104,6 +104,6 @@ class TestUnionMainLoop:
     def test_clean_noop_on_clean_db(self, fig1_gt):
         db = fig1_gt.copy()
         oracle = AccountingOracle(PerfectOracle(fig1_gt))
-        report = UnionQOCO(db, oracle, seed=0).clean(FINALISTS)
+        report = UCQCleaner(db, oracle, seed=0).clean(FINALISTS)
         assert report.edits == []
         assert db == fig1_gt
