@@ -25,7 +25,6 @@ from repro.oracle.crowd import Crowd
 from repro.oracle.imperfect import ImperfectOracle
 from repro.oracle.perfect import PerfectOracle
 from repro.oracle.questions import QuestionKind
-from repro.provenance.witness import most_frequent_fact
 from repro.query.evaluator import Evaluator
 from repro.workloads import Q3, Q5
 

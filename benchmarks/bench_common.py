@@ -1,0 +1,47 @@
+"""Shared helpers for the contract benchmarks.
+
+Two conventions every gated bench follows:
+
+* **Normalized payloads.**  A ``BENCH_*.json`` stores summary statistics
+  and content *digests*, never raw fact lists or interaction logs — the
+  in-memory objects are still compared exactly inside the bench, but the
+  artifact on disk stays diff-reviewable (``json_digest`` /
+  ``Database.state_digest``).
+* **A ``metrics`` block.**  Each payload carries a flat
+  ``{"name": {"value", "direction", "tolerance"}}`` mapping consumed by
+  ``benchmarks/check_regression.py``, which compares a fresh run against
+  the committed baseline in ``benchmarks/baselines/``.  ``direction``
+  says which way regressions point: ``"exact"`` for deterministic
+  counters (seeded runs must reproduce them bit-for-bit), ``"lower"`` /
+  ``"higher"`` for measured quantities, with ``tolerance`` the relative
+  band a loaded CI runner is allowed to wander within.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+DIRECTIONS = ("exact", "lower", "higher")
+
+
+def json_digest(obj: Any) -> str:
+    """A stable content hash of any JSON-serializable artifact."""
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def metric(value, direction: str = "exact", tolerance: float = 0.0) -> dict:
+    """One entry of a bench's ``metrics`` block."""
+    if direction not in DIRECTIONS:
+        raise ValueError(f"direction must be one of {DIRECTIONS}, got {direction!r}")
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    return {"value": value, "direction": direction, "tolerance": tolerance}
+
+
+def write_payload(out: str, result: dict) -> None:
+    with open(out, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -9,7 +9,6 @@ profile: a fast first hour, a long tail, and a large speedup of the
 parallel dispatch policy (§6.2) over sequential dispatch.
 """
 
-import random
 
 from repro.core.qoco import QOCO, QOCOConfig
 from repro.crowdsim.simulator import compare_policies

@@ -22,10 +22,10 @@ writes ``BENCH_dispatch.json``.
 
 from __future__ import annotations
 
-import json
 import random
 import sys
 
+from bench_common import metric, write_payload
 from repro.core.parallel import ParallelQOCO
 from repro.crowdsim import lognormal_latency
 from repro.datasets.worldcup import WorldCupConfig, worldcup_database
@@ -60,15 +60,6 @@ def build_session():
     return ground_truth, dirty
 
 
-def snapshot(database) -> list[str]:
-    """A comparable value for a database's full state."""
-    return sorted(
-        repr(f)
-        for relation in database.schema
-        for f in database.facts(relation.name)
-    )
-
-
 def run_sync(ground_truth, dirty_base) -> dict:
     dirty = dirty_base.copy()
     oracle = AccountingOracle(PerfectOracle(ground_truth))
@@ -77,7 +68,7 @@ def run_sync(ground_truth, dirty_base) -> dict:
         "questions": report.log.question_count,
         "cost": report.total_cost,
         "converged": report.converged,
-        "final_db": snapshot(dirty),
+        "final_db_digest": dirty.state_digest(),
     }
 
 
@@ -102,7 +93,7 @@ def run_dispatch(ground_truth, dirty_base, *, dedup: bool, faulted: bool) -> dic
         "rounds": report.rounds,
         "wall_clock_s": report.wall_clock,
         "stats": engine.stats.to_dict(),
-        "final_db": snapshot(dirty),
+        "final_db_digest": dirty.state_digest(),
     }
 
 
@@ -112,7 +103,10 @@ def bench_report() -> dict:
     dedup = run_dispatch(ground_truth, dirty, dedup=True, faulted=False)
     naive = run_dispatch(ground_truth, dirty, dedup=False, faulted=False)
     faulted = run_dispatch(ground_truth, dirty, dedup=True, faulted=True)
-    return {
+    saved = (
+        naive["stats"]["member_answers"] - dedup["stats"]["member_answers"]
+    )
+    result = {
         "workload": {
             "query": Q2.name,
             "ground_truth_size": len(ground_truth),
@@ -126,13 +120,33 @@ def bench_report() -> dict:
         "dedup": dedup,
         "naive": naive,
         "faulted": faulted,
-        "member_answers_saved": naive["stats"]["member_answers"]
-        - dedup["stats"]["member_answers"],
+        "member_answers_saved": saved,
         "dedup_coalesced": dedup["stats"]["dedup_coalesced"],
-        "identical_db_dedup": dedup["final_db"] == sync["final_db"],
-        "identical_db_naive": naive["final_db"] == sync["final_db"],
-        "identical_db_faulted": faulted["final_db"] == sync["final_db"],
+        "identical_db_dedup": dedup["final_db_digest"] == sync["final_db_digest"],
+        "identical_db_naive": naive["final_db_digest"] == sync["final_db_digest"],
+        "identical_db_faulted": faulted["final_db_digest"]
+        == sync["final_db_digest"],
     }
+    # everything here is seeded and simulated, so "exact" is safe: a
+    # changed counter means changed behaviour, not a loaded runner
+    result["metrics"] = {
+        "sync_cost": metric(sync["cost"]),
+        "dedup_cost": metric(dedup["cost"]),
+        "naive_cost": metric(naive["cost"]),
+        "faulted_cost": metric(faulted["cost"]),
+        "member_answers_saved": metric(saved, "higher", 0.0),
+        "dedup_coalesced": metric(result["dedup_coalesced"], "higher", 0.0),
+        "faulted_retries": metric(faulted["stats"]["retries"]),
+        "faulted_wall_clock_s": metric(faulted["wall_clock_s"], "lower", 0.10),
+        "identical_db_all": metric(
+            int(
+                result["identical_db_dedup"]
+                and result["identical_db_naive"]
+                and result["identical_db_faulted"]
+            )
+        ),
+    }
+    return result
 
 
 def check(result: dict) -> list[str]:
@@ -163,8 +177,7 @@ def test_dispatch_session_contract():
 def main(argv: list[str]) -> int:
     out = argv[1] if len(argv) > 1 else "BENCH_dispatch.json"
     result = bench_report()
-    with open(out, "w") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
+    write_payload(out, result)
     for mode in ("sync", "dedup", "naive", "faulted"):
         row = result[mode]
         stats = row.get("stats", {})

@@ -1,0 +1,285 @@
+"""Durability benchmark: commit-ack overhead, recovery throughput, crash matrix.
+
+The contract (ISSUE 5): a durable server (WAL + fsync per commit) must
+stay within a bounded overhead of the plain in-memory server on the
+same multi-tenant workload; ``recover()`` must replay a synthetic
+commit log at a useful rate and land on the bit-identical database; and
+a strided crash-injection matrix over that log must pass at every
+sampled truncation offset.
+
+Run under pytest (``pytest benchmarks/bench_durability.py``) or as a
+script (``python benchmarks/bench_durability.py [out.json]``), which
+writes ``BENCH_durability.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from bench_common import metric, write_payload
+from repro.core.qoco import QOCOConfig
+from repro.datasets.noise import inject_result_errors
+from repro.datasets.worldcup import WorldCupConfig, worldcup_database
+from repro.db.database import Database
+from repro.durability import DurabilityStore, codec, read_wal, recover, run_crash_matrix
+from repro.oracle.perfect import PerfectOracle
+from repro.server import SessionManager
+from repro.workloads import Q1, Q3
+
+SEED = 11
+SCALE = WorldCupConfig(players_per_team=6, group_games_per_cup=4)
+SYNTHETIC_COMMITS = 300
+CRASH_STRIDE = 97
+#: Generous ceiling for fsync-per-commit vs in-memory: the workload is
+#: oracle-dominated, so even a slow disk should stay well inside this.
+OVERHEAD_CEILING = 10.0
+
+
+def build_session():
+    """(ground truth, dirty instance) — worldcup with Q3 result errors."""
+    ground_truth = worldcup_database(SCALE)
+    errors = inject_result_errors(
+        ground_truth, Q3, 3, 2, rng=random.Random(SEED)
+    )
+    return ground_truth, errors.dirty
+
+
+# ----------------------------------------------------------------------
+# commit-ack overhead: plain vs durable server on the same workload
+# ----------------------------------------------------------------------
+def run_fleet(ground_truth, dirty_base, durable_dir=None, sync="always") -> dict:
+    base = dirty_base.copy()
+    member = PerfectOracle(ground_truth)
+    kwargs = {}
+    if durable_dir is not None:
+        kwargs = {"durable_path": durable_dir, "sync": sync}
+    manager = SessionManager(
+        base, config=QOCOConfig(seed=SEED), max_concurrent=1, **kwargs
+    )
+    for tenant, query in enumerate((Q3, Q3, Q1)):
+        manager.open_session(query, member, tenant=f"t{tenant}")
+    start = time.perf_counter()
+    report = manager.run_all()
+    elapsed = time.perf_counter() - start
+    row = {
+        "elapsed_s": elapsed,
+        "committed": report.committed,
+        "failed": report.failed,
+        "cost": report.total_cost,
+        "final_db_digest": base.state_digest(),
+    }
+    if durable_dir is not None:
+        wal = read_wal(Path(durable_dir) / "wal.log")
+        row["wal_bytes"] = wal.valid_bytes
+        row["wal_records"] = len(wal.records)
+    manager.close()
+    return row
+
+
+def bench_overhead(ground_truth, dirty, workdir: Path) -> dict:
+    plain = run_fleet(ground_truth, dirty)
+    fsync = run_fleet(ground_truth, dirty, workdir / "always", sync="always")
+    batch = run_fleet(ground_truth, dirty, workdir / "batch", sync="batch")
+    return {
+        "plain": plain,
+        "durable_fsync": fsync,
+        "durable_batch": batch,
+        "fsync_overhead_x": fsync["elapsed_s"] / max(1e-9, plain["elapsed_s"]),
+        "batch_overhead_x": batch["elapsed_s"] / max(1e-9, plain["elapsed_s"]),
+        "identical_db": plain["final_db_digest"] == fsync["final_db_digest"]
+        == batch["final_db_digest"],
+    }
+
+
+# ----------------------------------------------------------------------
+# recovery throughput + crash matrix over a synthetic commit log
+# ----------------------------------------------------------------------
+def build_synthetic_log(directory: Path) -> tuple[Database, dict]:
+    """A checkpoint plus SYNTHETIC_COMMITS single-session commit records.
+
+    Alternating delete/insert edits over the worldcup ``games`` relation
+    — every record replays real :class:`Edit` objects through the real
+    store, so records/s below measures the actual recovery path.
+    """
+    database = worldcup_database(SCALE)
+    live = database.copy()
+    store = DurabilityStore(directory, sync="batch")
+    store.write_checkpoint(
+        {
+            "database": codec.database_to_obj(database),
+            "digest": codec.database_digest(database),
+            "ledger": {},
+            "board": [],
+        }
+    )
+    rng = random.Random(SEED)
+    games = sorted(live.facts("games"), key=repr)
+    ledger: dict[str, int] = {}
+    for index in range(SYNTHETIC_COMMITS):
+        fork = live.fork()
+        victim = games[rng.randrange(len(games))]
+        if victim in fork:
+            fork.delete(victim)
+        else:
+            fork.insert(victim)
+        tenant = f"t{index % 4}"
+        store.append(
+            {
+                "type": "commit",
+                "session": index,
+                "tenant": tenant,
+                "cost": 1,
+                "edits": fork.export_edit_log(),
+                "board": [],
+            }
+        )
+        live.apply(fork.pending_edits)
+        ledger[tenant] = ledger.get(tenant, 0) + 1
+    store.close()
+    return live, ledger
+
+
+def bench_recovery(directory: Path, live: Database, ledger: dict) -> dict:
+    start = time.perf_counter()
+    state = recover(directory)
+    elapsed = time.perf_counter() - start
+    matrix = run_crash_matrix(
+        directory, live_database=live, live_ledger=ledger, stride=CRASH_STRIDE
+    )
+    return {
+        "records_replayed": state.records_replayed,
+        "recovery_s": elapsed,
+        "records_per_s": state.records_replayed / max(1e-9, elapsed),
+        "digest_matches_live": state.digest == live.state_digest(),
+        "ledger_matches_live": state.ledger == ledger,
+        "crash_matrix": {
+            "wal_bytes": matrix.wal_bytes,
+            "points": len(matrix.points),
+            "failures": len(matrix.failures),
+            "ok": matrix.ok,
+        },
+    }
+
+
+def bench_report() -> dict:
+    ground_truth, dirty = build_session()
+    workdir = Path(tempfile.mkdtemp(prefix="bench_durability_"))
+    try:
+        overhead = bench_overhead(ground_truth, dirty, workdir)
+        log_dir = workdir / "synthetic"
+        live, ledger = build_synthetic_log(log_dir)
+        recovery = bench_recovery(log_dir, live, ledger)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    result = {
+        "workload": {
+            "dataset": "worldcup",
+            "facts": len(ground_truth),
+            "queries": [Q3.name, Q3.name, Q1.name],
+            "synthetic_commits": SYNTHETIC_COMMITS,
+            "crash_stride": CRASH_STRIDE,
+            "seed": SEED,
+        },
+        "overhead": overhead,
+        "recovery": recovery,
+    }
+    result["metrics"] = {
+        # seeded counters: exact
+        "committed": metric(overhead["durable_fsync"]["committed"]),
+        "wal_records": metric(overhead["durable_fsync"]["wal_records"]),
+        "records_replayed": metric(recovery["records_replayed"]),
+        "crash_points": metric(recovery["crash_matrix"]["points"]),
+        # WAL volume per workload is deterministic modulo float formatting
+        "wal_bytes": metric(overhead["durable_fsync"]["wal_bytes"], "lower", 0.05),
+        # measured time: wide bands, correctness gates live in check()
+        "fsync_overhead_x": metric(overhead["fsync_overhead_x"], "lower", 1.00),
+        "recovery_records_per_s": metric(
+            recovery["records_per_s"], "higher", 0.80
+        ),
+        # booleans: any flip is a correctness regression
+        "crash_matrix_ok": metric(int(recovery["crash_matrix"]["ok"])),
+        "identical_db": metric(int(overhead["identical_db"])),
+        "digest_matches_live": metric(int(recovery["digest_matches_live"])),
+    }
+    return result
+
+
+def check(result: dict) -> list[str]:
+    """The hard gates; returns the failures (empty = pass)."""
+    failures = []
+    overhead = result["overhead"]
+    recovery = result["recovery"]
+    for mode in ("plain", "durable_fsync", "durable_batch"):
+        if overhead[mode]["failed"]:
+            failures.append(f"{mode} run had failed sessions")
+    if not overhead["identical_db"]:
+        failures.append("durability changed the final database")
+    if overhead["durable_fsync"]["wal_records"] < overhead["durable_fsync"][
+        "committed"
+    ]:
+        failures.append("fewer WAL records than commits: a commit went undurable")
+    if overhead["fsync_overhead_x"] > OVERHEAD_CEILING:
+        failures.append(
+            f"fsync commit path {overhead['fsync_overhead_x']:.1f}x slower "
+            f"than in-memory (ceiling {OVERHEAD_CEILING}x)"
+        )
+    if recovery["records_replayed"] != SYNTHETIC_COMMITS:
+        failures.append(
+            f"recovery replayed {recovery['records_replayed']} of "
+            f"{SYNTHETIC_COMMITS} records"
+        )
+    if not recovery["digest_matches_live"]:
+        failures.append("recovered database diverged from the live replica")
+    if not recovery["ledger_matches_live"]:
+        failures.append("recovered ledger diverged from the live replica")
+    if not recovery["crash_matrix"]["ok"]:
+        failures.append(
+            f"crash matrix failed at {recovery['crash_matrix']['failures']} "
+            f"of {recovery['crash_matrix']['points']} truncation offsets"
+        )
+    return failures
+
+
+def test_durability_contract():
+    """The ISSUE 5 acceptance gate, end to end."""
+    result = bench_report()
+    assert check(result) == []
+
+
+def main(argv: list[str]) -> int:
+    out = argv[1] if len(argv) > 1 else "BENCH_durability.json"
+    result = bench_report()
+    write_payload(out, result)
+    overhead = result["overhead"]
+    recovery = result["recovery"]
+    print(
+        f"plain {overhead['plain']['elapsed_s'] * 1e3:7.1f} ms   "
+        f"fsync {overhead['durable_fsync']['elapsed_s'] * 1e3:7.1f} ms "
+        f"({overhead['fsync_overhead_x']:.2f}x)   "
+        f"batch {overhead['durable_batch']['elapsed_s'] * 1e3:7.1f} ms "
+        f"({overhead['batch_overhead_x']:.2f}x)"
+    )
+    print(
+        f"recovery: {recovery['records_replayed']} records in "
+        f"{recovery['recovery_s'] * 1e3:.1f} ms "
+        f"({recovery['records_per_s']:,.0f} records/s)"
+    )
+    matrix = recovery["crash_matrix"]
+    print(
+        f"crash matrix: {matrix['points']} offsets over {matrix['wal_bytes']} "
+        f"bytes, {matrix['failures']} failures"
+    )
+    failures = check(result)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    print(f"wrote {out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,7 +8,7 @@ inside that envelope on the ~5000-tuple Soccer database.
 import pytest
 
 from repro.query.evaluator import Evaluator, evaluate
-from repro.workloads import EX1, Q1, Q2, Q3, Q4, Q5
+from repro.workloads import Q1, Q2, Q3, Q4, Q5
 
 
 @pytest.mark.parametrize(

@@ -7,7 +7,6 @@ view language and asserts convergence.
 
 import random
 
-import pytest
 
 from repro.aggregates.count import AggregateQOCO, CountView
 from repro.core.negation import remove_wrong_answer_with_negation

@@ -21,13 +21,13 @@ writes ``BENCH_incremental.json``.
 
 from __future__ import annotations
 
-import json
 import random
 import sys
 import time
 
 import pytest
 
+from bench_common import json_digest, metric, write_payload
 from repro.core.qoco import QOCO, QOCOConfig
 from repro.datasets.noise import inject_result_errors
 from repro.datasets.worldcup import WorldCupConfig, worldcup_database
@@ -98,7 +98,12 @@ def bench_report() -> dict:
     ground_truth, dirty = build_session()
     full = run_mode(ground_truth, dirty, use_incremental=False)
     incremental = run_mode(ground_truth, dirty, use_incremental=True)
-    return {
+    # the artifacts (edit sequence, full interaction log) are compared
+    # exactly here, then shipped as digests — the payload stays small
+    identical = full["artifacts"] == incremental["artifacts"]
+    for mode in (full, incremental):
+        mode["artifacts_digest"] = json_digest(mode.pop("artifacts"))
+    result = {
         "workload": {
             "query": Q4.name,
             "ground_truth_size": len(ground_truth),
@@ -112,8 +117,21 @@ def bench_report() -> dict:
         / max(1, incremental["backtrack_steps"]),
         "wall_clock_speedup": full["elapsed_s"]
         / max(1e-9, incremental["elapsed_s"]),
-        "identical_runs": full["artifacts"] == incremental["artifacts"],
+        "identical_runs": identical,
     }
+    result["metrics"] = {
+        # deterministic, seeded: the counters must reproduce exactly
+        "full_backtrack_steps": metric(full["backtrack_steps"]),
+        "incremental_backtrack_steps": metric(incremental["backtrack_steps"]),
+        "questions": metric(full["questions"]),
+        "backtrack_ratio": metric(result["backtrack_ratio"], "higher", 0.0),
+        # wall-clock: wide band, the hard floor lives in the contract test
+        "wall_clock_speedup": metric(
+            result["wall_clock_speedup"], "higher", 0.60
+        ),
+        "identical_runs": metric(int(identical)),
+    }
+    return result
 
 
 def test_incremental_session_contract():
@@ -139,8 +157,7 @@ def test_incremental_session_contract():
 def main(argv: list[str]) -> int:
     out = argv[1] if len(argv) > 1 else "BENCH_incremental.json"
     result = bench_report()
-    with open(out, "w") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
+    write_payload(out, result)
     print(
         f"full:        {result['full']['elapsed_s'] * 1e3:8.1f} ms  "
         f"{result['full']['backtrack_steps']:>8.0f} backtracks  "

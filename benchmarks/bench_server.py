@@ -14,12 +14,12 @@ Run under pytest (``pytest benchmarks/bench_server.py``) or as a script
 
 from __future__ import annotations
 
-import json
 import random
 import statistics
 import sys
 import time
 
+from bench_common import metric, write_payload
 from repro.core.qoco import QOCOConfig
 from repro.datasets.noise import inject_result_errors
 from repro.datasets.worldcup import worldcup_database
@@ -71,14 +71,6 @@ def build_session():
     return ground_truth, errors.dirty
 
 
-def snapshot(database) -> list[str]:
-    return sorted(
-        repr(f)
-        for relation in database.schema
-        for f in database.facts(relation.name)
-    )
-
-
 # ----------------------------------------------------------------------
 # fork vs copy
 # ----------------------------------------------------------------------
@@ -125,7 +117,7 @@ def run_tenants(ground_truth, dirty_base, *, share: bool) -> dict:
         "committed": report.committed,
         "failed": report.failed,
         "replays": report.replays,
-        "final_db": snapshot(base),
+        "final_db_digest": base.state_digest(),
     }
 
 
@@ -166,7 +158,8 @@ def bench_report() -> dict:
     shared = run_tenants(ground_truth, dirty, share=True)
     isolated = run_tenants(ground_truth, dirty, share=False)
     fleet = run_dispatch_fleet(ground_truth, dirty)
-    return {
+    saved = isolated["member_answers"] - shared["member_answers"]
+    result = {
         "workload": {
             "dataset": "worldcup",
             "facts": len(ground_truth),
@@ -174,13 +167,26 @@ def bench_report() -> dict:
             "seed": SEED,
         },
         "fork_vs_copy": fork,
-        "shared": {k: v for k, v in shared.items() if k != "final_db"},
-        "isolated": {k: v for k, v in isolated.items() if k != "final_db"},
-        "member_answers_saved": isolated["member_answers"]
-        - shared["member_answers"],
-        "identical_db": shared["final_db"] == isolated["final_db"],
+        "shared": shared,
+        "isolated": isolated,
+        "member_answers_saved": saved,
+        "identical_db": shared["final_db_digest"] == isolated["final_db_digest"],
         "wall_clock": fleet,
     }
+    result["metrics"] = {
+        # measured time: wide band, a loaded runner may halve the ratio
+        "fork_speedup": metric(fork["speedup"], "higher", 0.80),
+        # seeded counters: bit-exact across runs
+        "shared_member_answers": metric(shared["member_answers"]),
+        "isolated_member_answers": metric(isolated["member_answers"]),
+        "member_answers_saved": metric(saved, "higher", 0.0),
+        "shared_hits": metric(shared["shared_hits"], "higher", 0.0),
+        # simulated clocks: deterministic, but leave a sliver for float noise
+        "concurrent_s": metric(fleet["concurrent_s"], "lower", 0.01),
+        "sequential_s": metric(fleet["sequential_s"], "lower", 0.01),
+        "identical_db": metric(int(result["identical_db"])),
+    }
+    return result
 
 
 def check(result: dict) -> list[str]:
@@ -221,8 +227,7 @@ def test_server_contract():
 def main(argv: list[str]) -> int:
     out = argv[1] if len(argv) > 1 else "BENCH_server.json"
     result = bench_report()
-    with open(out, "w") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
+    write_payload(out, result)
     fork = result["fork_vs_copy"]
     print(
         f"fork {fork['fork_median_us']:.1f}us vs copy "

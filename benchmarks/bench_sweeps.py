@@ -6,8 +6,6 @@ the text's trends: more noise (lower cleanliness) means more errors and
 more questions, and cleaning converges at every level.
 """
 
-from repro.datasets.worldcup import worldcup_database
-from repro.experiments.reporting import render_table
 from repro.experiments.sweeps import sweep_cleanliness, sweep_skewness
 from repro.workloads import Q1
 

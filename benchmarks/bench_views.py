@@ -6,7 +6,6 @@ edits the base tables; incremental maintenance must beat recomputing
 database with the running-example view.
 """
 
-import pytest
 
 from repro.db.tuples import fact
 from repro.query.evaluator import evaluate

@@ -1,0 +1,137 @@
+"""Compare a fresh ``BENCH_*.json`` against its committed baseline.
+
+The perf-regression gate of the CI pipeline::
+
+    python benchmarks/bench_server.py BENCH_server.json
+    python benchmarks/check_regression.py BENCH_server.json
+
+Every gated bench payload carries a ``metrics`` block (see
+``benchmarks/bench_common.py``) of ``{"value", "direction",
+"tolerance"}`` entries.  The baseline in ``benchmarks/baselines/``
+carries the same block, and the *baseline's* direction and tolerance are
+the contract — a fresh run cannot loosen its own gate:
+
+* ``exact``  — the fresh value must equal the baseline (deterministic,
+  seeded counters; a drift means changed behaviour);
+* ``lower``  — lower is better; fresh must stay within
+  ``baseline * (1 + tolerance)``;
+* ``higher`` — higher is better; fresh must stay within
+  ``baseline * (1 - tolerance)``.
+
+A metric present in the baseline but missing from the fresh run fails
+the gate (a silently dropped measurement is a regression in coverage);
+a new metric only in the fresh run is reported but passes — commit it
+with ``--update`` to start gating it.
+
+Exit status: 0 = within tolerance, 1 = regression (or missing/corrupt
+files), making it a plain CI step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import shutil
+import sys
+from pathlib import Path
+
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+
+def load_metrics(path: Path) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        raise SystemExit(f"{path}: no 'metrics' block — not a gated bench payload")
+    return metrics
+
+
+def exact_match(fresh: float, base: float) -> bool:
+    if isinstance(fresh, float) or isinstance(base, float):
+        return math.isclose(fresh, base, rel_tol=1e-9, abs_tol=1e-12)
+    return fresh == base
+
+
+def judge(name: str, base: dict, fresh: dict) -> tuple[bool, str]:
+    """(passed, human-readable verdict line) for one metric."""
+    direction = base.get("direction", "exact")
+    tolerance = base.get("tolerance", 0.0)
+    base_value, fresh_value = base["value"], fresh["value"]
+    if direction == "exact":
+        ok = exact_match(fresh_value, base_value)
+        band = "== baseline"
+    elif direction == "lower":
+        bound = base_value * (1 + tolerance)
+        ok = fresh_value <= bound
+        band = f"<= {bound:g}"
+    elif direction == "higher":
+        bound = base_value * (1 - tolerance)
+        ok = fresh_value >= bound
+        band = f">= {bound:g}"
+    else:
+        return False, f"{name}: unknown direction {direction!r} in baseline"
+    status = "ok  " if ok else "FAIL"
+    return ok, (
+        f"{status} {name:32s} {fresh_value:>14g}  "
+        f"(baseline {base_value:g}, {direction}, {band})"
+    )
+
+
+def compare(fresh_path: Path, baseline_path: Path) -> int:
+    base_metrics = load_metrics(baseline_path)
+    fresh_metrics = load_metrics(fresh_path)
+    failures = 0
+    for name in sorted(base_metrics):
+        if name not in fresh_metrics:
+            print(f"FAIL {name}: present in baseline, missing from fresh run")
+            failures += 1
+            continue
+        ok, line = judge(name, base_metrics[name], fresh_metrics[name])
+        print(line)
+        failures += 0 if ok else 1
+    for name in sorted(set(fresh_metrics) - set(base_metrics)):
+        print(f"new  {name}: not in baseline yet (run with --update to gate it)")
+    if failures:
+        print(f"\n{failures} metric(s) regressed against {baseline_path}")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=BASELINE_DIR,
+        help="directory of committed baselines (default: benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the fresh payload over the baseline instead of comparing",
+    )
+    args = parser.parse_args(argv[1:])
+
+    if not args.fresh.exists():
+        print(f"fresh payload {args.fresh} does not exist")
+        return 1
+    baseline = args.baseline_dir / args.fresh.name
+    if args.update:
+        load_metrics(args.fresh)  # refuse to bless a payload with no gate
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.fresh, baseline)
+        print(f"baseline updated: {baseline}")
+        return 0
+    if not baseline.exists():
+        print(
+            f"no baseline {baseline} — create one with "
+            f"'python benchmarks/check_regression.py {args.fresh} --update'"
+        )
+        return 1
+    return compare(args.fresh, baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -41,6 +41,8 @@ __all__ = [
     "clean_union",
     "dispatch_clean",
     "open_session",
+    "recover",
+    "recover_server",
     "serve",
 ]
 
@@ -120,8 +122,40 @@ def serve(database: Database, **kwargs) -> SessionManager:
 
     Keyword arguments are :class:`~repro.server.manager.SessionManager`
     options (``mode=``, ``share_answers=``, ``max_concurrent=``, ...).
+    Pass ``durable_path="some/dir"`` for a crash-safe server: every
+    commit is written (and fsynced, per ``sync=``) to a write-ahead log
+    before it is acknowledged, and :func:`recover` /
+    :func:`recover_server` rebuild the database, tenant ledgers, and
+    answer board after a restart.  See ``docs/durability.md``.
     """
     return SessionManager(database, **kwargs)
+
+
+def recover(durable_path):
+    """Rebuild the durable state under *durable_path* (read-only).
+
+    Returns a :class:`~repro.durability.RecoveredState` — the database,
+    the per-tenant ledger, and the answer board of already-paid crowd
+    verdicts — from the latest checkpoint plus the WAL suffix, with any
+    torn tail discarded.
+    """
+    from .durability.recovery import recover as _recover
+
+    return _recover(durable_path)
+
+
+def recover_server(durable_path, **kwargs) -> SessionManager:
+    """Recover *durable_path* and resume serving from it.
+
+    The returned :class:`SessionManager` carries the recovered
+    database/ledgers/board and keeps appending to the same write-ahead
+    log.  Keyword arguments are forwarded to the manager (plus the
+    durability knobs ``sync=``, ``checkpoint_every=``,
+    ``checkpoint_interval=``).
+    """
+    from .durability.recovery import recover_manager as _recover_manager
+
+    return _recover_manager(durable_path, **kwargs)
 
 
 def open_session(

@@ -14,12 +14,11 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..db.database import Database
 from ..db.edits import Edit, insert
-from ..db.tuples import Fact
 from ..oracle.base import AccountingOracle
 from ..query.ast import Query
 from ..query.evaluator import Answer, Assignment, Evaluator, atom_pattern, witness_of

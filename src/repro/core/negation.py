@@ -39,12 +39,7 @@ from ..db.edits import Edit, delete, insert
 from ..db.tuples import Fact
 from ..oracle.base import AccountingOracle
 from ..query.ast import Atom, Query, Var
-from ..query.evaluator import (
-    Answer,
-    Evaluator,
-    negated_match_exists,
-    witness_of,
-)
+from ..query.evaluator import Answer, Evaluator, witness_of
 from ..query.subquery import embed_answer
 from .deletion import DeletionError
 from .insertion import InsertionConfig, InsertionError, crowd_add_missing_answer
@@ -234,8 +229,6 @@ def _matching_blockers(
 ) -> list[Fact]:
     """All database facts matching a negated atom under *assignment*
     (wildcards free, repeated wildcards consistent)."""
-    from ..query.evaluator import atom_pattern
-
     partial = atom.substitute(dict(assignment))
     pattern = [
         None if isinstance(term, Var) else term for term in partial.terms

@@ -46,8 +46,8 @@ from .insertion import (
     _near_witness_score,
 )
 from .qoco import QOCOConfig, resolve_config
-from .report import ParallelReport, Report
-from .split import ProvenanceSplit, SplitStrategy
+from .report import ParallelReport
+from .split import SplitStrategy
 
 Request = tuple
 Task = Generator[Request, object, list[Edit]]

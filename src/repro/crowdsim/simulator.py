@@ -27,7 +27,7 @@ import heapq
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..oracle.questions import CLOSED_KINDS, Interaction, InteractionLog
 

@@ -268,6 +268,28 @@ class Database:
         """
         return Database(self.schema, self)
 
+    def state_digest(self) -> str:
+        """A stable content hash of this instance (schema + facts).
+
+        Two databases holding the same facts digest identically,
+        whatever their edit history — the equality the durability
+        layer's crash-recovery matrix and the benchmark baselines
+        compare on.
+        """
+        from ..durability import codec
+
+        return codec.database_digest(self)
+
+    def apply_exported(self, edit_objs: Iterable[dict]) -> int:
+        """Apply an edit log exported by :meth:`DatabaseFork.export_edit_log`.
+
+        Returns the number of edits that changed ``D`` (idempotent
+        edits replay safely).
+        """
+        from ..durability import codec
+
+        return self.apply(codec.edits_from_obj(edit_objs))
+
     def fork(self) -> "Database":
         """A copy-on-write snapshot of this instance.
 

@@ -37,7 +37,7 @@ ordered edit log a session later replays onto the base at commit time.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterator, Optional
+from typing import Iterator
 
 from .database import ANY, Database, Pattern, match_indexed
 from .edits import Edit, EditKind
@@ -102,6 +102,18 @@ class DatabaseFork(Database):
         return sum(len(s) for s in self._added.values()) + sum(
             len(s) for s in self._removed.values()
         )
+
+    def export_edit_log(self) -> list[dict]:
+        """The pending edit log as JSON-serializable objects.
+
+        This is the payload a durable server writes into its WAL commit
+        record; :meth:`Database.apply_exported` replays it losslessly
+        (``tests/test_durability.py`` pins the round-trip, including
+        negative and float-valued facts).
+        """
+        from ..durability import codec
+
+        return codec.edits_to_obj(self._edit_log)
 
     def fork(self) -> Database:
         raise ForkError(

@@ -119,5 +119,16 @@ class AnswerBoard:
                 self._answers[key] = value
                 self.publishes += 1
 
+    def entries(self, start: int = 0) -> list[tuple[Hashable, Any]]:
+        """The published ``(key, value)`` pairs, in publication order.
+
+        First-writer-wins and no deletions make the order stable, so a
+        caller may keep an integer cursor and read only the suffix —
+        how the durability layer exports board deltas per WAL record.
+        """
+        with self._lock:
+            items = list(self._answers.items())
+        return items[start:]
+
 
 __all__ = ["AnswerBoard", "DedupIndex", "question_key", "QuestionKind"]

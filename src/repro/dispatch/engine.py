@@ -33,7 +33,7 @@ equal, tying the live engine to the already-validated §6.2 model.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence
 
 from ..core.parallel import ParallelQOCO, RoundScheduler
@@ -53,7 +53,7 @@ from ..oracle.questions import QuestionKind
 from ..telemetry import TELEMETRY as _TELEMETRY
 from .dedup import AnswerBoard, question_key
 from .policy import Budget, FaultKind, FaultModel, RetryPolicy
-from .workers import Worker, WorkerPool
+from .workers import WorkerPool
 
 
 @dataclass

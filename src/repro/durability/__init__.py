@@ -1,0 +1,43 @@
+"""Durability for the multi-tenant cleaning server (WAL + checkpoints).
+
+QOCO's output is a sequence of oracle-certified edits (§2, Def. 2.3)
+bought with crowd answers — the cost model's scarcest resource.  This
+package makes that output survive a crash: every committed session is
+appended to a length-prefixed, checksummed write-ahead log *before* the
+commit is acknowledged, a checkpointer periodically snapshots the full
+server state and truncates the log, and recovery rebuilds the database,
+per-tenant ledgers, and cross-session answer board from the latest
+snapshot plus the WAL suffix, discarding torn tails.
+
+Entry points::
+
+    manager = repro.api.serve(db, durable_path="state/")   # durable server
+    state   = repro.api.recover("state/")                  # read-only rebuild
+    manager = repro.api.recover_server("state/")           # rebuild + resume
+
+See ``docs/durability.md`` for the record format, fsync policies, and
+recovery invariants; ``tests/test_durability.py`` pins the crash matrix.
+"""
+
+from .checkpoint import Checkpointer
+from .crash import CrashMatrixReport, CrashPoint, run_crash_matrix
+from .recovery import RecoveredState, recover, recover_manager
+from .store import DurabilityError, DurabilityStore
+from .wal import SYNC_POLICIES, WalError, WalReadResult, WalWriter, read_wal
+
+__all__ = [
+    "Checkpointer",
+    "CrashMatrixReport",
+    "CrashPoint",
+    "DurabilityError",
+    "DurabilityStore",
+    "RecoveredState",
+    "SYNC_POLICIES",
+    "WalError",
+    "WalReadResult",
+    "WalWriter",
+    "read_wal",
+    "recover",
+    "recover_manager",
+    "run_crash_matrix",
+]

@@ -1,0 +1,68 @@
+"""The background checkpointer.
+
+A daemon thread that periodically snapshots the server's full state
+(database + ledger + board) through
+:meth:`repro.server.manager.SessionManager.checkpoint`, which truncates
+the WAL.  Checkpoints bound two costs at once: recovery replay length
+and log size on disk.
+
+The thread only checkpoints when the log has grown (``min_records``
+fresh records since the last snapshot), so an idle server does no
+disk work.  Checkpointing is also available synchronously — the
+manager calls it inline when ``checkpoint_every`` records have
+accumulated, and :meth:`SessionManager.close` can take a final one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..server.manager import SessionManager
+
+
+class Checkpointer(threading.Thread):
+    """Snapshot *manager* every *interval* seconds (if the log grew)."""
+
+    def __init__(
+        self,
+        manager: "SessionManager",
+        *,
+        interval: float = 5.0,
+        min_records: int = 1,
+    ) -> None:
+        super().__init__(name="repro-durability-checkpointer", daemon=True)
+        if interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        if min_records < 1:
+            raise ValueError("min_records must be >= 1")
+        self.manager = manager
+        self.interval = interval
+        self.min_records = min_records
+        self._stop_event = threading.Event()
+        #: checkpoints this thread has taken (for tests/telemetry)
+        self.checkpoints_taken = 0
+
+    def run(self) -> None:
+        while not self._stop_event.wait(self.interval):
+            self._maybe_checkpoint()
+
+    def _maybe_checkpoint(self) -> None:
+        store = self.manager._store
+        if store is None:
+            return
+        if store.records_since_checkpoint >= self.min_records:
+            self.manager.checkpoint()
+            self.checkpoints_taken += 1
+
+    def stop(self, *, final_checkpoint: bool = False) -> None:
+        """Stop the thread; optionally take one last snapshot."""
+        self._stop_event.set()
+        if self.is_alive():
+            self.join(timeout=10.0)
+        if final_checkpoint:
+            self._maybe_checkpoint()
+
+
+__all__ = ["Checkpointer"]

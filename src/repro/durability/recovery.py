@@ -1,0 +1,191 @@
+"""Rebuilding a durable server from its checkpoint + WAL suffix.
+
+:func:`recover` is read-only: it loads the latest valid snapshot,
+replays every WAL record whose ``seq`` the snapshot does not already
+subsume, discards a torn tail, and returns the reconstructed state —
+the database, the per-tenant ledger, and the answer board (so already
+paid crowd verdicts are never re-bought).  :func:`recover_manager`
+additionally re-attaches the directory to a fresh
+:class:`~repro.server.manager.SessionManager` that keeps appending to
+the same log.
+
+Recovery invariants (pinned by ``tests/test_durability.py``):
+
+* **prefix consistency** — for *any* byte-level truncation of the WAL,
+  recovery yields exactly the state after the longest prefix of whole
+  valid records (a torn record is as if it never committed);
+* **completeness** — recovering an untruncated log reproduces the live
+  server's final database, ledger, and board bit-identically;
+* **idempotence** — records with ``seq <= checkpoint.seq`` are skipped,
+  so a crash between checkpoint-rename and WAL-truncate double-applies
+  nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..db.database import Database
+from ..dispatch.dedup import AnswerBoard
+from ..telemetry import TELEMETRY as _TELEMETRY
+from . import codec
+from .store import CHECKPOINT_FILE, WAL_FILE, DurabilityError, DurabilityStore
+from .wal import PathLike, read_wal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..server.manager import SessionManager
+
+
+@dataclass
+class RecoveredState:
+    """Everything :func:`recover` reconstructed from one directory."""
+
+    database: Database
+    ledger: dict[str, int] = field(default_factory=dict)
+    board: AnswerBoard = field(default_factory=AnswerBoard)
+    #: highest sequence number seen (checkpoint or replayed record)
+    last_seq: int = 0
+    checkpoint_seq: int = 0
+    records_replayed: int = 0
+    torn_bytes: int = 0
+    #: the replayed commit/charge records, in log order
+    replayed: list = field(default_factory=list)
+
+    @property
+    def digest(self) -> str:
+        """Content hash of the recovered database (for comparisons)."""
+        return codec.database_digest(self.database)
+
+
+def _load_checkpoint(path: Path) -> dict[str, Any]:
+    checkpoint_path = path / CHECKPOINT_FILE
+    if not checkpoint_path.exists():
+        raise DurabilityError(
+            f"no {CHECKPOINT_FILE} in {path}: not a durable server directory"
+        )
+    try:
+        with open(checkpoint_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise DurabilityError(
+            f"corrupt checkpoint at {checkpoint_path}: {error}"
+        ) from error
+    if not isinstance(document, dict) or document.get("type") != "checkpoint":
+        raise DurabilityError(f"{checkpoint_path} is not a durability checkpoint")
+    return document
+
+
+def apply_record(
+    record: dict[str, Any],
+    database: Database,
+    ledger: dict[str, int],
+    board: AnswerBoard,
+) -> None:
+    """Apply one WAL record to the recovering state (in log order)."""
+    kind = record.get("type")
+    if kind == "commit":
+        for edit in codec.edits_from_obj(record.get("edits", ())):
+            edit.apply(database)
+    elif kind != "charge":
+        raise DurabilityError(f"unknown WAL record type {kind!r}")
+    tenant = record.get("tenant")
+    cost = int(record.get("cost", 0))
+    if tenant is not None and cost:
+        ledger[tenant] = ledger.get(tenant, 0) + cost
+    for key, value in codec.board_entries_from_obj(record.get("board", ())):
+        board.put(key, value)
+
+
+def recover(path: PathLike) -> RecoveredState:
+    """Rebuild the durable state under *path* (read-only).
+
+    Loads the latest snapshot, replays the WAL suffix in sequence
+    order, and silently discards a torn tail (reported via
+    :attr:`RecoveredState.torn_bytes`).
+    """
+    start = time.perf_counter()
+    path = Path(path)
+    checkpoint = _load_checkpoint(path)
+    database = codec.database_from_obj(checkpoint["database"])
+    expected = checkpoint.get("digest")
+    if expected is not None and codec.database_digest(database) != expected:
+        raise DurabilityError(
+            f"checkpoint digest mismatch in {path}: snapshot is corrupt"
+        )
+    ledger: dict[str, int] = {
+        tenant: int(spent) for tenant, spent in checkpoint.get("ledger", {}).items()
+    }
+    board = AnswerBoard()
+    for key, value in codec.board_entries_from_obj(checkpoint.get("board", ())):
+        board.put(key, value)
+    checkpoint_seq = int(checkpoint.get("seq", 0))
+
+    log = read_wal(path / WAL_FILE)
+    state = RecoveredState(
+        database=database,
+        ledger=ledger,
+        board=board,
+        last_seq=checkpoint_seq,
+        checkpoint_seq=checkpoint_seq,
+        torn_bytes=log.torn_bytes,
+    )
+    for record in log.records:
+        seq = int(record.get("seq", 0))
+        if seq <= checkpoint_seq:
+            continue  # subsumed by the snapshot (crash between rename+truncate)
+        apply_record(record, database, ledger, board)
+        state.replayed.append(record)
+        state.records_replayed += 1
+        state.last_seq = max(state.last_seq, seq)
+    if _TELEMETRY.enabled:
+        _TELEMETRY.count("durability.recoveries")
+        _TELEMETRY.observe("durability.replay_records", state.records_replayed)
+        _TELEMETRY.observe("durability.recovery_s", time.perf_counter() - start)
+    return state
+
+
+def recover_manager(
+    path: PathLike,
+    *,
+    sync: str = "always",
+    checkpoint_every: Optional[int] = None,
+    checkpoint_interval: Optional[float] = None,
+    **manager_kwargs: Any,
+) -> "SessionManager":
+    """Recover *path* and re-attach it to a fresh session manager.
+
+    The returned manager serves the recovered database, carries the
+    recovered per-tenant ledger and answer board, and continues
+    appending to the same WAL (after clipping any torn tail, so new
+    records stay reachable).  Additional keyword arguments are
+    forwarded to :class:`~repro.server.manager.SessionManager`.
+    """
+    from ..server.manager import SessionManager
+
+    state = recover(path)
+    if state.torn_bytes:
+        # clip the tear so appended records follow the last valid one
+        log = read_wal(Path(path) / WAL_FILE)
+        os.truncate(Path(path) / WAL_FILE, log.valid_bytes)
+    manager_kwargs.setdefault("share_answers", state.board)
+    manager = SessionManager(state.database, **manager_kwargs)
+    for tenant, spent in state.ledger.items():
+        manager.ledger.charge(tenant, spent)
+    store = DurabilityStore(path, sync=sync, resume=True)
+    store.last_seq = state.last_seq
+    store.checkpoint_seq = state.checkpoint_seq
+    store.records_since_checkpoint = state.records_replayed
+    manager._attach_durability(
+        store,
+        checkpoint_every=checkpoint_every,
+        checkpoint_interval=checkpoint_interval,
+    )
+    return manager
+
+
+__all__ = ["RecoveredState", "apply_record", "recover", "recover_manager"]

@@ -1,0 +1,195 @@
+"""The durability store: one directory = one durable server instance.
+
+Layout::
+
+    <dir>/checkpoint.json   latest full snapshot (atomic tmp+rename)
+    <dir>/wal.log           commit/charge records since that snapshot
+
+Two record types flow through the WAL, both carrying a monotone ``seq``
+that continues across checkpoints:
+
+* ``commit`` — one committed cleaning session: its serialized edit
+  sequence, tenant id, ledger delta (question-unit cost), and the
+  answer-board verdicts published since the previous record;
+* ``charge`` — a ledger delta from a session that spent crowd answers
+  but did not commit (conflict-replay exhaustion, a raised run), plus
+  any board verdicts it published — paid answers stay durable even when
+  the edits do not land.
+
+Checkpoints subsume the log: :meth:`DurabilityStore.checkpoint` writes
+the snapshot to a temp file, fsyncs it, atomically renames it over
+``checkpoint.json``, fsyncs the directory, and only then truncates the
+WAL.  A crash between the rename and the truncate leaves stale records
+(``seq <= checkpoint.seq``) in the log; recovery skips them by sequence
+number, so every crash window is covered.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from ..telemetry import TELEMETRY as _TELEMETRY
+from .codec import canonical_json
+from .wal import SYNC_POLICIES, WalError, WalReadResult, WalWriter, read_wal
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_FILE = "checkpoint.json"
+CHECKPOINT_TMP = "checkpoint.json.tmp"
+WAL_FILE = "wal.log"
+
+
+class DurabilityError(RuntimeError):
+    """A durability-layer failure (bad directory, corrupt checkpoint, ...)."""
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make a rename inside *directory* durable (POSIX best effort)."""
+    try:
+        handle = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(handle)
+    finally:
+        os.close(handle)
+
+
+class DurabilityStore:
+    """Owns the checkpoint file and the WAL of one durable directory."""
+
+    def __init__(
+        self,
+        directory: PathLike,
+        *,
+        sync: str = "always",
+        resume: bool = False,
+    ) -> None:
+        if sync not in SYNC_POLICIES:
+            raise WalError(f"unknown sync policy {sync!r}; pick one of {SYNC_POLICIES}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.sync_policy = sync
+        self.checkpoint_path = self.directory / CHECKPOINT_FILE
+        self.wal_path = self.directory / WAL_FILE
+        if not resume and self.has_state():
+            raise DurabilityError(
+                f"{self.directory} already holds durable state; recover it with "
+                "repro.durability.recover(...) / recover_manager(...) instead of "
+                "attaching a fresh server"
+            )
+        self._writer = WalWriter(self.wal_path, sync=sync)
+        self.last_seq = 0
+        self.checkpoint_seq = 0
+        self.records_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def has_state(self) -> bool:
+        """Does this directory already hold a checkpoint or log records?"""
+        if self.checkpoint_path.exists():
+            return True
+        return self.wal_path.exists() and self.wal_path.stat().st_size > 0
+
+    def read_log(self) -> WalReadResult:
+        return read_wal(self.wal_path)
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def next_seq(self) -> int:
+        self.last_seq += 1
+        return self.last_seq
+
+    def append(self, record: dict[str, Any]) -> int:
+        """Append one sequenced record; durable per the sync policy."""
+        if "seq" not in record:
+            record = dict(record, seq=self.next_seq())
+        else:
+            self.last_seq = max(self.last_seq, int(record["seq"]))
+        size = self._writer.append(record)
+        self.records_since_checkpoint += 1
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count(f"durability.{record.get('type', 'unknown')}_records")
+        return size
+
+    def sync(self) -> None:
+        self._writer.sync()
+
+    # ------------------------------------------------------------------
+    # checkpoints
+    # ------------------------------------------------------------------
+    def write_checkpoint(self, state: dict[str, Any]) -> int:
+        """Atomically replace the snapshot, then truncate the WAL.
+
+        *state* is the serialized server state (database, ledger, board);
+        the store stamps it with ``seq`` so recovery knows which log
+        suffix is still relevant.  Returns the checkpoint size in bytes.
+        """
+        start = time.perf_counter()
+        document = dict(state)
+        document.setdefault("type", "checkpoint")
+        document["seq"] = self.last_seq
+        payload = canonical_json(document).encode("utf-8")
+        tmp_path = self.directory / CHECKPOINT_TMP
+        with open(tmp_path, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            if self.sync_policy != "never":
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, self.checkpoint_path)
+        if self.sync_policy != "never":
+            _fsync_directory(self.directory)
+        # the snapshot is durable: the log records it subsumes may go
+        self._writer.truncate()
+        self.checkpoint_seq = self.last_seq
+        self.records_since_checkpoint = 0
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("durability.checkpoints")
+            _TELEMETRY.observe("durability.checkpoint_bytes", len(payload))
+            _TELEMETRY.observe(
+                "durability.checkpoint_s", time.perf_counter() - start
+            )
+        return len(payload)
+
+    def read_checkpoint(self) -> Optional[dict[str, Any]]:
+        """The latest snapshot, or ``None`` for a virgin directory."""
+        if not self.checkpoint_path.exists():
+            return None
+        try:
+            with open(self.checkpoint_path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise DurabilityError(
+                f"corrupt checkpoint at {self.checkpoint_path}: {error}"
+            ) from error
+        if not isinstance(document, dict) or document.get("type") != "checkpoint":
+            raise DurabilityError(
+                f"{self.checkpoint_path} is not a durability checkpoint"
+            )
+        return document
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "DurabilityStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+__all__ = [
+    "CHECKPOINT_FILE",
+    "DurabilityError",
+    "DurabilityStore",
+    "WAL_FILE",
+]

@@ -27,15 +27,8 @@ from ..oracle.perfect import PerfectOracle
 from ..query.evaluator import Evaluator
 from ..workloads.dbgroup_queries import DBGROUP_QUERIES
 from ..workloads.soccer_queries import SOCCER_QUERIES
-from .harness import (
-    BAR_HEADERS,
-    BarMeasurement,
-    plant_errors,
-    run_deletion,
-    run_insertion,
-    run_mixed,
-)
-from .reporting import render_category_stack, render_figure
+from .harness import BAR_HEADERS, plant_errors, run_deletion, run_insertion, run_mixed
+from .reporting import render_figure
 
 DELETION_ALGOS = ("QOCO", "QOCO-", "Random")
 INSERTION_ALGOS = ("Provenance", "MinCut", "Random")

@@ -21,7 +21,7 @@ from ..db.database import Database
 from ..db.schema import RelationSchema, Schema
 from ..db.tuples import Constant, Fact
 from ..query.ast import Atom, Query, Var
-from .sat import Clause, Formula, clause_variables, clause_satisfying_rows, validate_formula
+from .sat import Formula, clause_variables, clause_satisfying_rows, validate_formula
 
 #: The distinguished constant of both reductions.
 D_CONST = "d"

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import Counter
 from itertools import combinations
-from typing import FrozenSet, Hashable, Iterable, Optional, Sequence, TypeVar
+from typing import Hashable, Iterable, Optional, Sequence, TypeVar
 
 Element = TypeVar("Element", bound=Hashable)
 SetSystem = Sequence[frozenset]

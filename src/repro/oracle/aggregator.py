@@ -14,7 +14,7 @@ is no longer needed."
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Sequence
+from typing import Callable
 
 #: Asks one crowd member the (closed) question; returns their boolean answer.
 AskMember = Callable[[int], bool]

@@ -23,7 +23,7 @@ from typing import Iterable, Mapping, Optional
 
 from ..db.database import Database
 from ..db.tuples import Constant, Fact
-from ..query.ast import Atom, Query, Var
+from ..query.ast import Query, Var
 from ..query.evaluator import Answer, Assignment
 from .base import Oracle
 from .perfect import PerfectOracle

@@ -26,7 +26,7 @@ from typing import Callable, Generic, Mapping, TypeVar
 from ..db.database import Database
 from ..db.tuples import Fact
 from ..query.ast import Query
-from ..query.evaluator import Answer, Evaluator, witness_of
+from ..query.evaluator import Answer, Evaluator
 
 Value = TypeVar("Value")
 

@@ -11,7 +11,7 @@ Every head term must occur in some body atom (safety).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional, Sequence
 
 from ..db.schema import Schema, SchemaError

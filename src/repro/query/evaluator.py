@@ -10,7 +10,7 @@ on the paper's laptop-scale databases.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Optional
+from typing import Iterator, Mapping, Optional
 
 from ..db.database import Database
 from ..db.tuples import Constant, Fact

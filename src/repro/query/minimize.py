@@ -22,7 +22,6 @@ only ever *keep* a query it cannot prove redundant).
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import Optional
 
 from ..db.database import Database

@@ -15,7 +15,7 @@ queries whose selective atoms hide behind unselective ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Optional
 
 from ..db.database import Database
 from ..query.ast import Atom, Query, Var

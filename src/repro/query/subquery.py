@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from ..db.tuples import Fact
-from .ast import Atom, Inequality, Query, QueryError, Var
+from .ast import Query, QueryError, Var
 from .evaluator import Answer, answer_to_partial
 
 

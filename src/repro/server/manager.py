@@ -28,9 +28,11 @@ crowd's work (``server.shared_hits``).
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from pathlib import Path
+from typing import Any, Optional, Union
 
 from ..core.qoco import QOCOConfig
 from ..db.database import Database
@@ -121,6 +123,25 @@ class SessionManager:
         Run-slot cap; ``None`` runs every admitted session at once.
     max_replays:
         Conflict replays per session before it is marked ``FAILED``.
+    durable_path:
+        Directory for the write-ahead log + checkpoints
+        (:mod:`repro.durability`).  When set, every commit is appended
+        to the WAL — and fsynced, per *sync* — **before** the commit is
+        acknowledged, and an initial checkpoint of the base database is
+        written at attach time.  ``None`` (default) keeps the server
+        purely in-memory.  A directory that already holds durable state
+        is refused — resume it with
+        :func:`repro.durability.recover_manager` instead.
+    sync:
+        Fsync policy for the WAL: ``"always"`` (fsync per commit ack,
+        default), ``"batch"`` (flush per commit, fsync on checkpoint /
+        close), or ``"never"`` (leave it to the OS).
+    checkpoint_every:
+        Take a synchronous checkpoint after this many WAL records
+        (``None`` = only explicit/interval checkpoints).
+    checkpoint_interval:
+        Run a background :class:`~repro.durability.Checkpointer` thread
+        snapshotting every this-many seconds when the log grew.
     """
 
     def __init__(
@@ -133,6 +154,10 @@ class SessionManager:
         pool=None,
         max_concurrent: Optional[int] = None,
         max_replays: int = 3,
+        durable_path: Optional[Union[str, Path]] = None,
+        sync: str = "always",
+        checkpoint_every: Optional[int] = None,
+        checkpoint_interval: Optional[float] = None,
     ) -> None:
         if isinstance(database, DatabaseFork):
             raise ValueError("the shared base must not itself be a fork")
@@ -156,6 +181,163 @@ class SessionManager:
         self._queue: list[CleaningSession] = []
         self._commit_lock = threading.Lock()
         self._next_id = 0
+        self._store = None
+        self._checkpointer = None
+        self._checkpoint_every: Optional[int] = None
+        self._board_cursor = 0
+        if durable_path is not None:
+            from ..durability.store import DurabilityStore
+
+            store = DurabilityStore(durable_path, sync=sync)
+            self._attach_durability(
+                store,
+                checkpoint_every=checkpoint_every,
+                checkpoint_interval=checkpoint_interval,
+                initial_checkpoint=True,
+            )
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @property
+    def durable(self) -> bool:
+        """Is a write-ahead log attached to this manager?"""
+        return self._store is not None
+
+    def _attach_durability(
+        self,
+        store,
+        *,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_interval: Optional[float] = None,
+        initial_checkpoint: bool = False,
+    ) -> None:
+        """Wire a :class:`~repro.durability.DurabilityStore` to commits.
+
+        Called by ``__init__`` (fresh directory, with an initial
+        checkpoint so recovery always has a base snapshot) and by
+        :func:`repro.durability.recover_manager` (resume: the recovered
+        board/ledger are already loaded, the WAL keeps growing).
+        """
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 (or None)")
+        self._store = store
+        self._checkpoint_every = checkpoint_every
+        self._board_cursor = len(self.board.entries()) if self.board else 0
+        if initial_checkpoint:
+            with self._commit_lock:
+                self._checkpoint_locked()
+        if checkpoint_interval is not None:
+            from ..durability.checkpoint import Checkpointer
+
+            self._checkpointer = Checkpointer(self, interval=checkpoint_interval)
+            self._checkpointer.start()
+
+    def _serialize_state(self) -> dict[str, Any]:
+        """The full checkpoint payload (call under the commit lock)."""
+        from ..durability import codec
+
+        entries = self.board.entries() if self.board is not None else []
+        self._board_cursor = len(entries)
+        return {
+            "database": codec.database_to_obj(self.database),
+            "digest": codec.database_digest(self.database),
+            "ledger": self.ledger.snapshot(),
+            "board": codec.board_entries_to_obj(entries),
+        }
+
+    def _board_delta(self) -> list[list]:
+        """Board verdicts published since the last WAL record/checkpoint."""
+        from ..durability import codec
+
+        if self.board is None:
+            return []
+        entries = self.board.entries(self._board_cursor)
+        self._board_cursor += len(entries)
+        return codec.board_entries_to_obj(entries)
+
+    def _log_commit(self, session: CleaningSession, fork: DatabaseFork) -> None:
+        """Append the commit record and make it durable (under the lock).
+
+        This runs *before* the edits touch the base and before the
+        caller acknowledges the commit: once :meth:`DurabilityStore.append`
+        returns under ``sync="always"``, the session's paid answers and
+        certified edits survive any crash.
+        """
+        start = time.perf_counter()
+        self._store.append(
+            {
+                "type": "commit",
+                "session": session.session_id,
+                "tenant": session.tenant,
+                "cost": session.total_cost,
+                "edits": fork.export_edit_log(),
+                "board": self._board_delta(),
+            }
+        )
+        if _TELEMETRY.enabled:
+            _TELEMETRY.observe(
+                "durability.commit_ack_s", time.perf_counter() - start
+            )
+
+    def _log_charge(self, session: CleaningSession, spent: int) -> None:
+        """Persist a non-committed session's ledger delta + board finds."""
+        with self._commit_lock:
+            self._store.append(
+                {
+                    "type": "charge",
+                    "session": session.session_id,
+                    "tenant": session.tenant,
+                    "cost": spent,
+                    "board": self._board_delta(),
+                }
+            )
+            self._maybe_checkpoint_locked()
+
+    def checkpoint(self) -> int:
+        """Snapshot the full server state and truncate the WAL.
+
+        Returns the checkpoint size in bytes.  Requires a durable
+        manager (``durable_path=`` / recovery attach).
+        """
+        if self._store is None:
+            from ..durability.store import DurabilityError
+
+            raise DurabilityError("this manager has no durability store attached")
+        with self._commit_lock:
+            return self._checkpoint_locked()
+
+    def _checkpoint_locked(self) -> int:
+        return self._store.write_checkpoint(self._serialize_state())
+
+    def _maybe_checkpoint_locked(self) -> None:
+        if (
+            self._checkpoint_every is not None
+            and self._store.records_since_checkpoint >= self._checkpoint_every
+        ):
+            self._checkpoint_locked()
+
+    def close(self, *, checkpoint: bool = False) -> None:
+        """Stop the checkpointer and release the WAL (idempotent).
+
+        With ``checkpoint=True`` a final snapshot is taken first, so
+        the next :func:`repro.durability.recover` replays nothing.
+        """
+        if self._checkpointer is not None:
+            self._checkpointer.stop()
+            self._checkpointer = None
+        if self._store is not None:
+            if checkpoint and self._store.records_since_checkpoint:
+                self.checkpoint()
+            self._store.sync()
+            self._store.close()
+            self._store = None
+
+    def __enter__(self) -> "SessionManager":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # admission
@@ -264,6 +446,14 @@ class SessionManager:
                 self.ledger.charge(session.tenant, spent)
                 if _TELEMETRY.enabled:
                     _TELEMETRY.observe("server.session_cost", spent)
+            if (
+                spent
+                and self._store is not None
+                and session.state is not SessionState.COMMITTED
+            ):
+                # paid crowd answers outlive a failed commit: persist the
+                # tenant's ledger delta and any board verdicts it bought
+                self._log_charge(session, spent)
 
     def _try_commit(self, session: CleaningSession, fork: DatabaseFork) -> bool:
         """First-committer-wins: apply the fork's edit log or report a
@@ -272,6 +462,10 @@ class SessionManager:
         with self._commit_lock:
             if self._conflicts(fork.forked_at_version, touched):
                 return False
+            if self._store is not None:
+                # WAL first: the record is durable (ack-after-fsync under
+                # sync="always") before the edits become visible
+                self._log_commit(session, fork)
             applied = 0
             for edit in fork.pending_edits:
                 if edit.kind is EditKind.INSERT:
@@ -286,6 +480,8 @@ class SessionManager:
                     tenant=session.tenant,
                 )
             )
+            if self._store is not None:
+                self._maybe_checkpoint_locked()
         if _TELEMETRY.enabled:
             _TELEMETRY.count("server.commits")
             _TELEMETRY.observe("server.commit_edits", applied)

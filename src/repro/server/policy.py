@@ -48,6 +48,11 @@ class TenantLedger:
         with self._lock:
             return self._spent.get(tenant, 0)
 
+    def snapshot(self) -> dict[str, int]:
+        """A copy of every tenant's cumulative spend (for checkpoints)."""
+        with self._lock:
+            return dict(self._spent)
+
     def charge(self, tenant: str, cost: int) -> None:
         with self._lock:
             self._spent[tenant] = self._spent.get(tenant, 0) + cost

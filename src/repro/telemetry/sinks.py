@@ -13,7 +13,7 @@ Three sinks cover the reproduction's needs:
 from __future__ import annotations
 
 import json
-from typing import IO, Optional, Union
+from typing import IO, Union
 
 from .core import Span, Telemetry
 

@@ -28,7 +28,7 @@ from typing import Iterable, Optional
 from ..db.database import Database
 from ..db.edits import Edit, EditKind
 from ..db.tuples import Fact
-from ..query.ast import Atom, Query, Var
+from ..query.ast import Query
 from ..query.evaluator import (
     Answer,
     Assignment,

@@ -1,6 +1,5 @@
 """Tests for COUNT aggregate views (§9 extension)."""
 
-import random
 
 import pytest
 

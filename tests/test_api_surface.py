@@ -8,7 +8,6 @@ should be a reviewed decision, not an accident.
 
 from __future__ import annotations
 
-import warnings
 
 import pytest
 
@@ -27,6 +26,8 @@ API_SURFACE = [
     "clean_union",
     "dispatch_clean",
     "open_session",
+    "recover",
+    "recover_server",
     "serve",
 ]
 

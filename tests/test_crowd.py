@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.datasets.figure1 import ITA_EU
 from repro.db.tuples import fact
 from repro.oracle.aggregator import MajorityVote
 from repro.oracle.crowd import Crowd

@@ -6,7 +6,6 @@ import pytest
 
 from repro.crowdsim.simulator import (
     CrowdSimulator,
-    Timeline,
     compare_policies,
     lognormal_latency,
 )

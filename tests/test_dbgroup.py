@@ -8,9 +8,8 @@ from repro.datasets.dbgroup import (
     dbgroup_schema,
     seeded_errors,
 )
-from repro.db.edits import EditKind
 from repro.query.evaluator import evaluate
-from repro.workloads import DBGROUP_QUERIES, G1, G2, G3, G4
+from repro.workloads import DBGROUP_QUERIES, G1, G2, G3
 
 
 @pytest.fixture(scope="module")

@@ -14,7 +14,6 @@ from repro.core.deletion import (
 )
 from repro.datasets.figure1 import ESP_EU
 from repro.db.edits import EditKind
-from repro.db.tuples import fact
 from repro.oracle.base import AccountingOracle
 from repro.oracle.perfect import PerfectOracle
 from repro.oracle.questions import QuestionKind

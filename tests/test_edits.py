@@ -3,7 +3,7 @@
 import pytest
 
 from repro.db.database import Database
-from repro.db.edits import Edit, EditKind, apply_edits, delete, insert
+from repro.db.edits import EditKind, apply_edits, delete, insert
 from repro.db.schema import Schema
 from repro.db.tuples import fact
 

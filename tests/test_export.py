@@ -1,7 +1,6 @@
 """Tests for experiment result export."""
 
 import csv
-import json
 
 import pytest
 

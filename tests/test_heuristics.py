@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.deletion import crowd_remove_wrong_answer
 from repro.core.heuristics import (

@@ -1,6 +1,5 @@
 """Tests for the interactive (human) oracle, driven by scripted input."""
 
-import pytest
 
 from repro.db.tuples import fact
 from repro.oracle.base import AccountingOracle
@@ -100,7 +99,6 @@ class TestOpenQuestions:
 class TestEndToEnd:
     def test_full_cleaning_session_with_scripted_human(self, fig1_dirty, fig1_gt):
         """A human (scripted) plays the oracle for the Figure 1 cleanup."""
-        from repro.core.qoco import QOCO, QOCOConfig
         from repro.oracle.perfect import PerfectOracle
         from repro.query.evaluator import evaluate
 

@@ -6,7 +6,7 @@ from repro.db.database import Database
 from repro.db.edits import delete, insert
 from repro.db.schema import Schema
 from repro.db.tuples import fact
-from repro.experiments.metrics import RepairQuality, edit_is_correct, repair_quality
+from repro.experiments.metrics import edit_is_correct, repair_quality
 
 
 @pytest.fixture
@@ -74,8 +74,6 @@ class TestRepairQuality:
 class TestEndToEndQuality:
     def test_dbgroup_repair_scores(self, dbgroup_gt):
         """The Section 7.1 run repairs with perfect precision."""
-        import random
-
         from repro.core.qoco import QOCO, QOCOConfig
         from repro.datasets.dbgroup import seeded_errors
         from repro.oracle.base import AccountingOracle

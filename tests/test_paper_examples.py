@@ -6,7 +6,6 @@ pin the reproduction to the paper's own narrative.
 
 import random
 
-import pytest
 
 from repro.core.deletion import QOCODeletion, crowd_remove_wrong_answer
 from repro.core.insertion import crowd_add_missing_answer

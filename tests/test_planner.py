@@ -1,6 +1,5 @@
 """Tests for statistics and cost-based join ordering."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -1,8 +1,6 @@
 """Tests for Algorithm 3 — the main iterative cleaning loop."""
 
-import random
 
-import pytest
 
 from repro.core.qoco import QOCO, QOCOConfig
 from repro.core.deletion import QOCOMinusDeletion

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.db.schema import Schema, SchemaError
-from repro.query.ast import Atom, Inequality, Query, QueryError, Var, make_query
+from repro.query.ast import Atom, Inequality, QueryError, Var, make_query
 
 
 X, Y, Z = Var("x"), Var("y"), Var("z")

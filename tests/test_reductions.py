@@ -20,7 +20,6 @@ from repro.hardness.sat import is_satisfying, solve
 from repro.hitting.hitting_set import exact_minimum_hitting_set, is_hitting_set
 from repro.oracle.base import AccountingOracle
 from repro.oracle.perfect import PerfectOracle
-from repro.oracle.questions import QuestionKind
 from repro.query.evaluator import Evaluator, evaluate, valid_assignments
 
 

@@ -254,7 +254,6 @@ class TestPipelineInstrumentation:
             assert hub.counter("parallel.iterations") == report.iterations
 
     def test_view_maintenance_counters(self, worldcup_gt):
-        from repro.db.tuples import fact
         from repro.views.materialized import MaterializedView
 
         db = worldcup_gt.copy()

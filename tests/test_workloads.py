@@ -1,6 +1,5 @@
 """Tests for the experiment workloads (paper queries)."""
 
-import pytest
 
 from repro.datasets.worldcup import worldcup_schema
 from repro.datasets.dbgroup import dbgroup_schema

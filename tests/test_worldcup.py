@@ -10,7 +10,7 @@ from repro.datasets.worldcup import (
     worldcup_database,
     worldcup_schema,
 )
-from repro.db.tuples import Fact, fact
+from repro.db.tuples import fact
 from repro.query.evaluator import evaluate
 from repro.query.parser import parse_query
 
