@@ -1,34 +1,151 @@
-"""Microbenchmarks of the substrate: query evaluation and witnesses.
+"""Evaluation backends: conformance digests + the columnar speed gate.
 
-The paper reports query-selection latency of "not more than one or two
-seconds"; these benchmarks confirm the pure-Python engine stays well
-inside that envelope on the ~5000-tuple Soccer database.
+The contract (ISSUE 6): on the full worldcup-scale Soccer database the
+vectorized columnar backend must answer the join-heavy workload queries
+at least ``SPEEDUP_FLOOR``x faster than the naive backtracking
+reference, while producing bit-identical answers — and the SQL backend
+(DuckDB when installed, stdlib sqlite3 otherwise) must agree as well.
+
+Timing protocol: the reference is timed cold per query (backtracking
+keeps no per-database state); the columnar and SQL engines are warmed
+once so the dictionary-encode / table-sync cost — paid once per
+``Database.relation_version``, amortized across a cleaning session —
+stays out of the steady-state measurement, then take the best of
+``REPEATS`` runs.  Answer sets are deterministic (seeded generator), so
+their digests are exact metrics; the speedup carries a wide tolerance
+band for loaded CI runners, with the hard floor asserted here.
+
+Run under pytest (``pytest benchmarks/bench_evaluator.py``) or as a
+script (``python benchmarks/bench_evaluator.py [out.json]``), which
+writes ``BENCH_evaluator.json`` for ``check_regression.py``.
 """
 
-import pytest
+from __future__ import annotations
 
-from repro.query.evaluator import Evaluator, evaluate
-from repro.workloads import Q1, Q2, Q3, Q4, Q5
+import sys
+import time
+
+from bench_common import json_digest, metric, write_payload
+from repro.datasets.worldcup import WorldCupConfig, worldcup_database
+from repro.query.backend import NaiveBackend, resolve_backend
+from repro.workloads import SOCCER_QUERIES
+
+#: The join-heavy soccer queries — where a vectorized join must shine.
+GATED_QUERIES = ("Q2", "Q4")
+SPEEDUP_FLOOR = 10.0
+REPEATS = 5
+
+#: Paper scale (~5000 tuples): the backtracking baseline is ~tens of
+#: milliseconds per join query, big enough to time reliably.
+SCALE = WorldCupConfig()
 
 
-@pytest.mark.parametrize(
-    "query", [Q1, Q2, Q3, Q4, Q5], ids=["Q1", "Q2", "Q3", "Q4", "Q5"]
-)
-def test_evaluate_soccer_query(benchmark, worldcup_gt, query):
-    answers = benchmark(lambda: evaluate(query, worldcup_gt))
-    assert answers  # every workload query is non-empty on the ground truth
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
-def test_witness_enumeration(benchmark, worldcup_gt):
-    evaluator = Evaluator(Q3, worldcup_gt)
-    answer = sorted(evaluator.answers())[0]
-    witnesses = benchmark(lambda: Evaluator(Q3, worldcup_gt).witnesses(answer))
-    assert witnesses
+def bench_report() -> dict:
+    database = worldcup_database(SCALE)
+    naive = NaiveBackend()
+    columnar = resolve_backend("columnar")
+    sql = resolve_backend("sql")
+
+    queries_payload = {}
+    speedups = []
+    agree = True
+    for name in GATED_QUERIES:
+        query = SOCCER_QUERIES[name]
+        reference = naive.evaluate(query, database)
+        naive_s = _best_of(lambda: naive.evaluate(query, database), 1)
+        # warm: encode columns / ship tables once, outside the clock
+        columnar_answers = columnar.evaluate(query, database)
+        sql_answers = sql.evaluate(query, database)
+        columnar_s = _best_of(lambda: columnar.evaluate(query, database))
+        sql_s = _best_of(lambda: sql.evaluate(query, database))
+        agree = agree and columnar_answers == reference == sql_answers
+        speedup = naive_s / max(1e-9, columnar_s)
+        speedups.append(speedup)
+        queries_payload[name] = {
+            "n_answers": len(reference),
+            "answers_digest": json_digest(sorted(map(repr, reference))),
+            "naive_s": naive_s,
+            "columnar_s": columnar_s,
+            "sql_s": sql_s,
+            "columnar_speedup": speedup,
+            "sql_speedup": naive_s / max(1e-9, sql_s),
+        }
+
+    result = {
+        "workload": {
+            "database_size": len(database),
+            "queries": list(GATED_QUERIES),
+            "sql_engine": sql.preferred.engine,
+            "repeats": REPEATS,
+        },
+        "queries": queries_payload,
+        "columnar_speedup_min": min(speedups),
+        "backends_agree": agree,
+    }
+    result["metrics"] = {
+        # deterministic, seeded: answers must reproduce exactly
+        "backends_agree": metric(int(agree)),
+        **{
+            f"{name}_n_answers": metric(payload["n_answers"])
+            for name, payload in queries_payload.items()
+        },
+        **{
+            f"{name}_answers_digest": metric(payload["answers_digest"])
+            for name, payload in queries_payload.items()
+        },
+        # timing: wide band for loaded CI boxes — the hard floor is the
+        # SPEEDUP_FLOOR assertion, the baseline band catches slow decay
+        "columnar_speedup_min": metric(
+            result["columnar_speedup_min"], "higher", 0.65
+        ),
+    }
+    return result
 
 
-def test_full_result_with_assignments(benchmark, worldcup_gt):
-    def enumerate_assignments():
-        return sum(1 for _ in Evaluator(Q2, worldcup_gt).assignments())
+def test_columnar_speedup_contract():
+    """The ISSUE 6 acceptance gate: ≥10x on worldcup-scale joins."""
+    result = bench_report()
+    assert result["backends_agree"], "backends diverged on workload answers"
+    assert result["columnar_speedup_min"] >= SPEEDUP_FLOOR, (
+        f"columnar speedup {result['columnar_speedup_min']:.1f}x "
+        f"below the {SPEEDUP_FLOOR}x floor"
+    )
 
-    count = benchmark(enumerate_assignments)
-    assert count >= 1
+
+def main(argv: list[str]) -> int:
+    out = argv[1] if len(argv) > 1 else "BENCH_evaluator.json"
+    result = bench_report()
+    write_payload(out, result)
+    for name, payload in result["queries"].items():
+        print(
+            f"{name}: naive {payload['naive_s'] * 1e3:7.1f} ms   "
+            f"columnar {payload['columnar_s'] * 1e3:7.2f} ms "
+            f"({payload['columnar_speedup']:5.1f}x)   "
+            f"sql {payload['sql_s'] * 1e3:7.2f} ms "
+            f"({payload['sql_speedup']:5.1f}x)   "
+            f"{payload['n_answers']} answers"
+        )
+    print(
+        f"min columnar speedup: {result['columnar_speedup_min']:.1f}x "
+        f"(floor {SPEEDUP_FLOOR}x)   agree: {result['backends_agree']}   "
+        f"sql engine: {result['workload']['sql_engine']}"
+    )
+    print(f"wrote {out}")
+    ok = (
+        result["backends_agree"]
+        and result["columnar_speedup_min"] >= SPEEDUP_FLOOR
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -48,10 +48,17 @@ def load_metrics(path: Path) -> dict:
     return metrics
 
 
-def exact_match(fresh: float, base: float) -> bool:
+def exact_match(fresh, base) -> bool:
     if isinstance(fresh, float) or isinstance(base, float):
         return math.isclose(fresh, base, rel_tol=1e-9, abs_tol=1e-12)
     return fresh == base
+
+
+def fmt(value) -> str:
+    """One metric value for the verdict line (digests stay readable)."""
+    if isinstance(value, str):
+        return value if len(value) <= 14 else value[:11] + "..."
+    return f"{value:g}"
 
 
 def judge(name: str, base: dict, fresh: dict) -> tuple[bool, str]:
@@ -74,8 +81,8 @@ def judge(name: str, base: dict, fresh: dict) -> tuple[bool, str]:
         return False, f"{name}: unknown direction {direction!r} in baseline"
     status = "ok  " if ok else "FAIL"
     return ok, (
-        f"{status} {name:32s} {fresh_value:>14g}  "
-        f"(baseline {base_value:g}, {direction}, {band})"
+        f"{status} {name:32s} {fmt(fresh_value):>14s}  "
+        f"(baseline {fmt(base_value)}, {direction}, {band})"
     )
 
 

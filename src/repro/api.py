@@ -30,6 +30,8 @@ from .db.database import Database
 from .dispatch.engine import dispatch_clean as _dispatch_clean
 from .oracle.base import AccountingOracle, Oracle
 from .query.ast import Query
+from .query.backend import EvalBackend, resolve_backend
+from .query.evaluator import Answer
 from .query.parser import parse_query
 from .query.union import UnionQuery, parse_union
 from .server.manager import SessionManager
@@ -40,6 +42,7 @@ __all__ = [
     "clean_parallel",
     "clean_union",
     "dispatch_clean",
+    "evaluate",
     "open_session",
     "recover",
     "recover_server",
@@ -53,6 +56,25 @@ def _as_query(query: Union[Query, str]) -> Query:
 
 def _as_union(union: Union[UnionQuery, str]) -> UnionQuery:
     return parse_union(union) if isinstance(union, str) else union
+
+
+def evaluate(
+    database: Database,
+    query: Union[Query, str],
+    *,
+    backend: Union[str, EvalBackend, None] = None,
+) -> set[Answer]:
+    """``Q(D)`` on a chosen evaluation substrate.
+
+    ``backend`` is ``"naive"`` (default), ``"columnar"``, ``"sql"``, or
+    an :class:`~repro.query.backend.EvalBackend` instance; non-reference
+    backends fall back to ``naive`` on unsupported query shapes, so the
+    answer set is the same whatever substrate computed it (see
+    ``docs/evaluator.md``)::
+
+        answers = qoco.evaluate(db, 'q(x) :- teams(x, "EU").', backend="columnar")
+    """
+    return resolve_backend(backend).evaluate(_as_query(query), database)
 
 
 def clean(

@@ -33,6 +33,7 @@ from ..db.database import Database
 from ..db.edits import Edit, delete, insert
 from ..oracle.base import AccountingOracle
 from ..query.ast import Query
+from ..query.backend import BackendEvaluator, NaiveBackend, resolve_backend
 from ..query.evaluator import Answer, Evaluator, answer_to_partial
 from ..query.incremental import IncrementalAnswers, supports_incremental
 from ..query.subquery import embed_answer, ground_atoms
@@ -296,6 +297,7 @@ class ParallelQOCO:
         max_iterations: Optional[int] = None,
         seed: Optional[int] = None,
         use_incremental: Optional[bool] = None,
+        backend=None,
         scheduler_factory: Optional[
             Callable[[AccountingOracle], RoundScheduler]
         ] = None,
@@ -321,8 +323,10 @@ class ParallelQOCO:
             max_iterations=max_iterations,
             seed=seed,
             use_incremental=use_incremental,
+            backend=backend,
             scheduler_factory=scheduler_factory,
         )
+        self.backend = resolve_backend(self.config.backend)
         self.split_strategy = self.config.split_strategy
         self.insertion_config = self.config.insertion
         self.completion_width = self.config.completion_width
@@ -339,7 +343,9 @@ class ParallelQOCO:
         scheduler = self.scheduler_factory(self.oracle)
         verified: set[Answer] = set()
         if self.use_incremental and supports_incremental(query):
-            self._engine = IncrementalAnswers(query, self.database)
+            self._engine = IncrementalAnswers(
+                query, self.database, evaluator_factory=self._make_evaluator
+            )
         try:
             span = _TELEMETRY.span("parallel.clean", query=query.name)
             with span:
@@ -390,7 +396,11 @@ class ParallelQOCO:
             # Wave 2: all removals in parallel.
             if wrong:
                 engine = self._engine
-                evaluator = None if engine is not None else Evaluator(query, self.database)
+                evaluator = (
+                    None
+                    if engine is not None
+                    else self._make_evaluator(query, self.database)
+                )
                 tasks = []
                 for answer in wrong:
                     if engine is not None:
@@ -442,10 +452,16 @@ class ParallelQOCO:
                     report.missing_answers_added.append(answer)
                     verified.add(answer)
 
+    def _make_evaluator(self, query: Query, database: Database):
+        """An evaluator on the configured backend (see QOCO)."""
+        if isinstance(self.backend, NaiveBackend):
+            return Evaluator(query, database)
+        return BackendEvaluator(query, database, self.backend)
+
     def _answers(self, query: Query) -> set[Answer]:
         if self._engine is not None and self._engine.query is query:
             return self._engine.answers()
-        return Evaluator(query, self.database).answers()
+        return self.backend.evaluate(query, self.database)
 
     def _answer_alive(self, query: Query, answer: Answer) -> bool:
         """Targeted ``answer ∈ Q(D)`` membership check (see QOCO)."""
@@ -454,4 +470,4 @@ class ParallelQOCO:
         partial = answer_to_partial(query, answer)
         if partial is None:
             return False
-        return Evaluator(query, self.database).is_satisfiable(partial)
+        return self.backend.is_satisfiable(query, self.database, partial)

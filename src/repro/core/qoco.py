@@ -14,12 +14,18 @@ from __future__ import annotations
 import dataclasses
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from ..db.database import Database
 from ..oracle.base import AccountingOracle, Oracle
 from ..oracle.enumeration import CompletionEstimator, ExactCompletion
 from ..query.ast import Query
+from ..query.backend import (
+    BackendEvaluator,
+    EvalBackend,
+    NaiveBackend,
+    resolve_backend,
+)
 from ..query.evaluator import Answer, Evaluator, answer_to_partial
 from ..query.incremental import IncrementalAnswers, supports_incremental
 from ..telemetry import TELEMETRY as _TELEMETRY
@@ -61,6 +67,14 @@ class QOCOConfig:
     #: Semantics are bit-identical; query shapes the delta rules don't
     #: cover fall back to full evaluation automatically.
     use_incremental: bool = True
+    #: Evaluation substrate for ``Q(D)`` reads, satisfiability probes and
+    #: the incremental engine's delta enumeration: ``"naive"`` (the
+    #: backtracking reference), ``"columnar"`` (vectorized numpy hash
+    #: joins), ``"sql"`` (DuckDB/sqlite compilation) or any
+    #: :class:`~repro.query.backend.EvalBackend` instance.  Non-reference
+    #: backends transparently fall back to ``naive`` on query shapes
+    #: outside their capability flags; results are identical either way.
+    backend: Union[str, EvalBackend] = "naive"
     #: Random seed for the strategies' tie-breaking.
     seed: Optional[int] = None
     #: COMPL(Q(D)) questions posted together per parallel wave
@@ -110,6 +124,7 @@ class QOCO:
         max_completions_per_phase: Optional[int] = None,
         minimize_query: Optional[bool] = None,
         use_incremental: Optional[bool] = None,
+        backend: Optional[Union[str, EvalBackend]] = None,
         seed: Optional[int] = None,
     ) -> None:
         self.database = database
@@ -123,8 +138,10 @@ class QOCO:
             max_completions_per_phase=max_completions_per_phase,
             minimize_query=minimize_query,
             use_incremental=use_incremental,
+            backend=backend,
             seed=seed,
         )
+        self.backend = resolve_backend(self.config.backend)
         self.oracle = (
             oracle
             if isinstance(oracle, AccountingOracle)
@@ -149,7 +166,9 @@ class QOCO:
         verified: set[Answer] = set()
 
         if self.config.use_incremental and supports_incremental(query):
-            self._engine = IncrementalAnswers(query, self.database)
+            self._engine = IncrementalAnswers(
+                query, self.database, evaluator_factory=self._make_evaluator
+            )
         try:
             with _TELEMETRY.span("qoco.clean", query=query.name):
                 first_iteration = True
@@ -179,10 +198,17 @@ class QOCO:
     # ------------------------------------------------------------------
     # phases
     # ------------------------------------------------------------------
+    def _make_evaluator(self, query: Query, database: Database):
+        """An evaluator on the configured backend (the seam the
+        incremental engine's delta rules enumerate through)."""
+        if isinstance(self.backend, NaiveBackend):
+            return Evaluator(query, database)
+        return BackendEvaluator(query, database, self.backend)
+
     def _answers(self, query: Query) -> set[Answer]:
         if self._engine is not None and self._engine.query is query:
             return self._engine.answers()
-        return Evaluator(query, self.database).answers()
+        return self.backend.evaluate(query, self.database)
 
     def _answer_alive(self, query: Query, answer: Answer) -> bool:
         """Whether *answer* is still in ``Q(D)`` — a targeted membership
@@ -193,7 +219,7 @@ class QOCO:
         partial = answer_to_partial(query, answer)
         if partial is None:
             return False
-        return Evaluator(query, self.database).is_satisfiable(partial)
+        return self.backend.is_satisfiable(query, self.database, partial)
 
     def _witnesses(self, query: Query, answer: Answer) -> Optional[list[frozenset]]:
         """Maintained witness sets for *answer*, or ``None`` to let

@@ -325,12 +325,14 @@ def naive_evaluate(query: Query, database: Database) -> set[Answer]:
     """
     results: set[Answer] = set()
     atoms = list(query.atoms)
-    # One snapshot per relation up front; ``Database.facts`` allocates a
-    # fresh frozenset per call, which the innermost recursion would
-    # otherwise pay at every node of the cross-product tree.
-    snapshots = {
-        atom.relation: tuple(database.facts(atom.relation)) for atom in atoms
-    }
+    # One snapshot per *distinct* relation up front; ``Database.facts``
+    # allocates a fresh frozenset per call, which the innermost recursion
+    # would otherwise pay at every node of the cross-product tree — and a
+    # self-join must not pay it once per atom occurrence either.
+    snapshots: dict[str, tuple[Fact, ...]] = {}
+    for atom in atoms:
+        if atom.relation not in snapshots:
+            snapshots[atom.relation] = tuple(database.facts(atom.relation))
 
     def recurse(index: int, assignment: Assignment) -> None:
         if index == len(atoms):

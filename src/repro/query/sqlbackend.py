@@ -1,0 +1,325 @@
+"""An optional SQL evaluation backend: the CQ AST compiled to SQL.
+
+For datasets that outgrow the in-memory dict-of-facts representation,
+the conjunctive query is compiled to one ``SELECT`` over per-relation
+tables and handed to a real query engine — DuckDB when installed (the
+``[sql]`` extra), the stdlib ``sqlite3`` otherwise, both spoken to
+through the same DB-API subset so the compiled SQL is identical.
+
+Two design points keep the backend bit-compatible with the reference
+engine:
+
+* **Dictionary-encoded columns.**  Constants are interned to integer
+  codes by the same append-only encoder idea as the columnar backend
+  and stored as ``INTEGER`` columns, so SQL equality is exactly Python
+  equality (no type-affinity surprises: ``1`` vs ``"1"`` stay distinct,
+  ``1`` vs ``1.0`` stay equal) and every row carries a ``rid`` pointing
+  back into a row-aligned ``list[Fact]`` for witness decoding.
+
+* **Lazy dirty-relation sync.**  Tables are reloaded per relation only
+  when that relation's :meth:`~repro.db.database.Database
+  .relation_version` stamp moved since the last sync — a cleaning
+  session's point edits re-ship one relation, not the database.
+
+The backend declares ``negation=False`` in its capabilities: safely
+negated atoms are routed to the reference engine by
+:class:`~repro.query.backend.FallbackBackend` (see
+``tests/test_backend_fallback.py``), keeping the compiler small while
+the conformance suite pins the supported surface.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import Counter
+from typing import Iterator, Mapping, Optional
+
+from ..db.database import Database
+from ..db.tuples import Constant, Fact
+from ..telemetry import TELEMETRY as _TELEMETRY
+from .ast import Query, QueryError, Var
+from .backend import Capabilities, EvalBackend, EvalResult
+from .evaluator import Answer, Assignment
+
+try:  # pragma: no cover - exercised only where duckdb is installed
+    import duckdb as _duckdb
+except ImportError:  # pragma: no cover
+    _duckdb = None
+import sqlite3 as _sqlite3
+
+
+def default_engine() -> str:
+    """The engine :class:`SQLBackend` picks on ``engine="auto"``."""
+    return "duckdb" if _duckdb is not None else "sqlite"
+
+
+def _table(relation: str) -> str:
+    """The (quoted) table name of *relation*."""
+    return f'"t_{relation}"'
+
+
+class _SQLStore:
+    """Per-database SQL state: connection, encoder, synced relations."""
+
+    def __init__(self, engine: str) -> None:
+        self.engine = engine
+        if engine == "duckdb":  # pragma: no cover - optional dependency
+            if _duckdb is None:
+                raise RuntimeError("duckdb requested but not installed")
+            self.connection = _duckdb.connect(":memory:")
+        elif engine == "sqlite":
+            self.connection = _sqlite3.connect(":memory:")
+        else:
+            raise ValueError(f"unknown SQL engine {engine!r} (duckdb|sqlite)")
+        self.codes: dict[Constant, int] = {}
+        self.constants: list[Constant] = []
+        #: relation -> version stamp at last sync
+        self.versions: dict[str, int] = {}
+        #: relation -> row-aligned facts (rid = list index)
+        self.facts: dict[str, list[Fact]] = {}
+
+    def encode(self, value: Constant) -> int:
+        code = self.codes.get(value)
+        if code is None:
+            code = len(self.constants)
+            self.codes[value] = code
+            self.constants.append(value)
+        return code
+
+    def sync(self, database: Database, relation: str) -> None:
+        """Re-ship *relation* iff its version stamp moved (lazy sync)."""
+        version = database.relation_version(relation)
+        if self.versions.get(relation) == version:
+            return
+        arity = database.schema.arity(relation)
+        table = _table(relation)
+        cur = self.connection
+        if relation not in self.versions:
+            columns = ", ".join(["rid INTEGER"] + [f"c{i} INTEGER" for i in range(arity)])
+            cur.execute(f"CREATE TABLE {table} ({columns})")
+        else:
+            cur.execute(f"DELETE FROM {table}")
+        facts = list(database.facts(relation))
+        encode = self.encode
+        rows = [
+            (rid, *(encode(value) for value in f.values))
+            for rid, f in enumerate(facts)
+        ]
+        placeholders = ", ".join(["?"] * (arity + 1))
+        cur.executemany(f"INSERT INTO {table} VALUES ({placeholders})", rows)
+        self.facts[relation] = facts
+        self.versions[relation] = version
+        tel = _TELEMETRY
+        if tel.enabled:
+            tel.count("backend.sql.syncs")
+            tel.count("backend.sql.rows_shipped", len(facts))
+
+
+class _Compiled:
+    """One compiled query: SQL text plus the decode plan."""
+
+    __slots__ = ("sql", "vars", "n_atoms", "empty")
+
+    def __init__(self, sql: str, vars: list[Var], n_atoms: int, empty: bool) -> None:
+        self.sql = sql
+        self.vars = vars
+        self.n_atoms = n_atoms
+        #: a ground predicate already failed; the query is empty
+        self.empty = empty
+
+
+class SQLBackend(EvalBackend):
+    """CQ evaluation by SQL compilation (see the module docstring)."""
+
+    name = "sql"
+    capabilities = Capabilities(negation=False, inequalities=True)
+
+    def __init__(self, engine: str = "auto") -> None:
+        self.engine = default_engine() if engine == "auto" else engine
+        if self.engine not in ("duckdb", "sqlite"):
+            raise ValueError(f"unknown SQL engine {engine!r} (auto|duckdb|sqlite)")
+        self._stores: dict[int, tuple[weakref.ref, _SQLStore]] = {}
+
+    # ------------------------------------------------------------------
+    # store plumbing
+    # ------------------------------------------------------------------
+    def _store(self, database: Database) -> _SQLStore:
+        key = id(database)
+        entry = self._stores.get(key)
+        if entry is not None and entry[0]() is database:
+            return entry[1]
+        for stale, (ref, _) in list(self._stores.items()):
+            if ref() is None:
+                del self._stores[stale]
+        store = _SQLStore(self.engine)
+        self._stores[key] = (weakref.ref(database), store)
+        return store
+
+    def _prepare(self, database: Database, query: Query) -> _SQLStore:
+        query.validate(database.schema)
+        if not self.supports(query):
+            raise QueryError(
+                f"SQL backend does not evaluate {query.name!r} natively "
+                "(negated atoms); resolve_backend() adds the naive fallback"
+            )
+        store = self._store(database)
+        for atom in query.atoms:
+            store.sync(database, atom.relation)
+        return store
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def _compile(
+        self,
+        store: _SQLStore,
+        query: Query,
+        partial: Mapping[Var, Constant],
+        select_rids: bool = True,
+    ) -> _Compiled:
+        """``SELECT <var columns>[, <rid columns>] FROM ... WHERE ...``.
+
+        One table alias per atom occurrence; each variable's first
+        occurrence is its canonical column, later occurrences become
+        equality predicates.  Constants and partial bindings compare
+        against inlined integer codes (always safe — codes come from our
+        own encoder).
+        """
+        canon: dict[Var, str] = {}
+        where: list[str] = []
+        tables: list[str] = []
+        for i, atom in enumerate(query.atoms):
+            alias = f"a{i}"
+            tables.append(f"{_table(atom.relation)} {alias}")
+            for position, term in enumerate(atom.terms):
+                column = f"{alias}.c{position}"
+                if isinstance(term, Var):
+                    if term in canon:
+                        where.append(f"{column} = {canon[term]}")
+                    else:
+                        canon[term] = column
+                        if term in partial:
+                            where.append(f"{column} = {store.encode(partial[term])}")
+                else:
+                    where.append(f"{column} = {store.encode(term)}")
+        for ineq in query.inequalities:
+            sides = []
+            ground = True
+            for term in (ineq.left, ineq.right):
+                if isinstance(term, Var) and term not in partial:
+                    sides.append(canon[term])
+                    ground = False
+                elif isinstance(term, Var):
+                    sides.append(str(store.encode(partial[term])))
+                else:
+                    sides.append(str(store.encode(term)))
+            if ground:
+                # both sides constant (possibly via partial): decide here
+                if ineq.substitute(dict(partial)).holds({}) is False:
+                    return _Compiled("", [], len(query.atoms), empty=True)
+                continue
+            where.append(f"{sides[0]} <> {sides[1]}")
+        variables = list(canon)
+        selected = [canon[v] for v in variables]
+        if select_rids:
+            selected += [f"a{i}.rid" for i in range(len(query.atoms))]
+        if not selected:  # pragma: no cover - atoms always bind something
+            selected = ["1"]
+        sql = f"SELECT {', '.join(selected)} FROM {', '.join(tables)}"
+        if where:
+            sql += f" WHERE {' AND '.join(where)}"
+        return _Compiled(sql, variables, len(query.atoms), empty=False)
+
+    def _rows(self, store: _SQLStore, compiled: _Compiled) -> list[tuple]:
+        if compiled.empty:
+            return []
+        cursor = store.connection.execute(compiled.sql)
+        return cursor.fetchall()
+
+    # ------------------------------------------------------------------
+    # the backend surface
+    # ------------------------------------------------------------------
+    def evaluate(self, query: Query, database: Database) -> set[Answer]:
+        with _TELEMETRY.span(
+            "backend.evaluate", backend=self.name, engine=self.engine, query=query.name
+        ):
+            store = self._prepare(database, query)
+            compiled = self._compile(store, query, {}, select_rids=False)
+            if compiled.empty:
+                return set()
+            index = {v: i for i, v in enumerate(compiled.vars)}
+            decode = store.constants
+            answers: set[Answer] = set()
+            for row in self._rows(store, compiled):
+                answers.add(
+                    tuple(
+                        decode[row[index[t]]] if isinstance(t, Var) else t
+                        for t in query.head
+                    )
+                )
+            return answers
+
+    def run(self, query: Query, database: Database) -> EvalResult:
+        with _TELEMETRY.span(
+            "backend.run", backend=self.name, engine=self.engine, query=query.name
+        ):
+            store = self._prepare(database, query)
+            result = EvalResult()
+            compiled = self._compile(store, query, {})
+            index = {v: i for i, v in enumerate(compiled.vars)}
+            decode = store.constants
+            n_vars = len(compiled.vars)
+            atom_facts = [store.facts[atom.relation] for atom in query.atoms]
+            for row in self._rows(store, compiled):
+                answer = tuple(
+                    decode[row[index[t]]] if isinstance(t, Var) else t
+                    for t in query.head
+                )
+                witness = frozenset(
+                    facts[rid] for facts, rid in zip(atom_facts, row[n_vars:])
+                )
+                result.answers.add(answer)
+                result.support[answer] += 1
+                result.witness_support.setdefault(answer, Counter())[witness] += 1
+            return result
+
+    def assignments(
+        self,
+        query: Query,
+        database: Database,
+        partial: Optional[Mapping[Var, Constant]] = None,
+    ) -> Iterator[Assignment]:
+        partial = dict(partial or {})
+        store = self._prepare(database, query)
+        compiled = self._compile(store, query, partial, select_rids=False)
+        decode = store.constants
+        extras = {v: c for v, c in partial.items() if v not in set(compiled.vars)}
+
+        def generate() -> Iterator[Assignment]:
+            for row in self._rows(store, compiled):
+                assignment: Assignment = dict(extras)
+                for v, code in zip(compiled.vars, row):
+                    assignment[v] = decode[code]
+                yield assignment
+
+        return generate()
+
+    def is_satisfiable(
+        self, query: Query, database: Database, partial: Mapping[Var, Constant]
+    ) -> bool:
+        store = self._prepare(database, query)
+        compiled = self._compile(store, query, dict(partial), select_rids=False)
+        if compiled.empty:
+            return False
+        cursor = store.connection.execute(f"{compiled.sql} LIMIT 1")
+        return cursor.fetchone() is not None
+
+
+def sql_evaluate(
+    query: Query, database: Database, engine: str = "auto"
+) -> set[Answer]:
+    """``Q(D)`` on a fresh SQL store (convenience / tests)."""
+    return SQLBackend(engine).evaluate(query, database)
+
+
+__all__ = ["SQLBackend", "default_engine", "sql_evaluate"]

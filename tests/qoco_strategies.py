@@ -21,7 +21,14 @@ VARIABLES = [Var(name) for name in ("x", "y", "z", "w")]
 
 #: Variables reserved for negated-atom local wildcards (never used in a
 #: positive body atom, so they stay existential under the negation).
-LOCAL_VARIABLES = [Var(name) for name in ("l1", "l2")]
+#: Partitioned per negated atom: a local wildcard may not be shared
+#: between two negated atoms (``Query`` validation), so atom *i* draws
+#: only from ``LOCAL_POOLS[i]``.
+LOCAL_POOLS = (
+    [Var("l1"), Var("l2")],
+    [Var("l3"), Var("l4")],
+)
+LOCAL_VARIABLES = LOCAL_POOLS[0]
 
 SCHEMA = Schema(
     [
@@ -61,10 +68,26 @@ def facts(draw):
 
 
 @st.composite
-def queries(draw, negation: bool = False, relations=("r", "s", "t"), name="q"):
+def queries(
+    draw,
+    negation: bool = False,
+    relations=("r", "s", "t"),
+    name="q",
+    min_inequalities: int = 0,
+    min_negated: int = 0,
+):
     """A random CQ over *relations* (arity = that of the base r/s/t
     relation the name starts with, so namespaced tenant relations like
-    ``r3``/``s3`` draw structurally identical queries)."""
+    ``r3``/``s3`` draw structurally identical queries).
+
+    Inequalities (0-2 per query, at least *min_inequalities*) cover both
+    AST shapes — variable != variable and variable != constant — and a
+    single-variable body can still draw the constant form.  With
+    *negation* on, 0-2 safely negated atoms are drawn (at least
+    *min_negated*), each with its own local-wildcard pool so wildcards
+    are never shared across negated atoms; shapes range over
+    shared-variable, purely-local-wildcard and constant-only negations.
+    """
     relations = list(relations)
     n_atoms = draw(st.integers(1, 3))
     atoms = []
@@ -85,24 +108,29 @@ def queries(draw, negation: bool = False, relations=("r", "s", "t"), name="q"):
         for _ in range(draw(st.integers(1, min(2, len(body_vars)))))
     )
     inequalities = []
-    if len(body_vars) >= 2 and draw(st.booleans()):
-        left, right = draw(st.sampled_from(body_vars)), draw(
-            st.sampled_from(body_vars + CONSTANTS)  # type: ignore[operator]
+    for _ in range(draw(st.integers(min_inequalities, 2))):
+        left = draw(st.sampled_from(body_vars))
+        right = draw(
+            st.sampled_from(
+                (body_vars if len(body_vars) >= 2 else [])
+                + CONSTANTS  # type: ignore[operator]
+            )
         )
         if left != right:
             inequalities.append(Inequality(left, right))
     negated_atoms = []
-    if negation and draw(st.booleans()):
-        rel = draw(st.sampled_from(relations))
-        terms = tuple(
-            draw(
-                st.sampled_from(
-                    body_vars + LOCAL_VARIABLES + CONSTANTS  # type: ignore[operator]
+    if negation:
+        for pool in LOCAL_POOLS[: draw(st.integers(min_negated, len(LOCAL_POOLS)))]:
+            rel = draw(st.sampled_from(relations))
+            terms = tuple(
+                draw(
+                    st.sampled_from(
+                        body_vars + pool + CONSTANTS  # type: ignore[operator]
+                    )
                 )
+                for _ in range(ARITIES[rel[0]])
             )
-            for _ in range(ARITIES[rel[0]])
-        )
-        negated_atoms.append(Atom(rel, terms))
+            negated_atoms.append(Atom(rel, terms))
     return Query(
         head, tuple(atoms), tuple(inequalities), name, tuple(negated_atoms)
     )

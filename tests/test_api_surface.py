@@ -25,6 +25,7 @@ API_SURFACE = [
     "clean_parallel",
     "clean_union",
     "dispatch_clean",
+    "evaluate",
     "open_session",
     "recover",
     "recover_server",

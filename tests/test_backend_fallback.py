@@ -1,0 +1,141 @@
+"""Fallback routing: unsupported shapes silently run on the reference.
+
+The non-reference backends advertise capability flags
+(``Capabilities``); :func:`resolve_backend` wraps them so any query a
+backend cannot run is routed to the naive reference instead — with a
+``backend.fallback`` telemetry counter, and *identical results*.  These
+tests pin both halves of that contract: the accounting and the
+semantics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from qoco_strategies import databases, queries
+from repro.core.qoco import QOCO, QOCOConfig
+from repro.db.tuples import Fact
+from repro.oracle.base import AccountingOracle
+from repro.oracle.perfect import PerfectOracle
+from repro.query.ast import Query
+from repro.query.backend import (
+    FallbackBackend,
+    NaiveBackend,
+    resolve_backend,
+)
+from repro.query.evaluator import naive_evaluate
+from repro.query.parser import parse_query
+from repro.telemetry import telemetry_session
+
+FALLBACK_SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class _OpaqueQuery(Query):
+    """A query-like shape no backend claims (``type(q) is Query`` fails)."""
+
+
+class TestSQLNegationFallback:
+    @FALLBACK_SETTINGS
+    @given(database=databases(), query=queries(negation=True, min_negated=1))
+    def test_negated_queries_fall_back_with_identical_answers(
+        self, database, query
+    ):
+        backend = resolve_backend("sql")
+        assert isinstance(backend, FallbackBackend)
+        assert not backend.preferred.supports(query)
+        with telemetry_session() as (hub, _):
+            answers = backend.evaluate(query, database)
+            assert hub.counter("backend.fallback") == 1
+            assert hub.counter("backend.sql.fallback") == 1
+        assert answers == naive_evaluate(query, database)
+
+    @FALLBACK_SETTINGS
+    @given(database=databases(), query=queries(negation=False))
+    def test_supported_queries_do_not_count_fallback(self, database, query):
+        backend = resolve_backend("sql")
+        with telemetry_session() as (hub, _):
+            answers = backend.evaluate(query, database)
+            assert hub.counter("backend.fallback") == 0
+        assert answers == naive_evaluate(query, database)
+
+    @FALLBACK_SETTINGS
+    @given(database=databases(), query=queries(negation=True, min_negated=1))
+    def test_full_run_results_match_reference(self, database, query):
+        backend = resolve_backend("sql")
+        reference = NaiveBackend().run(query, database)
+        routed = backend.run(query, database)
+        assert routed.answers == reference.answers
+        assert routed.support == reference.support
+        assert routed.witness_support == reference.witness_support
+
+
+class TestOpaqueShapeFallback:
+    @FALLBACK_SETTINGS
+    @given(database=databases(), query=queries(negation=True))
+    def test_columnar_routes_opaque_shapes_to_naive(self, database, query):
+        opaque = _OpaqueQuery(
+            query.head,
+            query.atoms,
+            query.inequalities,
+            query.name,
+            query.negated_atoms,
+        )
+        backend = resolve_backend("columnar")
+        assert not backend.preferred.supports(opaque)
+        with telemetry_session() as (hub, _):
+            answers = backend.evaluate(opaque, database)
+            assert hub.counter("backend.columnar.fallback") == 1
+        assert answers == naive_evaluate(query, database)
+
+
+class TestCleaningLoopFallbackParity:
+    """``QOCO(backend="sql")`` on a negated query cleans identically."""
+
+    QUERY = 'q(x) :- r(x, y), s(y), not r(y, "a").'
+
+    def _clean(self, backend):
+        from qoco_strategies import SCHEMA
+        from repro.db.database import Database
+
+        gt = Database(
+            SCHEMA,
+            [
+                Fact("r", ("a", "b")),
+                Fact("r", ("c", "b")),
+                Fact("s", ("b",)),
+                Fact("s", ("c",)),
+            ],
+        )
+        dirty = Database(
+            SCHEMA,
+            [
+                Fact("r", ("a", "b")),
+                Fact("r", ("b", "a")),  # spurious
+                Fact("s", ("b",)),
+            ],
+        )
+        qoco = QOCO(
+            dirty,
+            AccountingOracle(PerfectOracle(gt)),
+            QOCOConfig(seed=0, backend=backend),
+        )
+        report = qoco.clean(parse_query(self.QUERY))
+        return dirty.state_digest(), report
+
+    def test_sql_backend_cleans_bit_identically(self):
+        digest_naive, report_naive = self._clean("naive")
+        digest_sql, report_sql = self._clean("sql")
+        assert digest_sql == digest_naive
+        assert [(e.kind.value, e.fact) for e in report_sql.edits] == [
+            (e.kind.value, e.fact) for e in report_naive.edits
+        ]
+        assert report_sql.converged == report_naive.converged
+
+    def test_columnar_backend_cleans_bit_identically(self):
+        digest_naive, _ = self._clean("naive")
+        digest_columnar, _ = self._clean("columnar")
+        assert digest_columnar == digest_naive

@@ -181,3 +181,46 @@ class TestEvaluatorValidation:
         q = parse_query("q(x) :- unknown(x).")
         with pytest.raises(Exception):
             Evaluator(q, db)
+
+
+class TestNaiveEvaluateSnapshots:
+    """``naive_evaluate`` snapshots each relation once per evaluation,
+    however many atom occurrences (self-joins) reference it."""
+
+    class _CountingDatabase(Database):
+        def __init__(self, schema, facts):
+            super().__init__(schema, facts)
+            self.facts_calls = {}
+
+        def facts(self, relation):
+            self.facts_calls[relation] = self.facts_calls.get(relation, 0) + 1
+            return super().facts(relation)
+
+    def _counting_db(self):
+        schema = Schema.from_dict(
+            {"games": ["d", "w", "l", "s", "r"], "teams": ["t", "c"]}
+        )
+        return self._CountingDatabase(
+            schema,
+            [
+                fact("games", "d1", "GER", "ARG", "Final", "1:0"),
+                fact("games", "d2", "GER", "NED", "Final", "2:1"),
+                fact("teams", "GER", "EU"),
+                fact("teams", "NED", "EU"),
+            ],
+        )
+
+    def test_one_snapshot_per_distinct_relation(self):
+        db = self._counting_db()
+        answers = naive_evaluate(TWO_WINS, db)  # two games atoms, one teams
+        assert answers == {("GER",)}
+        assert db.facts_calls == {"games": 1, "teams": 1}
+
+    def test_triple_self_join_still_one_snapshot(self):
+        db = self._counting_db()
+        q = parse_query(
+            "q(x) :- games(d1, x, y, s1, r1), games(d2, x, z, s2, r2), "
+            "games(d3, x, w, s3, r3)."
+        )
+        naive_evaluate(q, db)
+        assert db.facts_calls == {"games": 1}
