@@ -2,9 +2,10 @@
 
 The paper's efficiency claim is that question counts depend on the
 *errors*, not on the database size.  This benchmark scales the World Cup
-generator (squad sizes, group games) and checks that cleaning the same
-five planted wrong answers costs a near-constant number of questions
-while evaluation time grows with the data.
+generator with the ``replicas`` knob (each replica clones every game and
+goal into a fresh block of years) and checks that cleaning the same five
+planted wrong answers costs a near-constant number of questions while
+evaluation time grows with the data.
 """
 
 import random
@@ -17,19 +18,15 @@ from repro.experiments.reporting import render_table
 from repro.workloads import Q1
 
 
-def _scale(players_per_team, group_games):
-    return worldcup_database(
-        WorldCupConfig(
-            players_per_team=players_per_team, group_games_per_cup=group_games
-        )
-    )
+def _scale(replicas):
+    return worldcup_database(WorldCupConfig(replicas=replicas))
 
 
 def test_scaling_question_counts(benchmark):
     def run():
         rows = []
-        for players, groups in ((8, 4), (23, 12), (40, 24)):
-            gt = _scale(players, groups)
+        for replicas in (1, 2, 4):
+            gt = _scale(replicas)
             errors = inject_result_errors(
                 gt, Q1, n_wrong=5, n_missing=0, rng=random.Random(401)
             )

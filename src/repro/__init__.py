@@ -74,6 +74,7 @@ from .oracle import (
     QuestionKind,
 )
 from .query import Atom, Inequality, Query, Var, evaluate, parse_query, witnesses_for
+from .shard import KeySpec, PartitionSpec, ShardedQOCO
 from .telemetry import TELEMETRY, InMemorySink, JSONLSink, Telemetry, telemetry_session
 from .datasets import (
     NoiseSpec,
@@ -107,12 +108,14 @@ __all__ = [
     "InsertionError",
     "InteractionLog",
     "JSONLSink",
+    "KeySpec",
     "MajorityVote",
     "MinCutSplit",
     "NaiveSplit",
     "NoiseSpec",
     "Oracle",
     "ParallelQOCO",
+    "PartitionSpec",
     "PerfectOracle",
     "ProvenanceSplit",
     "QOCO",
@@ -130,6 +133,7 @@ __all__ = [
     "ServerReport",
     "SessionManager",
     "SessionState",
+    "ShardedQOCO",
     "Telemetry",
     "TenantPolicy",
     "UCQCleaner",

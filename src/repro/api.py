@@ -36,10 +36,13 @@ from .query.parser import parse_query
 from .query.union import UnionQuery, parse_union
 from .server.manager import SessionManager
 from .server.session import CleaningSession
+from .shard.driver import ShardReport, ShardedQOCO
+from .shard.partition import PartitionSpec
 
 __all__ = [
     "clean",
     "clean_parallel",
+    "clean_sharded",
     "clean_union",
     "dispatch_clean",
     "evaluate",
@@ -118,6 +121,41 @@ def clean_parallel(
     return ParallelQOCO(database, oracle, config, **overrides).clean(
         _as_query(query)
     )
+
+
+def clean_sharded(
+    database: Database,
+    query: Union[Query, str],
+    oracle: Oracle,
+    *,
+    spec: "PartitionSpec",
+    shards: int = 2,
+    mode: str = "process",
+    config: Optional[QOCOConfig] = None,
+    **overrides,
+) -> "ShardReport":
+    """Clean in parallel worker processes, one per blocking-key shard.
+
+    *spec* (a :class:`~repro.shard.partition.PartitionSpec`) names the
+    blocking-key column of each partitioned relation; the query must be
+    shardable under it (raises
+    :class:`~repro.shard.partition.ShardingError` otherwise).  The merge
+    applies every shard's exported edit log back onto *database*,
+    producing a ``state_digest`` identical to a single-process
+    :func:`clean` — see ``docs/sharding.md``::
+
+        from repro.datasets.worldcup import worldcup_partition_spec
+
+        report = qoco.clean_sharded(
+            db, Q3, oracle, spec=worldcup_partition_spec(), shards=4
+        )
+
+    ``mode="inline"`` runs the shards sequentially in-process (same
+    codec path, no worker processes) for debugging and tests.
+    """
+    return ShardedQOCO(
+        database, oracle, config, spec=spec, shards=shards, mode=mode, **overrides
+    ).clean(_as_query(query))
 
 
 def dispatch_clean(

@@ -19,8 +19,11 @@ from .worldcup import (
     TEAMS,
     THIRD_PLACE,
     WorldCupConfig,
+    inject_fake_champions,
     worldcup_database,
+    worldcup_partition_spec,
     worldcup_schema,
+    worldcup_years,
 )
 
 __all__ = [
@@ -38,6 +41,7 @@ __all__ = [
     "fabricate_fact",
     "figure1_dirty",
     "figure1_ground_truth",
+    "inject_fake_champions",
     "inject_result_errors",
     "make_dirty",
     "measure_cleanliness",
@@ -45,5 +49,7 @@ __all__ = [
     "measure_skewness",
     "seeded_errors",
     "worldcup_database",
+    "worldcup_partition_spec",
     "worldcup_schema",
+    "worldcup_years",
 ]

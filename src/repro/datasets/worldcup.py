@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterable
 
 from ..db.database import Database
 from ..db.schema import RelationSchema, Schema
@@ -210,12 +211,24 @@ _CLUBS = (
 
 @dataclass(frozen=True)
 class WorldCupConfig:
-    """Generator knobs; defaults target the paper's ~5000 tuples."""
+    """Generator knobs; defaults target the paper's ~5000 tuples.
+
+    ``replicas`` scales the *fact* relations (games/goals) toward the
+    million-tuple regime used by the sharding benchmarks: replica ``r``
+    clones every game and goal with its year shifted by
+    ``r * replica_year_stride``, so each replica is a fresh block of
+    blocking-key (year) values and partitioning stays balanced.  The
+    dimension relations (teams/players/clubs/stages) are shared across
+    replicas, exactly like the replicated relations of a
+    :class:`~repro.shard.partition.PartitionSpec`.
+    """
 
     seed: int = 7
     players_per_team: int = 23
     group_games_per_cup: int = 12
     clubs_per_player: float = 1.2
+    replicas: int = 1
+    replica_year_stride: int = 100
 
 
 def _parse_score(result: str) -> tuple[int, int]:
@@ -307,6 +320,23 @@ class _Generator:
             self._add_game(date, winner, runner_up, STAGE_FINAL, score, year)
             self._tournament_rounds(year, date, winner, runner_up)
 
+    def replicate(self) -> None:
+        """Clone games/goals into shifted-year replicas (see config)."""
+        if self.config.replicas <= 1:
+            return
+        base_games = sorted(self.db.facts("games"), key=repr)
+        base_goals = sorted(self.db.facts("goals"), key=repr)
+        for replica in range(1, self.config.replicas):
+            offset = replica * self.config.replica_year_stride
+            for f in base_games:
+                self.db.insert(
+                    Fact("games", (_shift_year(f.values[0], offset), *f.values[1:]))
+                )
+            for f in base_goals:
+                self.db.insert(
+                    Fact("goals", (f.values[0], _shift_year(f.values[1], offset)))
+                )
+
     def _tournament_rounds(self, year: int, final_date: str, winner: str, runner_up: str) -> None:
         day, month, _ = (int(p) for p in final_date.split("."))
         third = next(
@@ -394,6 +424,12 @@ class _Generator:
         return self.rng.choice(roster)
 
 
+def _shift_year(date: str, offset: int) -> str:
+    """Shift a DD.MM.YYYY date string by whole years."""
+    day, month, year = (int(p) for p in date.split("."))
+    return _date(day, month, year + offset)
+
+
 def _offset_date(date: str, delta_days: int) -> str:
     """Shift a DD.MM.YYYY date by a few days (calendar-naive but stable)."""
     day, month, year = (int(p) for p in date.split("."))
@@ -442,11 +478,61 @@ def worldcup_constraints():
 
 
 def worldcup_database(config: WorldCupConfig | None = None) -> Database:
-    """Generate the ground-truth Soccer database (~5000 tuples)."""
+    """Generate the ground-truth Soccer database (~5000 tuples at the
+    default config; scale with ``replicas``)."""
     generator = _Generator(config if config is not None else WorldCupConfig())
     generator.teams()
     generator.stages()
     generator.players()
     generator.clubs()
     generator.games()
+    generator.replicate()
     return generator.db
+
+
+def worldcup_years(config: WorldCupConfig | None = None) -> list[int]:
+    """Every tournament year in the (possibly replicated) database."""
+    config = config if config is not None else WorldCupConfig()
+    base = [year for year, *_ in FINALS]
+    return [
+        year + replica * config.replica_year_stride
+        for replica in range(max(1, config.replicas))
+        for year in base
+    ]
+
+
+def worldcup_partition_spec():
+    """The natural blocking-key spec for Soccer: partition the fact
+    relations (games/goals) by tournament year; the dimension relations
+    (teams/players/clubs/stages) replicate."""
+    from ..shard.partition import KeySpec, PartitionSpec
+
+    return PartitionSpec(
+        (KeySpec("games", 0, "year"), KeySpec("goals", 1, "year"))
+    )
+
+
+def inject_fake_champions(
+    database: Database, years: Iterable[int], *, games_per_year: int = 2
+) -> int:
+    """Deletion-only noise for the sharding benchmarks.
+
+    For each chosen *year*, invent a team ``ZZ<year>`` and record it
+    winning ``games_per_year`` knockout games that never happened.  Every
+    injected fact is false under the pristine ground truth, and every
+    witness it creates is confined to *year*'s shard (the fake team's
+    ``teams`` tuple replicates everywhere but only joins fake games of
+    its own year), so a sharded clean removes exactly the same facts a
+    single-process clean does — the digest-equality property the
+    benchmark asserts.  Returns the number of inserted facts.
+    """
+    inserted = 0
+    for year in years:
+        fake = f"ZZ{year}"
+        inserted += database.insert(Fact("teams", (fake, "EU")))
+        for i in range(games_per_year):
+            date = _date(1 + i, 1, year)
+            inserted += database.insert(
+                Fact("games", (date, fake, "BRA", STAGE_FINAL, "9:0"))
+            )
+    return inserted

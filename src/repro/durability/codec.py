@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Hashable, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 from ..db.database import Database
 from ..db.edits import Edit, EditKind
@@ -140,6 +140,22 @@ def answer_from_obj(obj: Sequence[Constant]) -> tuple[Constant, ...]:
     return tuple(obj)
 
 
+def assignment_to_obj(assignment: Mapping[Var, Constant]) -> list[list]:
+    """A (partial or total) variable assignment, sorted by variable name
+    so equal assignments encode identically."""
+    return [
+        [var.name, value]
+        for var, value in sorted(assignment.items(), key=lambda item: item[0].name)
+    ]
+
+
+def assignment_from_obj(obj: Iterable[Sequence]) -> dict[Var, Constant]:
+    try:
+        return {Var(name): value for name, value in obj}
+    except (TypeError, ValueError) as error:
+        raise CodecError(f"malformed assignment object {obj!r}") from error
+
+
 # ---------------------------------------------------------------------------
 # answer-board entries
 # ---------------------------------------------------------------------------
@@ -216,18 +232,29 @@ def board_entries_from_obj(objs: Iterable[Sequence]) -> list[tuple[Hashable, Any
 # ---------------------------------------------------------------------------
 # whole databases (checkpoint payloads)
 # ---------------------------------------------------------------------------
-def database_to_obj(database: Database) -> dict:
-    """The checkpoint form: schema + facts, in canonical (sorted) order."""
-    return {
-        "schema": _schema_to_dict(database.schema),
-        "facts": {
+def database_to_obj(database: Database, canonical: bool = True) -> dict:
+    """The checkpoint form: schema + facts, in canonical (sorted) order.
+
+    ``canonical=False`` skips the per-fact JSON rendering and sort —
+    the rows come out in set order, which is *not* stable across
+    processes.  Digests must always use the canonical form; bulk
+    transfers that only need a faithful copy (sharding's per-worker
+    payloads) take the cheap form.
+    """
+    if canonical:
+        rows = {
             rel.name: sorted(
                 (list(f.values) for f in database.facts(rel.name)),
                 key=canonical_json,
             )
             for rel in database.schema
-        },
-    }
+        }
+    else:
+        rows = {
+            rel.name: [list(f.values) for f in database.facts(rel.name)]
+            for rel in database.schema
+        }
+    return {"schema": _schema_to_dict(database.schema), "facts": rows}
 
 
 def database_from_obj(obj: dict) -> Database:
@@ -257,6 +284,8 @@ __all__ = [
     "CodecError",
     "answer_from_obj",
     "answer_to_obj",
+    "assignment_from_obj",
+    "assignment_to_obj",
     "board_entries_from_obj",
     "board_entries_to_obj",
     "board_key_from_obj",

@@ -1,0 +1,36 @@
+"""Sharded multiprocess cleaning: partition by blocking key, clean
+shards in parallel worker processes, merge edit logs deterministically.
+
+See ``docs/sharding.md`` for the partitioning model, question-routing
+protocol, and the conditions under which a sharded clean is
+bit-identical (``state_digest``) to a single-process one.
+"""
+
+from .driver import ShardedQOCO, ShardOutcome, ShardReport
+from .partition import (
+    KeySpec,
+    PartitionSpec,
+    ShardingError,
+    payload_to_database,
+    register_key_extractor,
+    shard_of_key,
+)
+from .router import QuestionRouter
+from .worker import LatencyOracle, ProxyOracle, run_shard, shard_worker_main
+
+__all__ = [
+    "KeySpec",
+    "LatencyOracle",
+    "PartitionSpec",
+    "ProxyOracle",
+    "QuestionRouter",
+    "ShardOutcome",
+    "ShardReport",
+    "ShardedQOCO",
+    "ShardingError",
+    "payload_to_database",
+    "register_key_extractor",
+    "run_shard",
+    "shard_of_key",
+    "shard_worker_main",
+]

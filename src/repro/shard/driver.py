@@ -1,0 +1,443 @@
+"""``ShardedQOCO``: partition, clean shards in parallel, merge edit logs.
+
+The driver is a thin deterministic harness around unchanged per-shard
+QOCO loops:
+
+1. **Partition** the database by the :class:`PartitionSpec`'s blocking
+   keys into per-shard payloads (replicated dimension relations go to
+   every shard) — plain row lists, no canonical sort, so the serial
+   parent fraction stays small.
+2. **Clean** every relevant shard with an independent QOCO instance —
+   in worker *processes* (``mode="process"``, multiprocessing spawn) or
+   sequentially in-process (``mode="inline"``, same codec path, for
+   tests and debugging).  All oracle questions are brokered by the
+   parent's :class:`~repro.shard.router.QuestionRouter`, so dedup and
+   answer-board sharing span shards and completions come from a single
+   process.
+3. **Merge** the per-shard exported edit logs onto the parent database
+   in ascending shard order — deterministic because disjoint shards'
+   oracle-derived edits commute (each fact moves monotonically toward
+   the ground truth, Proposition 3.3).  ``verify_merge=True`` replays
+   the logs in *reverse* shard order onto a pristine copy and asserts
+   ``state_digest`` equality.
+4. **Close the loop**: a deletion in one shard can make an answer
+   globally missing that only another shard can repair.  After each
+   round the driver asks one global ``COMPL(Q(merged))`` sweep and
+   re-runs the home shards of any stragglers, up to
+   ``max_rounds`` rounds.
+
+Only *shardable* queries are accepted — see
+:meth:`PartitionSpec.is_shardable` and ``docs/sharding.md``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.qoco import QOCOConfig, resolve_config
+from ..db.database import Database
+from ..durability import codec
+from ..oracle.base import Oracle
+from ..oracle.questions import InteractionLog
+from ..query.ast import Query
+from ..query.backend import resolve_backend
+from ..telemetry import TELEMETRY as _TELEMETRY
+from . import wire
+from .partition import PartitionSpec, ShardingError, payload_to_database
+from .router import QuestionRouter
+from .worker import run_shard, shard_worker_main
+
+
+def _check_spawn_safe_main() -> None:
+    """Refuse process mode when spawn cannot re-import ``__main__``.
+
+    The ``spawn`` start method re-runs the parent's ``__main__`` in every
+    worker (mirroring :func:`multiprocessing.spawn.get_preparation_data`:
+    by module name when ``__spec__`` is set, else by ``__file__`` path).
+    A path that does not exist on disk — a heredoc / ``python -`` stdin
+    script leaves ``__file__ == '<stdin>'`` — makes every worker crash
+    *before* it reads its payload, and with payloads larger than the pipe
+    buffer the parent then deadlocks inside ``Process.start()`` (it still
+    holds the pipe's read end while writing, so the write never fails).
+    Failing up front turns that silent hang into an actionable error.
+    """
+    main = sys.modules.get("__main__")
+    if main is None or getattr(getattr(main, "__spec__", None), "name", None):
+        return  # re-imported by module name (python -m ...): always safe
+    path = getattr(main, "__file__", None)
+    if path is None:
+        return  # interactive session: spawn skips the main re-import
+    if not os.path.exists(path):
+        raise ShardingError(
+            f"process mode needs a re-importable __main__ module, but "
+            f"__main__.__file__ == {path!r} does not exist (stdin/heredoc "
+            f"scripts cannot host spawn parents); run from a real file or "
+            f"module, or use mode='inline'"
+        )
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's slice of one round."""
+
+    shard: int
+    round: int
+    iterations: int
+    converged: bool
+    edits: int
+    wrong_answers_removed: int
+    missing_answers_added: int
+    #: the shard-local accounting (includes questions the parent answered
+    #: free from its cross-shard cache; the authoritative crowd cost is
+    #: the parent log on :class:`ShardReport`)
+    question_count: int
+    total_cost: int
+    #: the worker's own wall-clock for this round (rebuild + clean);
+    #: ``sum`` vs ``max`` over a round is the parallel fraction
+    seconds: float = 0.0
+
+
+@dataclass
+class ShardReport:
+    """The outcome of one sharded cleaning run."""
+
+    query_name: str
+    shards: int
+    mode: str
+    rounds: int = 0
+    converged: bool = True
+    outcomes: list[ShardOutcome] = field(default_factory=list)
+    #: per-shard exported edit logs (wire objects, rounds concatenated) —
+    #: replayable via :meth:`Database.apply_exported` in any shard order
+    edit_logs: dict[int, list[dict]] = field(default_factory=dict)
+    #: effective edits the merge applied to the parent database
+    edits_applied: int = 0
+    #: the parent-side interaction log: the real crowd cost of the run
+    log: InteractionLog = field(default_factory=InteractionLog)
+    wall_clock: float = 0.0
+    iterations: int = 0
+
+    @property
+    def total_cost(self) -> int:
+        return self.log.total_cost
+
+    def summary(self) -> str:
+        wrong = sum(o.wrong_answers_removed for o in self.outcomes)
+        missing = sum(o.missing_answers_added for o in self.outcomes)
+        text = (
+            f"{self.query_name}: {self.shards} shard(s) [{self.mode}], "
+            f"{wrong} wrong removed, {missing} missing added, "
+            f"{self.edits_applied} merged edit(s), "
+            f"{self.log.total_cost} question units in {self.rounds} round(s), "
+            f"{self.wall_clock:.1f}s wall-clock"
+        )
+        if not self.converged:
+            text += " [did not converge]"
+        return text
+
+
+class ShardedQOCO:
+    """Partitioned, multi-process QOCO over one database and one oracle.
+
+    ``database`` is the merge target: after :meth:`clean` it holds the
+    union of every shard's repairs, exactly as if the per-shard edit
+    logs had been replayed onto it (they were).  ``oracle`` is consulted
+    only in the parent process.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        oracle: Oracle,
+        config: Optional[QOCOConfig] = None,
+        *,
+        spec: PartitionSpec,
+        shards: int = 2,
+        mode: str = "process",
+        board=None,
+        max_rounds: int = 3,
+        verify_merge: bool = False,
+        oracle_latency: float = 0.0,
+        **overrides,
+    ) -> None:
+        if shards < 1:
+            raise ShardingError(f"need at least one shard, got {shards}")
+        if mode not in ("process", "inline"):
+            raise ShardingError(f"mode must be 'process' or 'inline', got {mode!r}")
+        if oracle_latency < 0:
+            raise ShardingError(
+                f"oracle_latency must be >= 0 seconds, got {oracle_latency}"
+            )
+        self.database = database
+        self.spec = spec
+        self.shards = shards
+        self.mode = mode
+        self.max_rounds = max_rounds
+        self.verify_merge = verify_merge
+        #: simulated crowd response time per charged question, paid
+        #: worker-side (shards wait concurrently); 0 = answer instantly
+        self.oracle_latency = oracle_latency
+        self.config = resolve_config(config, **overrides)
+        self.router = QuestionRouter(oracle, spec, shards, board=board)
+
+    # ------------------------------------------------------------------
+    # the sharded Algorithm 3
+    # ------------------------------------------------------------------
+    def clean(self, query: Query) -> ShardReport:
+        self.spec.require_shardable(query)
+        query = self.router.intern_query(query)
+        self.router.session_query = query
+        config_obj = wire.config_to_obj(self.config)  # validates spawn-safety
+        query_obj = codec.query_to_obj(query)
+        report = ShardReport(
+            query_name=query.name,
+            shards=self.shards,
+            mode=self.mode,
+            log=self.router.oracle.log,
+        )
+        # a query touching no partitioned relation sees identical data in
+        # every shard (replicas only): clean it once, on shard 0
+        if self.spec.partitioned_atoms(query):
+            relevant = set(range(self.shards))
+        else:
+            relevant = {0}
+        pristine = self.database.copy() if self.verify_merge else None
+        start = time.perf_counter()
+        with _TELEMETRY.span("shard.clean", query=query.name, shards=self.shards):
+            targets = set(relevant)
+            while targets:
+                if report.rounds >= self.max_rounds:
+                    report.converged = False
+                    break
+                report.rounds += 1
+                with _TELEMETRY.span("shard.partition"):
+                    payloads = self.spec.partition_payloads(
+                        self.database, self.shards
+                    )
+                if self.mode == "process":
+                    results = self._run_round_process(
+                        payloads, query_obj, config_obj, sorted(targets)
+                    )
+                else:
+                    results = self._run_round_inline(
+                        payloads, query_obj, config_obj, sorted(targets)
+                    )
+                round_converged = self._merge_round(report, results)
+                targets = self._unfinished_shards(query, relevant)
+                if targets and not round_converged:
+                    # re-running a shard that already hit its iteration
+                    # bound cannot make progress
+                    report.converged = False
+                    break
+        report.iterations = max(
+            (o.iterations for o in report.outcomes), default=0
+        )
+        report.wall_clock = time.perf_counter() - start
+        if pristine is not None:
+            self._verify_merge(report, pristine)
+        return report
+
+    # ------------------------------------------------------------------
+    # round execution
+    # ------------------------------------------------------------------
+    def _run_round_inline(
+        self, payloads: list[dict], query_obj: dict, config_obj: dict, targets: list[int]
+    ) -> dict[int, dict]:
+        """Sequential in-process execution through the same codec path.
+
+        Shards run one after another, so the registration barrier is
+        honored by pre-registering every target's initial answers before
+        the first worker starts.
+        """
+        query = codec.query_from_obj(query_obj)
+        backend = resolve_backend(self.config.backend)
+        databases = {
+            shard: payload_to_database(payloads[shard]) for shard in targets
+        }
+        for shard, database in databases.items():
+            self.router.register(shard, backend.evaluate(query, database))
+        results: dict[int, dict] = {}
+        for shard in targets:
+            ask = lambda obj, shard=shard: self.router.answer(shard, obj)  # noqa: E731
+            results[shard] = run_shard(
+                self._payload_for(payloads[shard], query_obj, config_obj),
+                ask,
+                database=databases[shard],
+            )
+        return results
+
+    def _run_round_process(
+        self, payloads: list[dict], query_obj: dict, config_obj: dict, targets: list[int]
+    ) -> dict[int, dict]:
+        """Spawn one worker process per target shard and broker questions.
+
+        ``complete_result`` questions are deferred until every worker has
+        registered its initial answer set — the scoping in
+        :class:`QuestionRouter` needs the full union of ``Q(D_shard)``.
+        """
+        _check_spawn_safe_main()
+        context = mp.get_context("spawn")
+        connections: dict[int, object] = {}
+        processes: dict[int, object] = {}
+        expected = set(targets)
+        registered: set[int] = set()
+        deferred: list[tuple[int, dict]] = []
+        results: dict[int, dict] = {}
+        try:
+            for shard in targets:
+                parent_conn, child_conn = context.Pipe()
+                payload = self._payload_for(
+                    payloads[shard], query_obj, config_obj, telemetry=True
+                )
+                process = context.Process(
+                    target=shard_worker_main,
+                    args=(child_conn, shard, payload),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                connections[shard] = parent_conn
+                processes[shard] = process
+            live = dict(connections)
+            by_conn = {conn: shard for shard, conn in connections.items()}
+            while live:
+                for conn in mp.connection.wait(list(live.values())):
+                    shard = by_conn[conn]
+                    try:
+                        message = conn.recv()
+                    except EOFError:
+                        raise ShardingError(
+                            f"shard {shard} worker exited without a result"
+                        )
+                    tag = message[0]
+                    if tag == "register":
+                        self.router.register(
+                            shard, wire.answers_from_obj(message[2])
+                        )
+                        registered.add(shard)
+                        if registered >= expected:
+                            for asking_shard, question in deferred:
+                                connections[asking_shard].send(
+                                    ("reply", self.router.answer(asking_shard, question))
+                                )
+                            deferred = []
+                    elif tag == "ask":
+                        question = message[2]
+                        if (
+                            question.get("kind") == "complete_result"
+                            and registered < expected
+                        ):
+                            deferred.append((shard, question))
+                        else:
+                            conn.send(("reply", self.router.answer(shard, question)))
+                    elif tag == "done":
+                        results[shard] = message[2]
+                        del live[shard]
+                    elif tag == "error":
+                        raise ShardingError(
+                            f"shard {shard} worker failed:\n{message[2]}"
+                        )
+                    else:
+                        raise ShardingError(
+                            f"shard {shard}: unknown message {tag!r}"
+                        )
+        finally:
+            for process in processes.values():
+                if process.is_alive():
+                    process.terminate()
+            for process in processes.values():
+                process.join(timeout=10)
+        return results
+
+    def _payload_for(
+        self, database_obj: dict, query_obj: dict, config_obj: dict, telemetry: bool = False
+    ) -> dict:
+        return {
+            "database": database_obj,
+            "query": query_obj,
+            "config": config_obj,
+            "oracle_latency": self.oracle_latency,
+            "telemetry": telemetry and _TELEMETRY.enabled,
+        }
+
+    # ------------------------------------------------------------------
+    # merge
+    # ------------------------------------------------------------------
+    def _merge_round(self, report: ShardReport, results: dict[int, dict]) -> bool:
+        """Apply every shard's edit log in ascending shard order."""
+        round_converged = True
+        with _TELEMETRY.span("shard.merge"):
+            for shard in sorted(results):
+                result = results[shard]
+                edits = result["edits"]
+                report.edit_logs.setdefault(shard, []).extend(edits)
+                applied = self.database.apply_exported(edits)
+                report.edits_applied += applied
+                if _TELEMETRY.enabled:
+                    _TELEMETRY.count("shard.edits_merged", applied)
+                shard_report = result["report"]
+                report.outcomes.append(
+                    ShardOutcome(
+                        shard=shard,
+                        round=report.rounds,
+                        iterations=shard_report["iterations"],
+                        converged=shard_report["converged"],
+                        edits=len(edits),
+                        wrong_answers_removed=len(
+                            shard_report["wrong_answers_removed"]
+                        ),
+                        missing_answers_added=len(
+                            shard_report["missing_answers_added"]
+                        ),
+                        question_count=shard_report["question_count"],
+                        total_cost=shard_report["total_cost"],
+                        seconds=result.get("seconds", 0.0),
+                    )
+                )
+                round_converged = round_converged and shard_report["converged"]
+                # the shard's post-clean answers keep the router's global
+                # Q(D) view current for later rounds
+                self.router.register(shard, wire.answers_from_obj(result["answers"]))
+                snapshot = result.get("telemetry")
+                if snapshot:
+                    _TELEMETRY.merge(snapshot)
+        return round_converged
+
+    def _unfinished_shards(self, query: Query, relevant: set[int]) -> set[int]:
+        """Home shards of answers still missing from the merged result.
+
+        One global ``COMPL(Q(D))`` sweep — the convergence check
+        Algorithm 3 runs per loop, lifted to the driver.  The merged
+        ``Q(D)`` is the union of the shards' final registered answer
+        sets (shardability confines every witness to one shard), so the
+        sweep costs no ``O(|D|)`` re-evaluation.  Normally returns empty
+        after round 1; non-empty means a deletion in one shard uncovered
+        missingness only another shard can repair, so that shard runs
+        again.
+        """
+        known = self.router.global_answers()
+        rerun: set[int] = set()
+        while True:
+            missing = self.router.oracle.complete_result(query, known)
+            if missing is None:
+                return rerun
+            home = self.router.home_shard(query, missing)
+            rerun.add(home if home is not None else min(relevant))
+            known.add(missing)
+
+    def _verify_merge(self, report: ShardReport, pristine: Database) -> None:
+        """Replay the shard logs in reverse order; digests must agree."""
+        for shard in sorted(report.edit_logs, reverse=True):
+            pristine.apply_exported(report.edit_logs[shard])
+        merged_digest = self.database.state_digest()
+        if pristine.state_digest() != merged_digest:
+            raise ShardingError(
+                "merge verification failed: replaying shard edit logs in "
+                "reverse shard order produced a different state_digest — "
+                "shard edits were not disjoint"
+            )

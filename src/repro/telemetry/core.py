@@ -275,6 +275,44 @@ class Telemetry:
     def current_span(self) -> Optional[Span]:
         return self._stack[-1] if self._stack else None
 
+    # ------------------------------------------------------------------
+    # merging (cross-process aggregation)
+    # ------------------------------------------------------------------
+    def merge(self, snapshot: dict) -> None:
+        """Fold another hub's :meth:`snapshot` into this hub's aggregates.
+
+        The sharded driver collects each worker process's snapshot with
+        its result and merges it here, so child-process counters,
+        histogram summaries, and span statistics show up in the parent
+        instead of dying with the worker.  Counters add; histograms fold
+        count/total/min/max; span stats fold calls/total seconds.  Sinks
+        are *not* replayed (the events already happened in the child);
+        only the aggregates move.  No-op while the hub is disabled, like
+        every other mutator.
+        """
+        if not self.enabled:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        for name, data in snapshot.get("histograms", {}).items():
+            if not data.get("count"):
+                continue
+            stat = self._histograms.get(name)
+            if stat is None:
+                stat = self._histograms[name] = HistogramStat()
+            stat.count += data["count"]
+            stat.total += data["total"]
+            if data["min"] is not None and data["min"] < stat.minimum:
+                stat.minimum = data["min"]
+            if data["max"] is not None and data["max"] > stat.maximum:
+                stat.maximum = data["max"]
+        for name, data in snapshot.get("spans", {}).items():
+            stat = self._span_stats.get(name)
+            if stat is None:
+                stat = self._span_stats[name] = SpanStat()
+            stat.calls += data["calls"]
+            stat.total_seconds += data["total_s"]
+
     def snapshot(self) -> dict:
         """JSON-serializable view of every aggregate (for export/sinks)."""
         return {

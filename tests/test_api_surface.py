@@ -23,6 +23,7 @@ from repro.query.evaluator import evaluate
 API_SURFACE = [
     "clean",
     "clean_parallel",
+    "clean_sharded",
     "clean_union",
     "dispatch_clean",
     "evaluate",
@@ -54,12 +55,14 @@ PACKAGE_SURFACE = [
     "InsertionError",
     "InteractionLog",
     "JSONLSink",
+    "KeySpec",
     "MajorityVote",
     "MinCutSplit",
     "NaiveSplit",
     "NoiseSpec",
     "Oracle",
     "ParallelQOCO",
+    "PartitionSpec",
     "PerfectOracle",
     "ProvenanceSplit",
     "QOCO",
@@ -77,6 +80,7 @@ PACKAGE_SURFACE = [
     "ServerReport",
     "SessionManager",
     "SessionState",
+    "ShardedQOCO",
     "Telemetry",
     "TenantPolicy",
     "UCQCleaner",

@@ -81,6 +81,51 @@ class TestMutation:
         assert fact("teams", "ITA", "EU") in db
         assert fact("teams", "BRA", "SA") not in db
 
+    def test_bulk_load_matches_insert_loop(self, schema, db):
+        rows = [("ITA", "EU"), ("FRA", "EU"), ("GER", "EU")]  # GER is a dup
+        reference = db.copy()
+        for row in rows:
+            reference.insert(fact("teams", *row))
+        assert db.bulk_load("teams", rows) == 2
+        assert db == reference
+        assert db.state_digest() == reference.state_digest()
+        assert set(db.match("teams", (ANY, "EU"))) == set(
+            reference.match("teams", (ANY, "EU"))
+        )
+
+    def test_bulk_load_validates(self, db):
+        with pytest.raises(SchemaError):
+            db.bulk_load("players", [("Pele",)])
+        with pytest.raises(SchemaError):
+            db.bulk_load("teams", [("GER",)])
+
+    def test_bulk_load_bumps_version_once_per_effective_batch(self, db):
+        version = db.version
+        db.bulk_load("teams", [("ITA", "EU"), ("FRA", "EU")])
+        assert db.version == version + 1
+        db.bulk_load("teams", [("ITA", "EU")])  # all duplicates: no bump
+        assert db.version == version + 1
+
+    def test_bulk_load_notifies_listeners(self, db):
+        from repro.db.database import DatabaseListener
+
+        events = []
+
+        class Recorder(DatabaseListener):
+            def after_change(self, database, edit):
+                events.append((edit.kind.value, edit.fact))
+
+        db.subscribe(Recorder())
+        assert db.bulk_load("teams", [("ITA", "EU"), ("GER", "EU")]) == 1
+        assert events == [("+", fact("teams", "ITA", "EU"))]
+
+    def test_bulk_load_respects_fork_snapshots(self, db):
+        forked = db.fork()
+        before = set(forked.facts("teams"))
+        db.bulk_load("teams", [("ITA", "EU")])
+        assert fact("teams", "ITA", "EU") in db
+        assert set(forked.facts("teams")) == before
+
 
 class TestMatching:
     def test_match_all_wildcards(self, db):

@@ -1,0 +1,257 @@
+"""End-to-end tests for `ShardedQOCO` (inline and process modes).
+
+The load-bearing property throughout: on a shardable query, the merged
+sharded clean is **bit-identical** (``state_digest``) to a
+single-process QOCO clean of the same dirty database, for any shard
+count, because every witness is confined to one shard and all oracle
+completions are answered by the parent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.qoco import QOCO, QOCOConfig
+from repro.datasets.worldcup import (
+    WorldCupConfig,
+    inject_fake_champions,
+    worldcup_database,
+    worldcup_partition_spec,
+    worldcup_years,
+)
+from repro.db.database import Database
+from repro.db.schema import RelationSchema, Schema
+from repro.db.tuples import Fact
+from repro.dispatch.dedup import AnswerBoard
+from repro.oracle.perfect import PerfectOracle
+from repro.query.parser import parse_query
+from repro.shard import PartitionSpec, KeySpec, ShardedQOCO, ShardingError
+
+Q3 = parse_query(
+    'q3(x) :- games(d1, x, y, s1, u1), stages(s1, "KO"), teams(x, c), c != "AS".'
+)
+
+SCHEMA = Schema(
+    [
+        RelationSchema("m", ("k", "x")),
+        RelationSchema("lab", ("x", "y")),
+    ]
+)
+SPEC = PartitionSpec((KeySpec("m", 0),))
+QP = parse_query("qp(k, x) :- m(k, x), lab(x, y).")
+
+
+def _db(m_rows, lab_rows):
+    return Database(
+        SCHEMA,
+        [Fact("m", tuple(row)) for row in m_rows]
+        + [Fact("lab", tuple(row)) for row in lab_rows],
+    )
+
+
+def _reference_clean(dirty, truth, query, **overrides):
+    """Single-process QOCO applied back onto a copy of *dirty*."""
+    merged = dirty.copy()
+    fork = merged.fork()
+    report = QOCO(fork, PerfectOracle(truth), **overrides).clean(query)
+    merged.apply_exported(fork.export_edit_log())
+    return merged, report
+
+
+@pytest.fixture(scope="module")
+def worldcup_pair():
+    config = WorldCupConfig()
+    truth = worldcup_database(config)
+    dirty = truth.copy()
+    inject_fake_champions(dirty, worldcup_years(config)[:6])
+    return truth, dirty
+
+
+class TestInlineMode:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_digest_matches_unsharded(self, worldcup_pair, shards):
+        truth, dirty = worldcup_pair
+        reference, ref_report = _reference_clean(dirty, truth, Q3)
+        merged = dirty.copy()
+        sharded = ShardedQOCO(
+            merged,
+            PerfectOracle(truth),
+            spec=worldcup_partition_spec(),
+            shards=shards,
+            mode="inline",
+            verify_merge=True,
+        )
+        report = sharded.clean(Q3)
+        assert merged.state_digest() == reference.state_digest()
+        assert report.converged
+        assert report.edits_applied == len(ref_report.edits)
+        wrong = sum(o.wrong_answers_removed for o in report.outcomes)
+        assert wrong == len(ref_report.wrong_answers_removed)
+
+    def test_insertion_across_shards(self):
+        # ground truth answers missing from two different shards — each
+        # must be repaired in its home shard and survive the merge
+        truth = _db([(k, f"x{k}") for k in range(8)], [(f"x{k}", "y") for k in range(8)])
+        dirty = _db(
+            [(k, f"x{k}") for k in range(8) if k not in (2, 5)],
+            [(f"x{k}", "y") for k in range(8)],
+        )
+        merged = dirty.copy()
+        report = ShardedQOCO(
+            merged,
+            PerfectOracle(truth),
+            spec=SPEC,
+            shards=4,
+            mode="inline",
+            verify_merge=True,
+        ).clean(QP)
+        assert merged.state_digest() == truth.state_digest()
+        assert sum(o.missing_answers_added for o in report.outcomes) == 2
+
+    def test_mixed_wrong_and_missing(self):
+        truth = _db([(k, f"x{k}") for k in range(6)], [(f"x{k}", "y") for k in range(6)])
+        dirty = _db(
+            [(k, f"x{k}") for k in range(6) if k != 3] + [(7, "x0"), (9, "x1")],
+            [(f"x{k}", "y") for k in range(6)],
+        )
+        reference, _ = _reference_clean(dirty, truth, QP)
+        merged = dirty.copy()
+        ShardedQOCO(
+            merged, PerfectOracle(truth), spec=SPEC, shards=3, mode="inline"
+        ).clean(QP)
+        assert merged.state_digest() == reference.state_digest()
+        assert merged.state_digest() == truth.state_digest()
+
+    def test_replicated_only_query_runs_on_one_shard(self):
+        truth = _db([(1, "x1")], [("x1", "y"), ("x2", "y")])
+        dirty = _db([(1, "x1")], [("x1", "y"), ("x2", "y"), ("bad", "y")])
+        q = parse_query("q(x) :- lab(x, y).")
+        merged = dirty.copy()
+        report = ShardedQOCO(
+            merged, PerfectOracle(truth), spec=SPEC, shards=4, mode="inline"
+        ).clean(q)
+        assert merged.state_digest() == truth.state_digest()
+        # only shard 0 ran
+        assert {o.shard for o in report.outcomes} == {0}
+
+    def test_clean_database_is_a_noop(self, worldcup_pair):
+        truth, _ = worldcup_pair
+        merged = truth.copy()
+        report = ShardedQOCO(
+            merged, PerfectOracle(truth), spec=worldcup_partition_spec(),
+            shards=2, mode="inline",
+        ).clean(Q3)
+        assert report.edits_applied == 0
+        assert merged.state_digest() == truth.state_digest()
+
+    def test_unshardable_query_rejected(self):
+        spec = PartitionSpec((KeySpec("m", 0), KeySpec("lab", 0)))
+        with pytest.raises(ShardingError, match="not shardable"):
+            ShardedQOCO(
+                _db([], []), PerfectOracle(_db([], [])), spec=spec,
+                shards=2, mode="inline",
+            ).clean(QP)
+
+    def test_invalid_construction(self):
+        db = _db([], [])
+        with pytest.raises(ShardingError, match="at least one shard"):
+            ShardedQOCO(db, PerfectOracle(db), spec=SPEC, shards=0)
+        with pytest.raises(ShardingError, match="mode"):
+            ShardedQOCO(db, PerfectOracle(db), spec=SPEC, mode="thread")
+        with pytest.raises(ShardingError, match="oracle_latency"):
+            ShardedQOCO(db, PerfectOracle(db), spec=SPEC, oracle_latency=-1.0)
+
+    def test_oracle_latency_is_digest_neutral(self):
+        # the simulated crowd delay slows the clean but must not change
+        # a single question, edit, or the merged digest
+        truth = _db([(k, f"x{k}") for k in range(6)], [(f"x{k}", "y") for k in range(6)])
+        dirty = _db(
+            [(k, f"x{k}") for k in range(6) if k != 3] + [(7, "x0")],
+            [(f"x{k}", "y") for k in range(6)],
+        )
+        results = []
+        for latency in (0.0, 0.001):
+            merged = dirty.copy()
+            report = ShardedQOCO(
+                merged, PerfectOracle(truth), spec=SPEC, shards=3,
+                mode="inline", oracle_latency=latency,
+            ).clean(QP)
+            results.append((merged.state_digest(), report.total_cost))
+        assert results[0] == results[1]
+        assert results[0][0] == truth.state_digest()
+
+    def test_answer_board_dedups_across_drivers(self):
+        truth = _db([(k, f"x{k}") for k in range(6)], [(f"x{k}", "y") for k in range(6)])
+        dirty = _db(
+            [(k, f"x{k}") for k in range(6)] + [(8, "x0")],
+            [(f"x{k}", "y") for k in range(6)],
+        )
+        board = AnswerBoard()
+        first = dirty.copy()
+        r1 = ShardedQOCO(
+            first, PerfectOracle(truth), spec=SPEC, shards=2, mode="inline",
+            board=board,
+        ).clean(QP)
+        assert r1.total_cost > 0
+        second = dirty.copy()
+        r2 = ShardedQOCO(
+            second, PerfectOracle(truth), spec=SPEC, shards=2, mode="inline",
+            board=board,
+        ).clean(QP)
+        assert second.state_digest() == first.state_digest()
+        # everything the second run asks is already on the board
+        assert r2.total_cost < r1.total_cost
+
+    def test_report_summary_mentions_shards(self, worldcup_pair):
+        truth, dirty = worldcup_pair
+        merged = dirty.copy()
+        report = ShardedQOCO(
+            merged, PerfectOracle(truth), spec=worldcup_partition_spec(),
+            shards=2, mode="inline",
+        ).clean(Q3)
+        text = report.summary()
+        assert "2 shard(s)" in text and "inline" in text
+
+
+class TestProcessMode:
+    def test_digest_matches_inline(self):
+        truth = _db([(k, f"x{k}") for k in range(8)], [(f"x{k}", "y") for k in range(8)])
+        dirty = _db(
+            [(k, f"x{k}") for k in range(8) if k != 2] + [(11, "x0")],
+            [(f"x{k}", "y") for k in range(8)],
+        )
+        inline = dirty.copy()
+        inline_report = ShardedQOCO(
+            inline, PerfectOracle(truth), spec=SPEC, shards=2, mode="inline"
+        ).clean(QP)
+        procs = dirty.copy()
+        proc_report = ShardedQOCO(
+            procs, PerfectOracle(truth), spec=SPEC, shards=2, mode="process",
+            verify_merge=True,
+        ).clean(QP)
+        assert procs.state_digest() == inline.state_digest()
+        assert proc_report.edits_applied == inline_report.edits_applied
+
+    def test_worldcup_end_to_end(self, worldcup_pair):
+        truth, dirty = worldcup_pair
+        reference, _ = _reference_clean(dirty, truth, Q3)
+        merged = dirty.copy()
+        report = ShardedQOCO(
+            merged, PerfectOracle(truth), spec=worldcup_partition_spec(),
+            shards=2, mode="process",
+        ).clean(Q3)
+        assert merged.state_digest() == reference.state_digest()
+        assert report.mode == "process"
+        assert report.rounds == 1
+        # workers report their own wall-clock for the parallel-fraction
+        # accounting in benchmarks/bench_shard.py
+        assert all(o.seconds > 0 for o in report.outcomes)
+
+    def test_worker_failure_surfaces(self):
+        # an unshardable backend config is rejected before any spawn
+        db = _db([(1, "x1")], [("x1", "y")])
+        with pytest.raises(ShardingError, match="scheduler_factory"):
+            ShardedQOCO(
+                db, PerfectOracle(db), spec=SPEC, shards=2, mode="process",
+                config=QOCOConfig(scheduler_factory=lambda: None),
+            ).clean(QP)

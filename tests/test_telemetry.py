@@ -124,6 +124,52 @@ class TestTelemetryCore:
         hub.reset()
         assert hub.snapshot() == {"counters": {}, "histograms": {}, "spans": {}}
 
+    def test_merge_folds_child_snapshot(self):
+        child = Telemetry(enabled=True)
+        child.count("c", 3)
+        child.observe("h", 1.0)
+        child.observe("h", 5.0)
+        with child.span("s"):
+            pass
+        parent = Telemetry(enabled=True)
+        parent.count("c", 2)
+        parent.observe("h", 3.0)
+        with parent.span("s"):
+            pass
+        parent.merge(child.snapshot())
+        assert parent.counter("c") == 5
+        merged = parent.histograms()["h"]
+        assert merged.count == 3
+        assert merged.total == 9.0
+        assert merged.minimum == 1.0
+        assert merged.maximum == 5.0
+        assert parent.span_stats()["s"].calls == 2
+
+    def test_merge_creates_missing_aggregates(self):
+        child = Telemetry(enabled=True)
+        child.count("only.child", 4)
+        child.observe("h", 2.0)
+        with child.span("s"):
+            pass
+        parent = Telemetry(enabled=True)
+        parent.merge(child.snapshot())
+        assert parent.counter("only.child") == 4
+        assert parent.histograms()["h"].count == 1
+        assert parent.histograms()["h"].minimum == 2.0
+        assert parent.span_stats()["s"].calls == 1
+        # merging twice accumulates
+        parent.merge(child.snapshot())
+        assert parent.counter("only.child") == 8
+        assert parent.span_stats()["s"].calls == 2
+
+    def test_merge_noop_when_disabled_or_empty(self):
+        parent = Telemetry()
+        parent.merge({"counters": {"c": 1}, "histograms": {}, "spans": {}})
+        assert parent.counters() == {}
+        parent = Telemetry(enabled=True)
+        parent.merge({"counters": {}, "histograms": {"h": {"count": 0, "total": 0, "min": None, "max": None, "mean": None}}, "spans": {}})
+        assert parent.histograms() == {}
+
     def test_global_hub_and_session_restores_state(self):
         assert get_telemetry() is TELEMETRY
         assert not TELEMETRY.enabled
