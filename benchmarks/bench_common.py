@@ -41,6 +41,46 @@ def metric(value, direction: str = "exact", tolerance: float = 0.0) -> dict:
     return {"value": value, "direction": direction, "tolerance": tolerance}
 
 
+def percentile(values, q: float) -> float:
+    """The *q*-th percentile (0..100) with linear interpolation.
+
+    Matches ``numpy.percentile(..., method="linear")`` without the
+    import, so benches that only need p50/p95/p99 stay stdlib.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile() of empty sequence")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    frac = rank - low
+    if low + 1 == len(ordered):
+        return float(ordered[low])
+    return float(ordered[low] * (1.0 - frac) + ordered[low + 1] * frac)
+
+
+def latency_summary(values) -> dict:
+    """The standard tail-latency block: count/mean/p50/p95/p99/max.
+
+    The shape every latency-reporting bench shares (``bench_service``,
+    ``bench_dispatch``), so payloads stay comparable across subsystems.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "p50": percentile(ordered, 50.0),
+        "p95": percentile(ordered, 95.0),
+        "p99": percentile(ordered, 99.0),
+        "max": float(ordered[-1]),
+    }
+
+
 def write_payload(out: str, result: dict) -> None:
     with open(out, "w") as handle:
         json.dump(result, handle, indent=2, sort_keys=True)

@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 import sys
 
-from bench_common import metric, write_payload
+from bench_common import latency_summary, metric, write_payload
 from repro.core.parallel import ParallelQOCO
 from repro.crowdsim import lognormal_latency
 from repro.datasets.worldcup import WorldCupConfig, worldcup_database
@@ -93,6 +93,11 @@ def run_dispatch(ground_truth, dirty_base, *, dedup: bool, faulted: bool) -> dic
         "rounds": report.rounds,
         "wall_clock_s": report.wall_clock,
         "stats": engine.stats.to_dict(),
+        # simulated seconds a worker held each assignment (seeded, so
+        # the tail is exact): the p99 is what the retry timeout races
+        "answer_latency_s": latency_summary(
+            [a.end - a.start for a in engine.timeline.answers]
+        ),
         "final_db_digest": dirty.state_digest(),
     }
 
@@ -138,6 +143,10 @@ def bench_report() -> dict:
         "dedup_coalesced": metric(result["dedup_coalesced"], "higher", 0.0),
         "faulted_retries": metric(faulted["stats"]["retries"]),
         "faulted_wall_clock_s": metric(faulted["wall_clock_s"], "lower", 0.10),
+        # the seeded simulation makes even the tail deterministic
+        "dedup_answer_p50_s": metric(dedup["answer_latency_s"]["p50"]),
+        "dedup_answer_p99_s": metric(dedup["answer_latency_s"]["p99"]),
+        "faulted_answer_p99_s": metric(faulted["answer_latency_s"]["p99"]),
         "identical_db_all": metric(
             int(
                 result["identical_db_dedup"]
@@ -181,11 +190,14 @@ def main(argv: list[str]) -> int:
     for mode in ("sync", "dedup", "naive", "faulted"):
         row = result[mode]
         stats = row.get("stats", {})
+        latency = row.get("answer_latency_s", {})
         print(
             f"{mode:8s} cost {row['cost']:>3d}  "
             f"member answers {stats.get('member_answers', '-'):>4}  "
             f"retries {stats.get('retries', '-'):>3}  "
             f"wall-clock {row.get('wall_clock_s', 0.0):8.1f}s  "
+            f"answer p50/p99 {latency.get('p50', 0.0):6.1f}/"
+            f"{latency.get('p99', 0.0):6.1f}s  "
             f"converged {row['converged']}"
         )
     print(

@@ -50,6 +50,7 @@ __all__ = [
     "recover",
     "recover_server",
     "serve",
+    "serve_http",
 ]
 
 
@@ -189,6 +190,27 @@ def serve(database: Database, **kwargs) -> SessionManager:
     answer board after a restart.  See ``docs/durability.md``.
     """
     return SessionManager(database, **kwargs)
+
+
+def serve_http(manager: SessionManager, **kwargs):
+    """The network front end over *manager* (``repro.service``).
+
+    Returns an (unstarted) :class:`~repro.service.app.CrowdService`:
+    a stdlib-asyncio HTTP/JSON server with the tenant REST surface,
+    streaming crowd-worker feeds, admission control, and — for durable
+    managers — WAL log shipping to a warm follower.  Keyword arguments
+    are :class:`CrowdService` options (``votes_per_closed=``,
+    ``max_inflight_total=``, ``policy=``, ...)::
+
+        service = qoco.serve_http(qoco.serve(db, durable_path="state"))
+        host, port = await service.start("127.0.0.1", 8300)
+
+    See ``docs/service.md`` for the API reference and the failover
+    runbook, and ``qoco-serve --help`` for the command-line wrapper.
+    """
+    from .service.app import CrowdService
+
+    return CrowdService(manager, **kwargs)
 
 
 def recover(durable_path):

@@ -122,9 +122,19 @@ class AnswerBoard:
     def entries(self, start: int = 0) -> list[tuple[Hashable, Any]]:
         """The published ``(key, value)`` pairs, in publication order.
 
-        First-writer-wins and no deletions make the order stable, so a
-        caller may keep an integer cursor and read only the suffix —
-        how the durability layer exports board deltas per WAL record.
+        **Concurrent-append contract** (pinned by
+        ``tests/test_dispatch.py::TestAnswerBoardCursor``): the board is
+        append-only — first-writer-wins, no deletions, no reordering —
+        so position ``i`` refers to the same entry forever.  A reader
+        holding an integer cursor ``n`` and repeatedly calling
+        ``entries(n)`` (advancing ``n`` by the length of each slice)
+        therefore observes every entry **exactly once**, in publication
+        order, even while writer threads keep appending between calls:
+        appends land strictly after the snapshot this call copies under
+        the lock, so they appear in a later slice — never skipped, never
+        doubled.  This is how the durability layer exports board deltas
+        per WAL record, and how the warm follower preloads its board
+        incrementally from shipped records.
         """
         with self._lock:
             items = list(self._answers.items())

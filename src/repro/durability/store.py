@@ -34,7 +34,14 @@ from typing import Any, Optional, Union
 
 from ..telemetry import TELEMETRY as _TELEMETRY
 from .codec import canonical_json
-from .wal import SYNC_POLICIES, WalError, WalReadResult, WalWriter, read_wal
+from .wal import (
+    SYNC_POLICIES,
+    WalError,
+    WalReadResult,
+    WalWriter,
+    encode_record,
+    read_wal,
+)
 
 PathLike = Union[str, Path]
 
@@ -86,6 +93,13 @@ class DurabilityStore:
         self.last_seq = 0
         self.checkpoint_seq = 0
         self.records_since_checkpoint = 0
+        #: optional log-shipping hooks (:mod:`repro.service.replication`):
+        #: ``on_append(seq, frame_bytes, record)`` fires after the record
+        #: is durable locally (per the sync policy), with the exact framed
+        #: bytes that hit the log; ``on_checkpoint(seq)`` fires after a
+        #: checkpoint has subsumed (and truncated) the log.
+        self.on_append: Optional[Any] = None
+        self.on_checkpoint: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # introspection
@@ -112,10 +126,13 @@ class DurabilityStore:
             record = dict(record, seq=self.next_seq())
         else:
             self.last_seq = max(self.last_seq, int(record["seq"]))
-        size = self._writer.append(record)
+        frame = encode_record(record)
+        size = self._writer.append_frame(frame)
         self.records_since_checkpoint += 1
         if _TELEMETRY.enabled:
             _TELEMETRY.count(f"durability.{record.get('type', 'unknown')}_records")
+        if self.on_append is not None:
+            self.on_append(int(record["seq"]), frame, record)
         return size
 
     def sync(self) -> None:
@@ -149,6 +166,8 @@ class DurabilityStore:
         self._writer.truncate()
         self.checkpoint_seq = self.last_seq
         self.records_since_checkpoint = 0
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(self.checkpoint_seq)
         if _TELEMETRY.enabled:
             _TELEMETRY.count("durability.checkpoints")
             _TELEMETRY.observe("durability.checkpoint_bytes", len(payload))

@@ -137,7 +137,15 @@ class WalWriter:
         ``"always"`` the record is durable before this method returns —
         the commit-acknowledgement contract of the session manager.
         """
-        frame = encode_record(obj)
+        return self.append_frame(encode_record(obj))
+
+    def append_frame(self, frame: bytes) -> int:
+        """Append one already-framed record (see :func:`encode_record`).
+
+        The log-shipping path frames once and hands the identical bytes
+        to both the local log and the replication stream, so primary and
+        follower logs stay byte-identical.
+        """
         self._handle.write(frame)
         self._handle.flush()
         if self.sync_policy == "always":

@@ -180,6 +180,7 @@ class SessionManager:
         self._sessions: list[CleaningSession] = []
         self._queue: list[CleaningSession] = []
         self._commit_lock = threading.Lock()
+        self._close_lock = threading.Lock()
         self._next_id = 0
         self._store = None
         self._checkpointer = None
@@ -283,6 +284,8 @@ class SessionManager:
     def _log_charge(self, session: CleaningSession, spent: int) -> None:
         """Persist a non-committed session's ledger delta + board finds."""
         with self._commit_lock:
+            if self._store is None:  # closed between the caller's check and here
+                return
             self._store.append(
                 {
                     "type": "charge",
@@ -322,16 +325,31 @@ class SessionManager:
 
         With ``checkpoint=True`` a final snapshot is taken first, so
         the next :func:`repro.durability.recover` replays nothing.
+
+        Safe to call concurrently — with other ``close()`` calls (the
+        close lock serializes them; later calls are no-ops) and with
+        in-flight commits: the store is detached under the commit lock,
+        so a commit that already entered :meth:`_try_commit` finishes
+        its WAL append + fsync before the log is released, and one that
+        arrives after sees ``_store is None`` and commits in-memory
+        only.  Previously a close racing a commit could fsync-and-close
+        the log file out from under the commit's append.
         """
-        if self._checkpointer is not None:
-            self._checkpointer.stop()
-            self._checkpointer = None
-        if self._store is not None:
-            if checkpoint and self._store.records_since_checkpoint:
-                self.checkpoint()
-            self._store.sync()
-            self._store.close()
-            self._store = None
+        with self._close_lock:
+            # stop the background thread outside the commit lock — its
+            # checkpoint path takes that lock, so joining under it would
+            # deadlock
+            if self._checkpointer is not None:
+                self._checkpointer.stop()
+                self._checkpointer = None
+            with self._commit_lock:
+                if self._store is None:
+                    return
+                if checkpoint and self._store.records_since_checkpoint:
+                    self._checkpoint_locked()
+                self._store.sync()
+                self._store.close()
+                self._store = None
 
     def __enter__(self) -> "SessionManager":
         return self
@@ -414,6 +432,20 @@ class SessionManager:
     # ------------------------------------------------------------------
     # one session, fork → run → commit (→ replay)
     # ------------------------------------------------------------------
+    def drive(self, session: CleaningSession) -> CleaningSession:
+        """Run one admitted *session* to a terminal state and return it.
+
+        Unlike :meth:`run_all` this drives a single session without
+        draining the queue — the network service admits sessions one
+        request at a time and drives each on its own executor thread.
+        Thread-safe: forking and committing serialize on the commit
+        lock, exactly as under :meth:`run_all`'s thread pool.
+        """
+        if session in self._queue:
+            self._queue.remove(session)
+        self._drive(session)
+        return session
+
     def _drive(self, session: CleaningSession) -> None:
         if self.ledger.over_budget(session.tenant, session.policy):
             session.state = SessionState.DENIED

@@ -1,0 +1,32 @@
+"""Network-facing crowd service (see ``docs/service.md``).
+
+An asyncio HTTP/JSON front end over the multi-tenant
+:class:`~repro.server.manager.SessionManager`: tenants open cleaning
+sessions over REST with admission control; remote crowd workers lease
+questions from streaming feeds and answer idempotently; a durable
+primary ships its WAL, frame by frame, to a warm follower that can be
+promoted through the standard crash-recovery path.
+
+Built on the stdlib only — the HTTP layer (:mod:`repro.service.http`)
+is hand-rolled asyncio, so the service adds no runtime dependency.
+"""
+
+from .app import CrowdService
+from .broker import BrokeredOracle, QuestionBroker
+from .client import ServiceClient, ServiceError, WorkerClient
+from .http import HttpError, HttpServer
+from .replication import Follower, ReplicationError, ReplicationHub
+
+__all__ = [
+    "BrokeredOracle",
+    "CrowdService",
+    "Follower",
+    "HttpError",
+    "HttpServer",
+    "QuestionBroker",
+    "ReplicationError",
+    "ReplicationHub",
+    "ServiceClient",
+    "ServiceError",
+    "WorkerClient",
+]

@@ -1,0 +1,292 @@
+"""``qoco-serve`` — run the crowd service from the command line.
+
+Subcommands::
+
+    qoco-serve primary  --port 8300 --dir state/primary --dataset worldcup
+    qoco-serve follower --port 8301 --dir state/follower --primary 127.0.0.1:8300
+    qoco-serve worker   --primary 127.0.0.1:8300 --worker-id w1 --dataset worldcup
+    qoco-serve demo     --dataset worldcup
+
+``primary`` serves a dataset's *dirty* database behind the full tenant
++ worker + replication surface; ``follower`` tails the primary's WAL
+into its own directory and waits for ``POST /v1/promote``; ``worker``
+answers crowd questions from the dataset's ground truth
+(:class:`~repro.oracle.perfect.PerfectOracle` — swap in your own
+:class:`~repro.oracle.base.Oracle` in code for a real crowd); ``demo``
+runs all three in one process and cleans the dataset end to end.
+
+Every server prints a ``LISTENING <host> <port>`` line once bound, so
+scripts (and the failover test) can wait on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from dataclasses import dataclass, field
+
+from ..datasets import figure1_dirty, figure1_ground_truth
+from ..datasets.worldcup import WorldCupConfig, worldcup_database
+from ..db.database import Database
+from ..db.schema import RelationSchema, Schema
+from ..db.tuples import fact
+from ..dispatch.policy import RetryPolicy
+from ..oracle.perfect import PerfectOracle
+from ..query.ast import Query
+from ..query.parser import parse_query
+from ..server.manager import SessionManager
+from ..workloads import EX1, Q2
+from .app import CrowdService
+from .client import ServiceClient, WorkerClient
+from .replication import Follower
+
+#: scaled-down World Cup, matching ``benchmarks/bench_dispatch.py``
+_WC_SCALE = WorldCupConfig(players_per_team=6, group_games_per_cup=4)
+_WC_HUB = "YUG"
+_WC_PARTNERS = ("AUT", "BEL", "WAL")
+
+
+@dataclass
+class Workload:
+    """A service-ready dataset: the dirty base, its truth, its queries."""
+
+    name: str
+    dirty: Database
+    ground_truth: Database
+    #: one entry per tenant request the demo/bench fires
+    queries: list = field(default_factory=list)
+
+
+def _worldcup() -> Workload:
+    ground = worldcup_database(_WC_SCALE)
+    dirty = ground.copy()
+    for i, partner in enumerate(_WC_PARTNERS):
+        for j in (1, 2):
+            dirty.insert(
+                fact(
+                    "games", f"0{j}.01.19{70 + i}", _WC_HUB, partner,
+                    "Group", f"{j}:0",
+                )
+            )
+    return Workload("worldcup", dirty, ground, [Q2])
+
+
+def _figure1() -> Workload:
+    return Workload("figure1", figure1_dirty(), figure1_ground_truth(), [EX1])
+
+
+def burst_query(tenant_index: int) -> Query:
+    """The per-tenant query of the burst workload."""
+    return parse_query(f'q_t{tenant_index}(x) :- r("t{tenant_index}", x).')
+
+
+def _burst(tenants: int = 50, values: int = 3, wrong: int = 2) -> Workload:
+    """Disjoint per-tenant errors: deterministic, conflict-free commits.
+
+    Relation ``r(tenant, v)``; tenant ``tN`` owns *values* true facts
+    and *wrong* fabricated ones; cleaning ``q_tN(x) :- r("tN", x).``
+    deletes exactly tenant N's fabrications.  Tenants never touch each
+    other's facts, so a commit burst lands without conflicts and the
+    exact set of acked edits is checkable after a failover.
+    """
+    schema = Schema([RelationSchema("r", ("tenant", "v"))])
+    truth = [
+        fact("r", f"t{i}", f"v{j}") for i in range(tenants) for j in range(values)
+    ]
+    ground = Database(schema, truth)
+    dirty = ground.copy()
+    for i in range(tenants):
+        for j in range(wrong):
+            dirty.insert(fact("r", f"t{i}", f"bogus{j}"))
+    return Workload(
+        "burst", dirty, ground, [burst_query(i) for i in range(tenants)]
+    )
+
+
+def build_workload(name: str, *, tenants: int = 50) -> Workload:
+    if name == "worldcup":
+        return _worldcup()
+    if name == "figure1":
+        return _figure1()
+    if name == "burst":
+        return _burst(tenants=tenants)
+    raise SystemExit(f"unknown dataset {name!r}; pick worldcup, figure1, or burst")
+
+
+def _split_endpoint(endpoint: str) -> tuple[str, int]:
+    host, _, port = endpoint.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--primary must be host:port, got {endpoint!r}")
+    return host, int(port)
+
+
+def _announce(host: str, port: int) -> None:
+    print(f"LISTENING {host} {port}", flush=True)
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+def cmd_primary(args: argparse.Namespace) -> int:
+    workload = build_workload(args.dataset, tenants=args.tenants)
+    manager = SessionManager(
+        workload.dirty,
+        mode="sync",
+        durable_path=args.dir,
+        checkpoint_every=args.checkpoint_every,
+    )
+    service = CrowdService(
+        manager,
+        policy=RetryPolicy(timeout=args.lease_timeout, max_retries=args.max_retries),
+        votes_per_closed=args.votes,
+        max_inflight_per_tenant=args.max_inflight_per_tenant,
+        max_inflight_total=args.max_inflight_total,
+    )
+
+    async def main() -> None:
+        host, port = await service.start(args.host, args.port)
+        _announce(host, port)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await service.stop()
+
+    asyncio.run(main())
+    return 0
+
+
+def cmd_follower(args: argparse.Namespace) -> int:
+    host, port = _split_endpoint(args.primary)
+    follower = Follower(args.dir, host, port, follower_id=args.follower_id)
+    service = CrowdService(follower=follower)
+
+    async def main() -> None:
+        bound_host, bound_port = await service.start(args.host, args.port)
+        _announce(bound_host, bound_port)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await service.stop()
+
+    asyncio.run(main())
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    host, port = _split_endpoint(args.primary)
+    workload = build_workload(args.dataset, tenants=args.tenants)
+    worker = WorkerClient(
+        host, port, args.worker_id, PerfectOracle(workload.ground_truth)
+    )
+    print(f"worker {args.worker_id} polling {args.primary}", flush=True)
+    try:
+        if args.stream:
+            worker.run_stream()
+        else:
+            worker.run()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        worker.close()
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Primary + workers + tenant client, all in one process."""
+    workload = build_workload(args.dataset, tenants=args.tenants)
+    manager = SessionManager(workload.dirty, mode="sync")
+    service = CrowdService(manager, policy=RetryPolicy(timeout=10.0))
+
+    async def main() -> int:
+        host, port = await service.start("127.0.0.1", 0)
+        _announce(host, port)
+        workers = [
+            WorkerClient(host, port, f"w{i}", PerfectOracle(workload.ground_truth))
+            for i in range(args.workers)
+        ]
+        threads = [w.start_thread(stream=(i == 0)) for i, w in enumerate(workers)]
+        loop = asyncio.get_running_loop()
+
+        def drive() -> list[dict]:
+            with ServiceClient(host, port) as client:
+                docs = [
+                    client.clean(query, timeout=120.0)
+                    for query in workload.queries
+                ]
+                print(client.digest())
+                return docs
+
+        try:
+            docs = await loop.run_in_executor(None, drive)
+        finally:
+            for worker in workers:
+                worker.stop()
+            await service.stop()
+            for thread in threads:
+                thread.join(timeout=2)
+        failures = [d for d in docs if d.get("state") != "committed"]
+        for doc in docs:
+            report = doc.get("report", {})
+            print(
+                f"session {doc['session']} [{doc['state']}] "
+                f"cost={doc['cost']} edits={len(report.get('edits', []))} "
+                f"converged={report.get('converged')}"
+            )
+        return 1 if failures else 0
+
+    return asyncio.run(main())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="qoco-serve", description="the QOCO crowd-cleaning service"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=0)
+        p.add_argument("--dataset", default="worldcup")
+        p.add_argument("--tenants", type=int, default=50,
+                       help="tenant count for the burst dataset")
+
+    primary = sub.add_parser("primary", help="serve a dataset's dirty database")
+    common(primary)
+    primary.add_argument("--dir", required=True, help="durable state directory")
+    primary.add_argument("--checkpoint-every", type=int, default=None)
+    primary.add_argument("--votes", type=int, default=1)
+    primary.add_argument("--lease-timeout", type=float, default=30.0)
+    primary.add_argument("--max-retries", type=int, default=3)
+    primary.add_argument("--max-inflight-per-tenant", type=int, default=4)
+    primary.add_argument("--max-inflight-total", type=int, default=64)
+    primary.set_defaults(func=cmd_primary)
+
+    follower = sub.add_parser("follower", help="tail a primary's WAL, warm standby")
+    follower.add_argument("--host", default="127.0.0.1")
+    follower.add_argument("--port", type=int, default=0)
+    follower.add_argument("--dir", required=True)
+    follower.add_argument("--primary", required=True, help="host:port of the primary")
+    follower.add_argument("--follower-id", default="follower")
+    follower.set_defaults(func=cmd_follower)
+
+    worker = sub.add_parser("worker", help="answer crowd questions from ground truth")
+    worker.add_argument("--primary", required=True)
+    worker.add_argument("--worker-id", default="w1")
+    worker.add_argument("--dataset", default="worldcup")
+    worker.add_argument("--tenants", type=int, default=50)
+    worker.add_argument("--stream", action="store_true",
+                        help="tail the chunked feed instead of long-polling")
+    worker.set_defaults(func=cmd_worker)
+
+    demo = sub.add_parser("demo", help="primary + workers + client in one process")
+    common(demo)
+    demo.add_argument("--workers", type=int, default=3)
+    demo.set_defaults(func=cmd_demo)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,64 @@
+"""Shared helpers for the service test files: run a
+:class:`~repro.service.app.CrowdService` on a background event-loop
+thread and talk to it from synchronous test code."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.service.app import CrowdService
+
+
+class ServiceHarness:
+    """One service on its own loop thread, bound to an ephemeral port."""
+
+    def __init__(self, manager=None, **kwargs) -> None:
+        self.service = CrowdService(manager, **kwargs)
+        self.host: str = ""
+        self.port: int = 0
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="qoco-service-harness", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # surfaced by start()/stop()
+            self._error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.host, self.port = await self.service.start("127.0.0.1", 0)
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.service.stop()
+
+    def start(self) -> tuple[str, int]:
+        self._thread.start()
+        assert self._ready.wait(15), "service failed to start in time"
+        if self._error is not None:
+            raise self._error
+        return self.host, self.port
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+        if self._error is not None:
+            raise self._error
+
+    def __enter__(self) -> "ServiceHarness":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -31,6 +31,7 @@ API_SURFACE = [
     "recover",
     "recover_server",
     "serve",
+    "serve_http",
 ]
 
 PACKAGE_SURFACE = [

@@ -589,3 +589,69 @@ def test_faulted_cleaning_matches_fault_free(gt, dirty, query, fault_seed):
     else:
         # a vote slot lost every retry: the run must say so, not hang
         assert not faulted.converged
+
+
+# ---------------------------------------------------------------------------
+# the answer board's cursor contract
+# ---------------------------------------------------------------------------
+
+
+class TestAnswerBoardCursor:
+    """Pins the concurrent-append contract documented on
+    :meth:`repro.dispatch.dedup.AnswerBoard.entries`: an integer cursor
+    advanced by slice length observes every published entry exactly
+    once, in publication order, while writers keep appending."""
+
+    def test_cursor_sees_every_entry_exactly_once_under_concurrent_appends(self):
+        import threading
+
+        from repro.dispatch import AnswerBoard
+
+        board = AnswerBoard()
+        writers, per_writer = 4, 200
+        start = threading.Barrier(writers + 1)
+
+        def write(w: int) -> None:
+            start.wait()
+            for i in range(per_writer):
+                board.put(("verify_fact", w, i), ("value", w, i))
+
+        threads = [
+            threading.Thread(target=write, args=(w,)) for w in range(writers)
+        ]
+        for thread in threads:
+            thread.start()
+
+        seen: list = []
+        cursor = 0
+        start.wait()  # race the reader against all writers from the gun
+        while len(seen) < writers * per_writer:
+            batch = board.entries(cursor)
+            cursor += len(batch)
+            seen.extend(batch)
+        for thread in threads:
+            thread.join()
+
+        # exactly once: no skips, no double reads
+        assert len(seen) == writers * per_writer
+        assert len(set(key for key, _ in seen)) == writers * per_writer
+        # in publication order: the final full listing is the exact
+        # concatenation of the slices the cursor walked
+        assert seen == board.entries(0)
+        # and per-writer publication order is preserved
+        for w in range(writers):
+            mine = [key[2] for key, _ in seen if key[1] == w]
+            assert mine == sorted(mine)
+
+    def test_first_writer_wins_and_positions_never_move(self):
+        from repro.dispatch import AnswerBoard
+
+        board = AnswerBoard()
+        board.put("k1", "first")
+        snapshot = board.entries(0)
+        board.put("k1", "second")  # loses: first writer won
+        board.put("k2", "other")
+        assert board.entries(0)[: len(snapshot)] == snapshot
+        assert dict(board.entries(0))["k1"] == "first"
+        # a cursor parked past the end sees only the new entry
+        assert board.entries(len(snapshot)) == [("k2", "other")]

@@ -1,0 +1,240 @@
+"""Dispatch under network-shaped faults (ISSUE 8, satellite 3).
+
+Three hostile-client shapes against the live service:
+
+* **slow-loris** — a connection that dribbles (or stalls) its request
+  head/body must be dropped with 408 after the read timeout instead of
+  pinning a connection slot;
+* **duplicate answer POSTs** — at-least-once delivery: a replayed
+  answer is acknowledged (``duplicate`` / ``stale``) without double
+  counting the vote;
+* **worker reconnect after timeout** — a worker that leases a question
+  and vanishes costs one lease expiry; after reconnecting it (or a
+  peer) re-leases the question and the session still converges at the
+  in-process question cost.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.dispatch.policy import RetryPolicy
+from repro.oracle.perfect import PerfectOracle
+from repro.server.manager import SessionManager
+from repro.service.client import ServiceClient, WorkerClient, answer_question
+from repro.shard import wire
+from service_harness import ServiceHarness
+
+from repro.service.cli import build_workload
+from test_service import in_process_baseline
+
+
+def _recv_all(sock: socket.socket, timeout: float = 5.0) -> bytes:
+    sock.settimeout(timeout)
+    chunks = []
+    try:
+        while True:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    except socket.timeout:
+        pass
+    return b"".join(chunks)
+
+
+class TestSlowLoris:
+    def _harness(self):
+        workload = build_workload("figure1")
+        manager = SessionManager(workload.dirty.copy(), mode="sync")
+        return ServiceHarness(manager, read_timeout=0.5), workload
+
+    def test_stalled_request_head_gets_408(self):
+        harness, _ = self._harness()
+        with harness:
+            with socket.create_connection((harness.host, harness.port)) as sock:
+                sock.sendall(b"GET /v1/healthz HT")  # ...and never finish
+                data = _recv_all(sock, timeout=3.0)
+            assert b"408" in data.split(b"\r\n", 1)[0]
+
+    def test_stalled_request_body_gets_408(self):
+        harness, _ = self._harness()
+        with harness:
+            with socket.create_connection((harness.host, harness.port)) as sock:
+                head = (
+                    b"POST /v1/sessions HTTP/1.1\r\n"
+                    b"Host: x\r\nContent-Type: application/json\r\n"
+                    b"Content-Length: 500\r\n\r\n"
+                )
+                sock.sendall(head + b'{"tenant": "slow', )  # 484 bytes never come
+                data = _recv_all(sock, timeout=3.0)
+            assert b"408" in data.split(b"\r\n", 1)[0]
+
+    def test_server_stays_responsive_during_the_attack(self):
+        harness, _ = self._harness()
+        with harness:
+            attackers = [
+                socket.create_connection((harness.host, harness.port))
+                for _ in range(8)
+            ]
+            try:
+                for sock in attackers:
+                    sock.sendall(b"GET /v1/stat")  # all stalled mid-head
+                with ServiceClient(harness.host, harness.port) as client:
+                    assert client.healthz()["role"] == "primary"
+            finally:
+                for sock in attackers:
+                    sock.close()
+
+
+class TestDuplicateAnswers:
+    def test_replayed_answer_post_is_idempotent(self):
+        workload = build_workload("figure1")
+        manager = SessionManager(workload.dirty.copy(), mode="sync")
+        oracle = PerfectOracle(workload.ground_truth)
+        with ServiceHarness(manager) as harness:
+            with ServiceClient(harness.host, harness.port) as client:
+                client.open(workload.queries[0])
+                # lease the first question by hand
+                doc = client._http.request(
+                    "GET", "/v1/worker/feed?worker=w0&wait=20"
+                )
+                lease = doc["question"]
+                assert lease is not None
+                reply = answer_question(
+                    oracle, wire.question_from_obj(lease["question"])
+                )
+                payload = {"worker": "w0", "qid": lease["qid"], "reply": reply}
+                first = client._http.request("POST", "/v1/worker/answer", payload)
+                assert first["status"] == "accepted"
+                # at-least-once redelivery: same worker, same qid
+                second = client._http.request("POST", "/v1/worker/answer", payload)
+                assert second["status"] == "duplicate"
+                third = client._http.request("POST", "/v1/worker/answer", payload)
+                assert third["status"] == "duplicate"
+                stats = client.stats()["broker"]
+                assert stats["duplicate_answers"] == 2
+                # exactly one vote was counted
+                assert stats["resolved"] == 1
+
+    def test_answer_after_resolution_is_stale_not_counted(self):
+        workload = build_workload("figure1")
+        manager = SessionManager(workload.dirty.copy(), mode="sync")
+        oracle = PerfectOracle(workload.ground_truth)
+        with ServiceHarness(manager, votes_per_closed=1) as harness:
+            with ServiceClient(harness.host, harness.port) as client:
+                client.open(workload.queries[0])
+                lease = client._http.request(
+                    "GET", "/v1/worker/feed?worker=w0&wait=20"
+                )["question"]
+                reply = answer_question(
+                    oracle, wire.question_from_obj(lease["question"])
+                )
+                accepted = client._http.request(
+                    "POST", "/v1/worker/answer",
+                    {"worker": "w0", "qid": lease["qid"], "reply": reply},
+                )
+                assert accepted["status"] == "accepted" and accepted["resolved"]
+                # a different worker answering the already-resolved question
+                stale = client._http.request(
+                    "POST", "/v1/worker/answer",
+                    {"worker": "w1", "qid": lease["qid"], "reply": reply},
+                )
+                assert stale["status"] == "stale"
+                assert client.stats()["broker"]["stale_answers"] == 1
+
+    def test_unknown_question_is_acknowledged_not_an_error(self):
+        workload = build_workload("figure1")
+        manager = SessionManager(workload.dirty.copy(), mode="sync")
+        with ServiceHarness(manager) as harness:
+            with ServiceClient(harness.host, harness.port) as client:
+                doc = client._http.request(
+                    "POST", "/v1/worker/answer",
+                    {"worker": "w0", "qid": 424242, "reply": {"value": True}},
+                )
+                assert doc["status"] == "unknown"
+
+
+class TestWorkerReconnect:
+    def test_vanished_worker_lease_expires_and_run_converges_at_parity(self):
+        workload = build_workload("figure1")
+        query = workload.queries[0]
+        expected_digest, expected_cost = in_process_baseline(workload, query)
+
+        manager = SessionManager(workload.dirty.copy(), mode="sync")
+        policy = RetryPolicy(
+            timeout=0.6, max_retries=5, backoff_base=0.05, backoff_factor=1.0
+        )
+        with ServiceHarness(manager, policy=policy, tick=0.1) as harness:
+            oracle = PerfectOracle(workload.ground_truth)
+            with ServiceClient(harness.host, harness.port) as client:
+                client.open(query)
+                # the worker leases the first question... and vanishes
+                ghost_lease = client._http.request(
+                    "GET", "/v1/worker/feed?worker=w0&wait=20"
+                )["question"]
+                assert ghost_lease is not None
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if client.stats()["broker"]["expired_leases"] >= 1:
+                        break
+                    time.sleep(0.1)
+                assert client.stats()["broker"]["expired_leases"] >= 1
+
+                # the same worker reconnects and behaves from now on
+                worker = WorkerClient(harness.host, harness.port, "w0", oracle)
+                worker.start_thread()
+                try:
+                    doc = client.wait(0, timeout=120.0)
+                    digest = client.digest()["digest"]
+                finally:
+                    worker.stop()
+                assert doc["state"] == "committed", doc
+                assert doc["report"]["converged"] is True
+                # the timeout cost a retry, never a wrong/extra answer:
+                # digest and question cost match the in-process run
+                assert digest == expected_digest
+                assert doc["cost"] == expected_cost
+
+    def test_reroute_prefers_a_fresh_worker_for_the_retry(self):
+        workload = build_workload("figure1")
+        manager = SessionManager(workload.dirty.copy(), mode="sync")
+        policy = RetryPolicy(
+            timeout=0.5, max_retries=4, backoff_base=0.05, backoff_factor=1.0,
+            reroute=True,
+        )
+        with ServiceHarness(manager, policy=policy, tick=0.1) as harness:
+            with ServiceClient(harness.host, harness.port) as client:
+                client.open(workload.queries[0])
+                ghost = client._http.request(
+                    "GET", "/v1/worker/feed?worker=ghost&wait=20"
+                )["question"]
+                assert ghost is not None
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if client.stats()["broker"]["expired_leases"] >= 1:
+                        break
+                    time.sleep(0.1)
+                # a fresh worker gets the retried question immediately...
+                fresh = client._http.request(
+                    "GET", "/v1/worker/feed?worker=fresh&wait=20"
+                )["question"]
+                assert fresh is not None
+                assert fresh["qid"] == ghost["qid"]
+                assert fresh["attempt"] > ghost["attempt"]
+                oracle = PerfectOracle(workload.ground_truth)
+                reply = answer_question(
+                    oracle, wire.question_from_obj(fresh["question"])
+                )
+                client._http.request(
+                    "POST", "/v1/worker/answer",
+                    {"worker": "fresh", "qid": fresh["qid"], "reply": reply},
+                )
+                worker = WorkerClient(harness.host, harness.port, "fresh", oracle)
+                worker.start_thread()
+                try:
+                    doc = client.wait(0, timeout=120.0)
+                finally:
+                    worker.stop()
+                assert doc["state"] == "committed"

@@ -1,0 +1,283 @@
+"""WAL log shipping to a warm follower + kill -9 failover (ISSUE 8).
+
+Two layers of proof:
+
+* **in-process** — a durable primary ships every commit frame to a
+  :class:`~repro.service.replication.Follower`; the follower's log is
+  byte-identical, promotion recovers the same digest, and replication
+  lag is published to telemetry;
+* **crash** — a *subprocess* primary (``qoco-serve primary`` on the
+  burst dataset) is SIGKILLed mid-commit-burst while real workers and
+  tenant threads drive it over sockets.  The warm standby is promoted
+  and every session the clients saw acknowledged as
+  ``committed + replicated`` must be present after failover: its
+  fabricated facts deleted, its tenant charged in the recovered ledger
+  — zero acked-but-lost commits.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from pathlib import Path
+
+import pytest
+
+from repro.db.tuples import fact
+from repro.durability.codec import database_digest
+from repro.oracle.perfect import PerfectOracle
+from repro.server.manager import SessionManager
+from repro.service.client import ServiceClient, WorkerClient
+from repro.service.replication import Follower
+from repro.telemetry import telemetry_session
+from service_harness import ServiceHarness
+
+from repro.service.cli import build_workload, burst_query
+
+
+class TestInProcessShipping:
+    def test_follower_log_is_byte_identical_and_promotes_to_same_digest(
+        self, tmp_path
+    ):
+        workload = build_workload("burst", tenants=3)
+        manager = SessionManager(
+            workload.dirty.copy(), mode="sync", durable_path=tmp_path / "primary"
+        )
+        with telemetry_session() as (hub, _):
+            with ServiceHarness(manager) as harness:
+                follower = Follower(
+                    tmp_path / "follower", harness.host, harness.port
+                )
+                tail = threading.Thread(target=follower.run, daemon=True)
+                tail.start()
+                worker = WorkerClient(
+                    harness.host, harness.port, "w0",
+                    PerfectOracle(workload.ground_truth),
+                )
+                worker.start_thread()
+                try:
+                    with ServiceClient(harness.host, harness.port) as client:
+                        docs = [
+                            client.clean(
+                                burst_query(i), timeout=120.0, replicated=True
+                            )
+                            for i in range(3)
+                        ]
+                        primary_digest = client.digest()["digest"]
+                        stats = client.stats()
+                        assert all(d["state"] == "committed" for d in docs)
+                        assert all(d["replicated"] is True for d in docs), docs
+                        assert all("seq" in d for d in docs)
+                        assert stats["replication"]["acks"], "no follower acks"
+                finally:
+                    worker.stop()
+                    follower.stop()
+                    tail.join(timeout=5)
+                # the shipped log is the primary's log, byte for byte
+                primary_wal = (tmp_path / "primary" / "wal.log").read_bytes()
+                follower_wal = (tmp_path / "follower" / "wal.log").read_bytes()
+                assert follower_wal == primary_wal
+                assert len(primary_wal) > 0
+            counters = hub.counters()
+            histograms = hub.histograms()
+        assert counters["service.follower.frames"] >= 3
+        assert "service.replication_lag" in histograms
+        # every commit waited for its ack, so lag returned to zero
+        assert histograms["service.replication_lag"].minimum == 0
+
+        promoted = Follower(
+            tmp_path / "follower", "127.0.0.1", 1,  # never contacted again
+        ).promote()
+        try:
+            assert database_digest(promoted.database) == primary_digest
+        finally:
+            promoted.close()
+
+    def test_checkpoint_truncation_is_mirrored(self, tmp_path):
+        workload = build_workload("burst", tenants=4)
+        manager = SessionManager(
+            workload.dirty.copy(),
+            mode="sync",
+            durable_path=tmp_path / "primary",
+            checkpoint_every=2,  # force mid-run checkpoints
+        )
+        with ServiceHarness(manager) as harness:
+            follower = Follower(tmp_path / "follower", harness.host, harness.port)
+            tail = threading.Thread(target=follower.run, daemon=True)
+            tail.start()
+            worker = WorkerClient(
+                harness.host, harness.port, "w0",
+                PerfectOracle(workload.ground_truth),
+            )
+            worker.start_thread()
+            try:
+                with ServiceClient(harness.host, harness.port) as client:
+                    for i in range(4):
+                        doc = client.clean(
+                            burst_query(i), timeout=120.0, replicated=True
+                        )
+                        assert doc["state"] == "committed"
+                    primary_digest = client.digest()["digest"]
+            finally:
+                worker.stop()
+                follower.stop()
+                tail.join(timeout=5)
+            assert follower.checkpoints_fetched >= 2, (
+                "the follower never refetched a checkpoint"
+            )
+        promoted = Follower(tmp_path / "follower", "127.0.0.1", 1).promote()
+        try:
+            assert database_digest(promoted.database) == primary_digest
+        finally:
+            promoted.close()
+
+
+@pytest.mark.slow
+class TestKillMinusNineFailover:
+    TENANTS = 10
+    ACKS_BEFORE_KILL = 4
+
+    def _spawn_primary(self, directory: Path) -> tuple[subprocess.Popen, str, int]:
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.service.cli", "primary",
+                "--dataset", "burst", "--tenants", str(self.TENANTS),
+                "--dir", str(directory), "--port", "0",
+                "--lease-timeout", "10", "--checkpoint-every", "200",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if line.startswith("LISTENING"):
+                _, host, port = line.split()
+                return process, host, int(port)
+            if process.poll() is not None:
+                break
+        raise AssertionError(
+            f"primary did not come up: {process.stdout.read() if process.stdout else ''}"
+        )
+
+    def test_promote_follower_after_kill9_zero_acked_commits_lost(self, tmp_path):
+        workload = build_workload("burst", tenants=self.TENANTS)
+        primary, host, port = self._spawn_primary(tmp_path / "primary")
+        killed = threading.Event()
+        try:
+            follower = Follower(tmp_path / "follower", host, port)
+            with ServiceHarness(None, follower=follower) as standby:
+                with ServiceClient(standby.host, standby.port) as probe:
+                    assert probe.healthz()["role"] == "standby"
+
+                workers = [
+                    WorkerClient(
+                        host, port, f"w{i}", PerfectOracle(workload.ground_truth)
+                    )
+                    for i in range(3)
+                ]
+                worker_threads = [w.start_thread() for w in workers]
+
+                def drive(i: int):
+                    client = ServiceClient(host, port, tenant=f"t{i}")
+                    try:
+                        sid = client.open_when_admitted(
+                            burst_query(i), deadline=60.0
+                        )
+                        doc = client.wait(sid, timeout=60.0, replicated=True)
+                        if doc.get("state") == "committed" and doc.get("replicated"):
+                            return ("acked", i, doc)
+                        return ("unacked", i, doc)
+                    except Exception as error:
+                        return ("crashed", i, repr(error))
+                    finally:
+                        client.close()
+
+                results = []
+                with ThreadPoolExecutor(max_workers=self.TENANTS) as pool:
+                    futures = [
+                        pool.submit(drive, i) for i in range(self.TENANTS)
+                    ]
+                    acked_seen = 0
+                    for future in as_completed(futures):
+                        outcome = future.result()
+                        results.append(outcome)
+                        if outcome[0] == "acked":
+                            acked_seen += 1
+                        if (
+                            acked_seen >= self.ACKS_BEFORE_KILL
+                            and not killed.is_set()
+                        ):
+                            # mid-burst: the other tenants are still in
+                            # flight when the primary dies without warning
+                            os.kill(primary.pid, signal.SIGKILL)
+                            killed.set()
+                for worker in workers:
+                    worker.stop()
+
+                assert killed.is_set(), "primary was never killed mid-burst"
+                acked = [r for r in results if r[0] == "acked"]
+                assert len(acked) >= self.ACKS_BEFORE_KILL
+
+                # ---- failover: promote the warm standby ------------------
+                with ServiceClient(standby.host, standby.port) as client:
+                    promoted = client.promote()
+                    assert client.healthz()["role"] == "primary"
+                    assert promoted["frames_applied"] >= len(acked)
+                    digest_doc = client.digest()
+
+                manager = standby.service.manager
+                assert manager is not None
+                ledger = manager.ledger.snapshot()
+                for _, i, doc in acked:
+                    # the session's certified edits survived the crash:
+                    # tenant i's fabricated facts are gone...
+                    for j in (0, 1):
+                        bogus = fact("r", f"t{i}", f"bogus{j}")
+                        assert bogus not in manager.database, (
+                            f"acked commit of tenant t{i} lost {bogus} "
+                            "after failover"
+                        )
+                    # ...its true facts are intact...
+                    assert fact("r", f"t{i}", "v0") in manager.database
+                    # ...and its paid crowd answers are in the ledger
+                    assert ledger.get(f"t{i}", 0) >= doc["cost"] > 0
+
+                # the promoted node serves reads with a digest consistent
+                # with its own recovered database (ledger replay included)
+                assert digest_doc["digest"] == database_digest(manager.database)
+
+                # the new primary accepts fresh sessions: cleaning a tenant
+                # that never finished before the crash still works
+                unfinished = [i for s, i, _ in results if s != "acked"]
+                if unfinished:
+                    target = unfinished[0]
+                    new_worker = WorkerClient(
+                        standby.host, standby.port, "w-post",
+                        PerfectOracle(workload.ground_truth),
+                    )
+                    new_worker.start_thread()
+                    try:
+                        with ServiceClient(standby.host, standby.port) as client:
+                            doc = client.clean(burst_query(target), timeout=120.0)
+                            assert doc["state"] == "committed", doc
+                    finally:
+                        new_worker.stop()
+                for thread in worker_threads:
+                    thread.join(timeout=3)
+        finally:
+            if primary.poll() is None:
+                primary.kill()
+            primary.wait(timeout=10)
+            if primary.stdout is not None:
+                primary.stdout.close()
