@@ -58,6 +58,7 @@ class _Entry:
     future: Optional[asyncio.Future] = None
     aborted: bool = False
     opened_at: float = field(default_factory=time.monotonic)
+    finished_at: Optional[float] = None
 
     @property
     def finished(self) -> bool:
@@ -81,6 +82,14 @@ class CrowdService:
         Distinct worker votes a closed question needs (majority wins).
     tick:
         Housekeeping period: lease expiry + queue-depth telemetry.
+    entry_retention:
+        Seconds a *finished* session document stays queryable via
+        ``GET /v1/sessions/{id}`` before housekeeping evicts it (404
+        afterwards) — bounds service memory over a long run.
+    tombstone_limit:
+        Resolved questions the broker retains for idempotent
+        duplicate/stale answer replies (see
+        :class:`~repro.service.broker.QuestionBroker`).
     """
 
     def __init__(
@@ -94,6 +103,8 @@ class CrowdService:
         votes_per_closed: int = 1,
         tick: float = 0.25,
         read_timeout: float = 10.0,
+        entry_retention: float = 300.0,
+        tombstone_limit: int = 1024,
     ) -> None:
         if manager is None and follower is None:
             raise ValueError("need a manager (primary) or a follower (standby)")
@@ -101,9 +112,11 @@ class CrowdService:
         self.follower = follower
         self.max_inflight_per_tenant = max_inflight_per_tenant
         self.max_inflight_total = max_inflight_total
+        self.entry_retention = entry_retention
         self.broker = QuestionBroker(
             policy=policy if policy is not None else RetryPolicy(timeout=30.0),
             votes_per_closed=votes_per_closed,
+            tombstone_limit=tombstone_limit,
         )
         self.tick = tick
         self.http = HttpServer(read_timeout=read_timeout)
@@ -194,7 +207,18 @@ class CrowdService:
     async def _housekeeping(self) -> None:
         while True:
             await asyncio.sleep(self.tick)
-            self.broker.expire(time.monotonic())
+            now = time.monotonic()
+            self.broker.expire(now)
+            # evict finished sessions past their retention window so
+            # _entries (and every admission scan over it) stays bounded
+            evict = [
+                sid
+                for sid, entry in self._entries.items()
+                if entry.finished_at is not None
+                and now - entry.finished_at > self.entry_retention
+            ]
+            for sid in evict:
+                del self._entries[sid]
             if _TELEMETRY.enabled:
                 _TELEMETRY.observe("service.queue_depth", self._inflight_total())
 
@@ -284,7 +308,12 @@ class CrowdService:
         self._entries[session.session_id] = entry
         loop = asyncio.get_running_loop()
         entry.future = loop.run_in_executor(self._executor, manager.drive, session)
-        entry.future.add_done_callback(lambda _f: entry.done.set())
+
+        def _mark_done(_future: asyncio.Future) -> None:
+            entry.finished_at = time.monotonic()
+            entry.done.set()
+
+        entry.future.add_done_callback(_mark_done)
         if _TELEMETRY.enabled:
             _TELEMETRY.count("service.sessions_opened")
             _TELEMETRY.observe("service.queue_depth", self._inflight_total())

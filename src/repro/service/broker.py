@@ -25,7 +25,12 @@ the dispatch layer's machinery against real wall-clock workers:
 Answer submission is **idempotent under at-least-once delivery**: one
 ``(question, worker)`` pair is counted once; replays and answers landing
 after resolution are acknowledged (``duplicate`` / ``stale``) without
-mutating state, so clients may retry POSTs freely.
+mutating state, so clients may retry POSTs freely.  Resolved questions
+are retained only in a bounded tombstone window (``tombstone_limit``,
+newest resolutions win); a replay arriving after its question aged out
+is acknowledged as ``unknown``.  This keeps broker memory — and the
+lease scan, which walks pending questions only — bounded no matter how
+long the service runs.
 
 Threading: session threads call :meth:`QuestionBroker.ask` (blocking);
 the asyncio side calls :meth:`lease`, :meth:`answer`, and
@@ -38,6 +43,7 @@ outside it (the app bridges them onto the loop with
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable, Mapping, Optional, Sequence
 
@@ -102,19 +108,30 @@ class QuestionBroker:
         policy: Optional[RetryPolicy] = None,
         votes_per_closed: int = 1,
         ask_timeout: Optional[float] = None,
+        tombstone_limit: int = 1024,
     ) -> None:
         if votes_per_closed < 1:
             raise ValueError("votes_per_closed must be >= 1")
+        if tombstone_limit < 0:
+            raise ValueError("tombstone_limit must be >= 0")
         self.policy = policy if policy is not None else RetryPolicy(timeout=30.0)
         self.votes_per_closed = votes_per_closed
         #: hard cap a session thread waits in :meth:`ask` before taking
         #: the fallback itself (``None`` = trust :meth:`expire` to
         #: resolve every question eventually)
         self.ask_timeout = ask_timeout
+        #: resolved questions retained (newest first out) so replayed
+        #: answer POSTs keep getting ``duplicate``/``stale`` instead of
+        #: ``unknown``; beyond the window they are forgotten entirely,
+        #: bounding broker memory in a long-running service
+        self.tombstone_limit = tombstone_limit
         self._lock = threading.Lock()
         self._questions: dict[int, _Question] = {}
         self._by_key: dict[Hashable, _Question] = {}
+        #: pending qids only, oldest first (the lease scan order);
+        #: resolved questions move to the tombstone window
         self._order: list[int] = []
+        self._tombstones: deque[int] = deque()
         self._next_qid = 1
         self._closed = False
         self._listeners: list[Callable[[], None]] = []
@@ -245,7 +262,8 @@ class QuestionBroker:
         Returns ``{"status": ..., "resolved": bool}`` where status is
         ``accepted`` (counted), ``duplicate`` (this worker already
         answered — replayed POST), ``stale`` (question already
-        resolved), or ``unknown`` (no such question).
+        resolved), or ``unknown`` (no such question — never existed, or
+        resolved so long ago it aged out of the tombstone window).
         """
         notify = False
         with self._lock:
@@ -278,7 +296,8 @@ class QuestionBroker:
         expired = 0
         give_up: list[_Question] = []
         with self._lock:
-            for question in self._questions.values():
+            for qid in list(self._order):
+                question = self._questions[qid]
                 if question.done:
                     continue
                 overdue = [
@@ -335,6 +354,13 @@ class QuestionBroker:
             # asker goes through the accounting/board caches first, so
             # reaching the broker again means it wants a fresh vote
             del self._by_key[question.key]
+        try:
+            self._order.remove(question.qid)
+        except ValueError:  # pragma: no cover - resolve is idempotent
+            pass
+        self._tombstones.append(question.qid)
+        while len(self._tombstones) > self.tombstone_limit:
+            self._questions.pop(self._tombstones.popleft(), None)
         self.resolved += 1
         if gave_up:
             self.fallbacks += 1
@@ -360,7 +386,7 @@ class QuestionBroker:
         """
         with self._lock:
             self._closed = True
-            pending = [q for q in self._questions.values() if not q.done]
+            pending = [self._questions[qid] for qid in self._order]
         for question in pending:
             self._resolve(question, FALLBACKS.get(question.kind), gave_up=True)
 
@@ -374,14 +400,12 @@ class QuestionBroker:
 
     def pending_count(self) -> int:
         with self._lock:
-            return sum(1 for q in self._questions.values() if not q.done)
+            return len(self._order)
 
     def stats(self) -> dict[str, int]:
         with self._lock:
-            pending = sum(1 for q in self._questions.values() if not q.done)
-            inflight = sum(
-                len(q.active) for q in self._questions.values() if not q.done
-            )
+            pending = len(self._order)
+            inflight = sum(len(self._questions[qid].active) for qid in self._order)
             return {
                 "submitted": self.submitted,
                 "coalesced": self.coalesced,

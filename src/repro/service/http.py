@@ -162,7 +162,9 @@ class HttpServer:
         Seconds a single read of the request head or body may stall
         before the connection is dropped (the slow-loris guard).
     idle_timeout:
-        Seconds a keep-alive connection may sit between requests.
+        Seconds a keep-alive connection may sit between requests —
+        until the first byte of the next head arrives; from then on
+        ``read_timeout`` governs the rest of that head.
     max_body:
         Request body ceiling in bytes (413 beyond it).
     """
@@ -262,17 +264,29 @@ class HttpServer:
     ) -> Optional[Request]:
         """Parse one request, or ``None`` when the connection should close.
 
-        The head of the *first* request (and every subsequent head once
-        its first byte arrived) must complete within ``read_timeout``;
-        between keep-alive requests the more generous ``idle_timeout``
-        applies.  A stalled head or body gets a 408 and the connection
-        is closed — the slow-loris defence.
+        Every request head must complete within ``read_timeout`` of its
+        first byte; between keep-alive requests the more generous
+        ``idle_timeout`` applies only while *no* byte of the next head
+        has arrived.  A stalled head or body gets a 408 and the
+        connection is closed — the slow-loris defence, which therefore
+        bounds a dribbled head at ``read_timeout`` on keep-alive
+        connections too.
         """
         try:
-            head = await asyncio.wait_for(
-                reader.readuntil(b"\r\n\r\n"),
-                self.read_timeout if first else self.idle_timeout,
-            )
+            if first:
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), self.read_timeout
+                )
+            else:
+                # two-phase: the connection may idle between requests,
+                # but once the next head starts arriving the strict
+                # per-head deadline takes over
+                prefix = await asyncio.wait_for(
+                    reader.readexactly(1), self.idle_timeout
+                )
+                head = prefix + await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), self.read_timeout
+                )
         except asyncio.TimeoutError:
             await self._reject(writer, 408, "request head timed out")
             return None
@@ -295,7 +309,14 @@ class HttpServer:
             return None
         parts = urlsplit(target)
         query = dict(parse_qsl(parts.query, keep_blank_values=True))
-        length = int(headers.get("content-length", "0") or "0")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            await self._reject(writer, 400, "malformed Content-Length header")
+            return None
+        if length < 0:
+            await self._reject(writer, 400, "malformed Content-Length header")
+            return None
         if length > self.max_body:
             await self._reject(writer, 413, "request body too large")
             return None

@@ -16,7 +16,11 @@ primary would use on its own disk.
 Checkpoints truncate the log on both sides: the hub emits a
 ``checkpoint`` control line, the follower refetches the full snapshot
 (verifying its ``digest`` against the decoded database) and truncates
-its log, exactly mirroring the primary.
+its log once every local record is subsumed by the snapshot — never
+sooner, so an acked frame stays on the follower's disk until some
+checkpoint covers it.  A reconnect while the primary's checkpoint is
+unchanged skips the reinstall entirely and resumes the stream at the
+follower's own high-water mark.
 
 Acks close the loop: the hub tracks the newest sequence each follower
 has made durable, publishes ``service.replication_lag`` (records the
@@ -312,8 +316,14 @@ class Follower:
 
     # -- local durable state -------------------------------------------
     def _install_checkpoint(self, document: dict) -> None:
-        """Verify and atomically install the primary's snapshot, then
-        truncate the local log (mirroring the primary's own order)."""
+        """Verify and atomically install the primary's snapshot.
+
+        The local log is truncated only when every record in it is
+        subsumed by the snapshot (``last_seq <= checkpoint seq``) —
+        acked frames beyond the checkpoint must never leave disk until
+        a later snapshot covers them (recovery skips obsolete records
+        by sequence, so a kept log is merely larger, never wrong).
+        """
         database = database_from_obj(document["database"])
         digest = database_digest(database)
         if digest != document.get("digest"):
@@ -329,12 +339,17 @@ class Follower:
             handle.write(payload)
             _fsync_path(handle)
         os.replace(tmp, self.directory / CHECKPOINT_FILE)
-        handle = self._wal()
-        handle.seek(0)
-        handle.truncate()
-        _fsync_path(handle)
-        self.checkpoint_seq = int(document["seq"])
-        self.last_seq = max(self.last_seq, self.checkpoint_seq)
+        seq = int(document["seq"])
+        if self.last_seq <= seq:
+            handle = self._wal()
+            handle.seek(0)
+            handle.truncate()
+            _fsync_path(handle)
+            # every truncated frame is covered by the snapshot, so the
+            # stream must resume exactly at the checkpoint — a higher
+            # resume point would silently skip the re-shipped frames
+            self.last_seq = seq
+        self.checkpoint_seq = seq
         self.checkpoints_fetched += 1
         if _TELEMETRY.enabled:
             _TELEMETRY.count("service.follower.checkpoints")
@@ -355,6 +370,12 @@ class Follower:
             )
         if seq <= self.last_seq:
             return  # redelivery after a reconnect: already durable
+        if seq != self.last_seq + 1:
+            # a silent gap would produce a WAL missing records; fail
+            # loudly so the tail loop reconnects and refetches
+            raise ReplicationError(
+                f"sequence gap: expected {self.last_seq + 1}, got {seq}"
+            )
         handle = self._wal()
         handle.write(frame)
         _fsync_path(handle)
@@ -375,7 +396,14 @@ class Follower:
 
     def _follow_once(self) -> None:
         document = self._get_json("/v1/replication/checkpoint")
-        self._install_checkpoint(document)
+        # reinstall (and truncate) only for a checkpoint we have not
+        # installed yet: a plain reconnect while the primary's
+        # checkpoint is unchanged must keep the acked local WAL intact,
+        # otherwise frames the tenant saw as replicated would be
+        # deleted here and never re-shipped (the stream resumes at
+        # last_seq, which those frames are below)
+        if self.checkpoints_fetched == 0 or int(document["seq"]) > self.checkpoint_seq:
+            self._install_checkpoint(document)
         self._post_ack(self.last_seq)
         conn = self._connection()
         try:

@@ -11,6 +11,8 @@ still converge, with queue depth bounded and observable.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.durability.codec import database_digest
@@ -90,6 +92,36 @@ class TestEndToEnd:
                     assert stats["sessions"].get("committed") == 1
                     assert stats["broker"]["resolved"] >= 1
                     assert client.healthz()["role"] == "primary"
+            finally:
+                worker.stop()
+
+    def test_finished_sessions_are_evicted_after_retention(self):
+        workload = build_workload("figure1")
+        manager = SessionManager(workload.dirty.copy(), mode="sync")
+        with ServiceHarness(manager, entry_retention=0.3, tick=0.05) as harness:
+            worker = WorkerClient(
+                harness.host, harness.port, "w0",
+                PerfectOracle(workload.ground_truth),
+            )
+            worker.start_thread()
+            try:
+                with ServiceClient(harness.host, harness.port) as client:
+                    sid = client.open(workload.queries[0])
+                    doc = client.wait(sid, timeout=120.0)
+                    assert doc["state"] == "committed"
+                    # housekeeping evicts the finished entry once its
+                    # retention lapses; the document 404s after that
+                    deadline = time.monotonic() + 10.0
+                    while time.monotonic() < deadline:
+                        try:
+                            client.status(sid)
+                        except ServiceError as error:
+                            assert error.status == 404
+                            break
+                        time.sleep(0.05)
+                    else:
+                        raise AssertionError("finished session never evicted")
+                    assert client.stats()["sessions"] == {}
             finally:
                 worker.stop()
 

@@ -22,6 +22,7 @@ import time
 from repro.dispatch.policy import RetryPolicy
 from repro.oracle.perfect import PerfectOracle
 from repro.server.manager import SessionManager
+from repro.service.broker import QuestionBroker
 from repro.service.client import ServiceClient, WorkerClient, answer_question
 from repro.shard import wire
 from service_harness import ServiceHarness
@@ -70,6 +71,36 @@ class TestSlowLoris:
                 sock.sendall(head + b'{"tenant": "slow', )  # 484 bytes never come
                 data = _recv_all(sock, timeout=3.0)
             assert b"408" in data.split(b"\r\n", 1)[0]
+
+    def test_malformed_content_length_gets_400(self):
+        harness, _ = self._harness()
+        with harness:
+            for bad in (b"abc", b"-5"):
+                with socket.create_connection((harness.host, harness.port)) as sock:
+                    sock.sendall(
+                        b"POST /v1/worker/answer HTTP/1.1\r\nHost: x\r\n"
+                        b"Content-Length: " + bad + b"\r\n\r\n"
+                    )
+                    data = _recv_all(sock, timeout=3.0)
+                assert b"400" in data.split(b"\r\n", 1)[0], data
+
+    def test_dribbled_second_head_bounded_by_read_timeout_not_idle(self):
+        # read_timeout=0.5 but idle_timeout keeps its 120 s default: a
+        # keep-alive client that completes one request and then
+        # dribbles the next head must be dropped on the *read* deadline
+        harness, _ = self._harness()
+        with harness:
+            with socket.create_connection((harness.host, harness.port)) as sock:
+                sock.sendall(b"GET /v1/healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                sock.settimeout(5.0)
+                first = sock.recv(4096)
+                assert first.startswith(b"HTTP/1.1 200"), first
+                sock.sendall(b"G")  # one byte of the next head, then stall
+                start = time.monotonic()
+                data = _recv_all(sock, timeout=10.0)
+                elapsed = time.monotonic() - start
+            assert b"408" in data.split(b"\r\n", 1)[0], data
+            assert elapsed < 5.0, f"dribbled head held its slot for {elapsed:.1f}s"
 
     def test_server_stays_responsive_during_the_attack(self):
         harness, _ = self._harness()
@@ -156,7 +187,42 @@ class TestDuplicateAnswers:
                 assert doc["status"] == "unknown"
 
 
-class TestWorkerReconnect:
+class TestBrokerBoundedMemory:
+    """Resolved questions age out of a bounded tombstone window instead
+    of accumulating (and being rescanned by every lease) forever."""
+
+    def test_resolved_questions_prune_to_the_tombstone_window(self):
+        broker = QuestionBroker(
+            policy=RetryPolicy(timeout=30.0), tombstone_limit=4
+        )
+        qids = []
+        for i in range(20):
+            question = broker.submit("verify_fact", {"i": i}, None)
+            outcome = broker.answer("w0", question.qid, True, now=0.0)
+            assert outcome["status"] == "accepted"
+            qids.append(question.qid)
+        assert broker.pending_count() == 0
+        # only the newest tombstone_limit resolutions are remembered
+        assert len(broker._questions) == 4
+        assert broker.stats()["resolved"] == 20
+
+        # idempotency survives within the window...
+        assert broker.answer("w0", qids[-1], True, 0.0)["status"] == "duplicate"
+        assert broker.answer("w1", qids[-1], True, 0.0)["status"] == "stale"
+        # ...and degrades to an acknowledged 'unknown' beyond it
+        assert broker.answer("w0", qids[0], True, 0.0)["status"] == "unknown"
+
+    def test_lease_scan_sees_pending_work_among_tombstones(self):
+        broker = QuestionBroker(
+            policy=RetryPolicy(timeout=30.0), tombstone_limit=2
+        )
+        for i in range(10):
+            question = broker.submit("verify_fact", {"i": i}, None)
+            broker.answer("w0", question.qid, True, now=0.0)
+        live = broker.submit("verify_fact", {"i": "live"}, None)
+        lease = broker.lease("w1", now=0.0)
+        assert lease is not None and lease["qid"] == live.qid
+        assert broker.stats()["pending"] == 1
     def test_vanished_worker_lease_expires_and_run_converges_at_parity(self):
         workload = build_workload("figure1")
         query = workload.queries[0]

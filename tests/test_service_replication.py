@@ -33,7 +33,7 @@ from repro.durability.codec import database_digest
 from repro.oracle.perfect import PerfectOracle
 from repro.server.manager import SessionManager
 from repro.service.client import ServiceClient, WorkerClient
-from repro.service.replication import Follower
+from repro.service.replication import Follower, ReplicationError
 from repro.telemetry import telemetry_session
 from service_harness import ServiceHarness
 
@@ -135,6 +135,144 @@ class TestInProcessShipping:
             assert database_digest(promoted.database) == primary_digest
         finally:
             promoted.close()
+
+
+def _wal_frames(store):
+    """``(seq, frame_bytes)`` pairs of a store's live WAL suffix."""
+    tail = store.read_log()
+    data = store.wal_path.read_bytes()[: tail.valid_bytes]
+    frames, start = [], 0
+    for record, end in zip(tail.records, tail.offsets):
+        frames.append((int(record["seq"]), data[start:end]))
+        start = end
+    return frames
+
+
+class _DeadConnection:
+    """A primary whose stream endpoint is unreachable."""
+
+    def request(self, *args, **kwargs):
+        raise OSError("primary unreachable")
+
+    def close(self):
+        pass
+
+
+class TestFollowerReconnect:
+    """A reconnect must never delete acked frames from the follower's
+    disk: truncation is legal only when a checkpoint subsumes them."""
+
+    def _primary(self, tmp_path):
+        workload = build_workload("burst", tenants=2)
+        manager = SessionManager(
+            workload.dirty.copy(), mode="sync", durable_path=tmp_path / "primary"
+        )
+        for i in range(2):
+            manager.open_session(
+                burst_query(i), PerfectOracle(workload.ground_truth)
+            )
+        manager.run_all()
+        return manager
+
+    def test_reconnect_without_new_checkpoint_keeps_acked_wal(self, tmp_path):
+        manager = self._primary(tmp_path)
+        try:
+            store = manager._store
+            document = store.read_checkpoint()
+            frames = _wal_frames(store)
+            assert document["seq"] == 0 and frames, "burst run produced no frames"
+
+            follower = Follower(tmp_path / "follower", "127.0.0.1", 1)
+            acks = []
+            follower._get_json = lambda path: document
+            follower._post_ack = acks.append
+            follower._connection = _DeadConnection  # stream never comes up
+
+            # first attach: install the snapshot, then (hand-feed what
+            # the stream would have delivered) apply + ack every frame
+            with pytest.raises(OSError):
+                follower._follow_once()
+            for seq, frame in frames:
+                follower._apply_frame(seq, frame)
+            shipped = (tmp_path / "follower" / "wal.log").read_bytes()
+            assert shipped == store.wal_path.read_bytes()
+            high_water = frames[-1][0]
+            assert follower.last_seq == high_water
+
+            # reconnect while the primary's checkpoint is unchanged:
+            # the acked local WAL must survive and the stream must
+            # resume at the follower's own high-water mark
+            with pytest.raises(OSError):
+                follower._follow_once()
+            assert (tmp_path / "follower" / "wal.log").read_bytes() == shipped
+            assert follower.last_seq == high_water
+            assert acks[-1] == high_water
+            follower.close()
+        finally:
+            manager.close()
+
+    def test_new_checkpoint_subsuming_all_frames_truncates_and_resets(self, tmp_path):
+        manager = self._primary(tmp_path)
+        try:
+            store = manager._store
+            document = store.read_checkpoint()
+            frames = _wal_frames(store)
+            follower = Follower(tmp_path / "follower", "127.0.0.1", 1)
+            follower._install_checkpoint(document)
+            for seq, frame in frames:
+                follower._apply_frame(seq, frame)
+            top = frames[-1][0]
+
+            covered = dict(document, seq=top + 3)
+            follower._install_checkpoint(covered)
+            assert (tmp_path / "follower" / "wal.log").read_bytes() == b""
+            # the stream resumes exactly at the checkpoint, not beyond
+            assert follower.last_seq == top + 3
+            assert follower.checkpoint_seq == top + 3
+            follower.close()
+        finally:
+            manager.close()
+
+    def test_checkpoint_behind_applied_frames_keeps_local_log(self, tmp_path):
+        manager = self._primary(tmp_path)
+        try:
+            store = manager._store
+            document = store.read_checkpoint()
+            frames = _wal_frames(store)
+            assert len(frames) >= 2
+            follower = Follower(tmp_path / "follower", "127.0.0.1", 1)
+            follower._install_checkpoint(document)
+            for seq, frame in frames:
+                follower._apply_frame(seq, frame)
+            before = (tmp_path / "follower" / "wal.log").read_bytes()
+
+            # a checkpoint covering only the first frame: the later
+            # acked frames are NOT subsumed, so the log must stay
+            behind = dict(document, seq=frames[0][0])
+            follower._install_checkpoint(behind)
+            assert (tmp_path / "follower" / "wal.log").read_bytes() == before
+            assert follower.last_seq == frames[-1][0]
+            assert follower.checkpoint_seq == frames[0][0]
+            follower.close()
+        finally:
+            manager.close()
+
+    def test_sequence_gap_raises_instead_of_silent_hole(self, tmp_path):
+        manager = self._primary(tmp_path)
+        try:
+            store = manager._store
+            frames = _wal_frames(store)
+            assert len(frames) >= 2
+            follower = Follower(tmp_path / "follower", "127.0.0.1", 1)
+            follower._install_checkpoint(store.read_checkpoint())
+            with pytest.raises(ReplicationError, match="sequence gap"):
+                follower._apply_frame(frames[1][0], frames[1][1])
+            # the contiguous frame still applies cleanly afterwards
+            follower._apply_frame(frames[0][0], frames[0][1])
+            assert follower.last_seq == frames[0][0]
+            follower.close()
+        finally:
+            manager.close()
 
 
 @pytest.mark.slow
