@@ -23,6 +23,7 @@ import warnings as _warnings
 from . import api
 from .core import (
     QOCO,
+    REGISTRY,
     CleaningReport,
     DeletionError,
     InsertionError,
@@ -35,11 +36,21 @@ from .core import (
     QOCOMinusDeletion,
     RandomDeletion,
     RandomSplit,
+    RegistryError,
     Report,
     ReportLike,
+    StrategyRegistry,
     UCQCleaner,
     crowd_add_missing_answer,
     crowd_remove_wrong_answer,
+    resolve_strategy,
+)
+from .plan import (
+    BanditPlanner,
+    CapacityScheduler,
+    CostModel,
+    QuestionPlanner,
+    query_signature,
 )
 from .db import (
     Database,
@@ -87,11 +98,15 @@ from .datasets import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "REGISTRY",
     "TELEMETRY",
     "AccountingOracle",
     "AnswerBoard",
     "Atom",
+    "BanditPlanner",
+    "CapacityScheduler",
     "Chao92Estimator",
+    "CostModel",
     "CleaningReport",
     "CleaningSession",
     "Crowd",
@@ -124,8 +139,10 @@ __all__ = [
     "QOCOMinusDeletion",
     "Query",
     "QuestionKind",
+    "QuestionPlanner",
     "RandomDeletion",
     "RandomSplit",
+    "RegistryError",
     "RelationSchema",
     "Report",
     "ReportLike",
@@ -134,6 +151,7 @@ __all__ = [
     "SessionManager",
     "SessionState",
     "ShardedQOCO",
+    "StrategyRegistry",
     "Telemetry",
     "TenantPolicy",
     "UCQCleaner",
@@ -149,6 +167,8 @@ __all__ = [
     "insert",
     "make_dirty",
     "parse_query",
+    "query_signature",
+    "resolve_strategy",
     "telemetry_session",
     "witnesses_for",
     "worldcup_database",

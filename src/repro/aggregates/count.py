@@ -19,11 +19,12 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from ..core.deletion import DeletionError, DeletionStrategy, QOCODeletion, crowd_remove_wrong_answer
 from ..core.insertion import InsertionError, crowd_add_missing_answer
 from ..core.session import CleaningReport
+from ..core.registry import REGISTRY
 from ..core.split import ProvenanceSplit, SplitStrategy
 from ..db.database import Database
 from ..db.tuples import Constant
@@ -105,17 +106,43 @@ class AggregateQOCO:
         self,
         database: Database,
         oracle: AccountingOracle,
-        deletion_strategy: Optional[DeletionStrategy] = None,
-        split_strategy: Optional[SplitStrategy] = None,
+        deletion: Optional[Union[str, DeletionStrategy]] = None,
+        split: Optional[Union[str, SplitStrategy]] = None,
         seed: Optional[int] = None,
         max_rounds: int = 10,
+        **legacy,
     ) -> None:
+        if legacy:
+            import warnings
+
+            for name, value in legacy.items():
+                if name == "deletion_strategy":
+                    deletion = value
+                elif name == "split_strategy":
+                    split = value
+                else:
+                    raise TypeError(
+                        f"AggregateQOCO() got an unexpected keyword argument {name!r}"
+                    )
+            warnings.warn(
+                "deletion_strategy=/split_strategy= are deprecated on "
+                "AggregateQOCO; use deletion=/split= (a registry name or "
+                "a strategy instance)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.database = database
         self.oracle = (
             oracle if isinstance(oracle, AccountingOracle) else AccountingOracle(oracle)
         )
-        self.deletion_strategy = deletion_strategy or QOCODeletion()
-        self.split_strategy = split_strategy or ProvenanceSplit()
+        self.deletion_strategy = (
+            REGISTRY.resolve("deletion", deletion) if deletion is not None
+            else QOCODeletion()
+        )
+        self.split_strategy = (
+            REGISTRY.resolve("split", split) if split is not None
+            else ProvenanceSplit()
+        )
         self.rng = random.Random(seed)
         self.max_rounds = max_rounds
 

@@ -18,7 +18,8 @@ from .negation import (
     remove_wrong_answer_with_negation,
 )
 from .parallel import ParallelQOCO, RoundScheduler
-from .qoco import QOCO, QOCOConfig, resolve_config
+from .qoco import QOCO, QOCOConfig, resolve_config, resolve_planner
+from .registry import REGISTRY, RegistryError, StrategyRegistry, resolve_strategy
 from .report import CleaningReport, ParallelReport, Report, ReportLike
 from .ucq import (
     UCQCleaner,
@@ -61,13 +62,18 @@ __all__ = [
     "QOCOMinusDeletion",
     "RandomDeletion",
     "RandomSplit",
+    "REGISTRY",
+    "RegistryError",
     "Report",
     "ReportLike",
     "SPLIT_STRATEGIES",
     "SplitStrategy",
+    "StrategyRegistry",
     "UCQCleaner",
     "UnionQOCO",
     "resolve_config",
+    "resolve_planner",
+    "resolve_strategy",
     "add_missing_answer_union",
     "add_missing_answer_with_negation",
     "remove_wrong_answer_with_negation",

@@ -94,3 +94,16 @@ def frequency_trust(database_counts: Mapping[Fact, int], ceiling: int = 5) -> Tr
         return min(database_counts.get(fact, 0), ceiling) / ceiling
 
     return trust
+
+
+# Registry names: ``QOCOConfig(deletion="responsibility")`` works out of
+# the box; ``"trust"`` builds a provider-less strategy (every unknown
+# fact scores ``default_trust``) — pass an instance to supply scores.
+from .registry import REGISTRY as _REGISTRY  # noqa: E402
+
+_REGISTRY.register(
+    "deletion", "responsibility", ResponsibilityDeletion, aliases=("Responsibility",)
+)
+_REGISTRY.register(
+    "deletion", "trust", lambda: TrustScoreDeletion({}), aliases=("Trust",)
+)

@@ -46,7 +46,8 @@ from .insertion import (
     _insert_witness,
     _near_witness_score,
 )
-from .qoco import QOCOConfig, resolve_config
+from .qoco import QOCOConfig, resolve_config, resolve_planner
+from .registry import REGISTRY
 from .report import ParallelReport
 from .split import SplitStrategy
 
@@ -176,6 +177,32 @@ def insertion_task(
     return edits
 
 
+def _metered_task(task: Task, callback: Callable[[int, int], None]) -> Task:
+    """Forward *task* transparently, reporting its question count on exit.
+
+    Counts every non-free yield (``remember`` requests cost no crowd
+    slot) and invokes ``callback(questions, questions)`` once the task
+    finishes — normally or with a deletion/insertion error.  The wrapper
+    forwards the generator protocol unchanged, so scheduling and answers
+    are bit-identical to running the bare task.
+    """
+    questions = 0
+    try:
+        answer = None
+        request = next(task)
+        while True:
+            if request[0] != "remember":
+                questions += 1
+            answer = yield request
+            request = task.send(answer)
+    except StopIteration as stop:
+        callback(questions, questions)
+        return stop.value
+    except (DeletionError, InsertionError):
+        callback(questions, questions)
+        raise
+
+
 # ---------------------------------------------------------------------------
 # the round scheduler
 # ---------------------------------------------------------------------------
@@ -290,44 +317,28 @@ class ParallelQOCO:
         database: Database,
         oracle: AccountingOracle,
         config: Optional[QOCOConfig] = None,
-        *,
-        split_strategy: Optional[SplitStrategy] = None,
-        insertion_config: Optional[InsertionConfig] = None,
-        completion_width: Optional[int] = None,
-        max_iterations: Optional[int] = None,
-        seed: Optional[int] = None,
-        use_incremental: Optional[bool] = None,
-        backend=None,
-        scheduler_factory: Optional[
-            Callable[[AccountingOracle], RoundScheduler]
-        ] = None,
+        **overrides,
     ) -> None:
         if config is not None and not isinstance(config, QOCOConfig):
             # the third positional argument used to be split_strategy
             warnings.warn(
                 "passing split_strategy positionally to ParallelQOCO is "
-                "deprecated; pass a QOCOConfig or split_strategy=...",
+                "deprecated; pass a QOCOConfig or split=...",
                 DeprecationWarning,
                 stacklevel=2,
             )
-            split_strategy, config = config, None
+            overrides.setdefault("split", config)
+            config = None
         self.database = database
         self.oracle = (
             oracle if isinstance(oracle, AccountingOracle) else AccountingOracle(oracle)
         )
-        self.config = resolve_config(
-            config,
-            split_strategy=split_strategy,
-            insertion=insertion_config,
-            completion_width=completion_width,
-            max_iterations=max_iterations,
-            seed=seed,
-            use_incremental=use_incremental,
-            backend=backend,
-            scheduler_factory=scheduler_factory,
-        )
+        self.config = resolve_config(config, **overrides)
         self.backend = resolve_backend(self.config.backend)
-        self.split_strategy = self.config.split_strategy
+        self.split_strategy: SplitStrategy = REGISTRY.resolve(
+            "split", self.config.split
+        )
+        self.planner = resolve_planner(self.config.planner, seed=self.config.seed)
         self.insertion_config = self.config.insertion
         self.completion_width = self.config.completion_width
         self.max_iterations = self.config.max_iterations
@@ -437,13 +448,27 @@ class ParallelQOCO:
                 scheduler.tick(posted)
                 if not missing:
                     break
-                tasks = [
-                    insertion_task(
-                        query, self.database, answer, self.split_strategy,
+                tasks = []
+                for answer in missing:
+                    split = self.split_strategy
+                    if self.planner is not None:
+                        choice = self.planner.choose(query)
+                        split = choice.strategy
+                    task = insertion_task(
+                        query, self.database, answer, split,
                         self.rng, self.insertion_config,
                     )
-                    for answer in missing
-                ]
+                    if self.planner is not None:
+                        # The parallel scheduler batches oracle calls, so
+                        # per-task cost is metered by question count.
+                        planner, episode = self.planner, choice
+                        task = _metered_task(
+                            task,
+                            lambda cost, questions, p=planner, c=episode: p.observe(
+                                c, cost=cost, questions=questions
+                            ),
+                        )
+                    tasks.append(task)
                 for answer, edits in zip(missing, scheduler.run(tasks)):
                     if edits is None:
                         report.converged = False

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Union
 
@@ -29,13 +30,14 @@ from ..query.backend import (
 from ..query.evaluator import Answer, Evaluator, answer_to_partial
 from ..query.incremental import IncrementalAnswers, supports_incremental
 from ..telemetry import TELEMETRY as _TELEMETRY
-from .deletion import DeletionError, DeletionStrategy, QOCODeletion, crowd_remove_wrong_answer
+from .deletion import DeletionError, DeletionStrategy, crowd_remove_wrong_answer
 from .insertion import InsertionConfig, InsertionError, crowd_add_missing_answer
+from .registry import REGISTRY
 from .session import CleaningReport
-from .split import ProvenanceSplit, SplitStrategy
+from .split import SplitStrategy
 
 
-@dataclass
+@dataclass(init=False)
 class QOCOConfig:
     """Configuration shared by every cleaning loop.
 
@@ -44,12 +46,37 @@ class QOCOConfig:
     :class:`~repro.core.ucq.UCQCleaner`; fields a given loop has no use
     for (e.g. ``completion_width`` on the sequential loop) are simply
     ignored by it.
+
+    Strategy fields accept registry *names* (resolved through
+    :data:`repro.core.registry.REGISTRY`, case-insensitive) or built
+    instances interchangeably::
+
+        QOCOConfig(split="mincut", deletion="responsibility", planner="bandit")
+        QOCOConfig(split=MinCutSplit(), deletion=ResponsibilityDeletion())
+
+    Names travel the shard wire and the service API as-is; instances
+    work everywhere in-process.  The pre-redesign spellings
+    (``deletion_strategy=`` / ``split_strategy=`` keywords) are
+    accepted with a :class:`DeprecationWarning`, and the read-only
+    properties of the same names return the resolved instances.
     """
 
-    #: Strategy for Algorithm 1 (deletion).
-    deletion_strategy: DeletionStrategy = field(default_factory=QOCODeletion)
-    #: Strategy for Algorithm 2's Split().
-    split_strategy: SplitStrategy = field(default_factory=ProvenanceSplit)
+    #: Strategy for Algorithm 1 (deletion): a registry name
+    #: (``"qoco"``, ``"qoco-"``, ``"random"``, ``"responsibility"``,
+    #: ``"trust"``) or a :class:`DeletionStrategy` instance.
+    deletion: Union[str, DeletionStrategy] = "qoco"
+    #: Strategy for Algorithm 2's Split(): a registry name (``"naive"``,
+    #: ``"random"``, ``"mincut"``, ``"provenance"``) or a
+    #: :class:`SplitStrategy` instance.
+    split: Union[str, SplitStrategy] = "provenance"
+    #: Adaptive question planner for the insertion phase: ``None``
+    #: (static ``split``), a registry name (``"bandit"``), or a
+    #: :class:`repro.plan.BanditPlanner`-like instance.  When set, each
+    #: missing-answer episode's split strategy is chosen per query shape
+    #: from the planner's learned cost model; a planner pinned to a
+    #: single arm is bit-identical to the corresponding static strategy
+    #: (see ``docs/planner.md``).
+    planner: Optional[Union[str, Any]] = None
     #: Factory for the enumeration black-box (fresh instance per phase).
     estimator_factory: Callable[[], CompletionEstimator] = ExactCompletion
     #: Algorithm 2 tuning.
@@ -75,7 +102,8 @@ class QOCOConfig:
     #: backends transparently fall back to ``naive`` on query shapes
     #: outside their capability flags; results are identical either way.
     backend: Union[str, EvalBackend] = "naive"
-    #: Random seed for the strategies' tie-breaking.
+    #: Random seed for the strategies' tie-breaking (and, derived, for
+    #: the planner's exploration — see ``docs/planner.md``).
     seed: Optional[int] = None
     #: COMPL(Q(D)) questions posted together per parallel wave
     #: (ParallelQOCO only; the sequential loops ignore it).
@@ -85,21 +113,133 @@ class QOCOConfig:
     #: selects the synchronous ``RoundScheduler``.  ParallelQOCO only.
     scheduler_factory: Optional[Callable[..., Any]] = None
 
+    def __init__(
+        self,
+        deletion: Union[str, DeletionStrategy] = "qoco",
+        split: Union[str, SplitStrategy] = "provenance",
+        planner: Optional[Union[str, Any]] = None,
+        estimator_factory: Callable[[], CompletionEstimator] = ExactCompletion,
+        insertion: Optional[InsertionConfig] = None,
+        max_iterations: int = 10,
+        max_completions_per_phase: int = 100,
+        minimize_query: bool = False,
+        use_incremental: bool = True,
+        backend: Union[str, EvalBackend] = "naive",
+        seed: Optional[int] = None,
+        completion_width: int = 4,
+        scheduler_factory: Optional[Callable[..., Any]] = None,
+        **legacy: Any,
+    ) -> None:
+        for name, value in legacy.items():
+            target = _LEGACY_CONFIG_ALIASES.get(name)
+            if target is None:
+                raise TypeError(
+                    f"QOCOConfig() got an unexpected keyword argument {name!r}"
+                )
+            warnings.warn(
+                f"QOCOConfig({name}=...) is deprecated; use {target}=... "
+                f"(a registry name or a strategy instance)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if target == "deletion":
+                deletion = value
+            elif target == "split":
+                split = value
+            else:
+                insertion = value
+        self.deletion = deletion
+        self.split = split
+        self.planner = planner
+        self.estimator_factory = estimator_factory
+        self.insertion = insertion if insertion is not None else InsertionConfig()
+        self.max_iterations = max_iterations
+        self.max_completions_per_phase = max_completions_per_phase
+        self.minimize_query = minimize_query
+        self.use_incremental = use_incremental
+        self.backend = backend
+        self.seed = seed
+        self.completion_width = completion_width
+        self.scheduler_factory = scheduler_factory
+
+    # -- pre-redesign read compatibility --------------------------------
+    @property
+    def deletion_strategy(self) -> DeletionStrategy:
+        """The resolved deletion strategy (old field name, read-only)."""
+        return REGISTRY.resolve("deletion", self.deletion)
+
+    @property
+    def split_strategy(self) -> SplitStrategy:
+        """The resolved split strategy (old field name, read-only)."""
+        return REGISTRY.resolve("split", self.split)
+
+
+#: Pre-redesign keyword spellings still accepted (with a warning) by
+#: ``QOCOConfig()`` and every entry point routed through
+#: :func:`resolve_config`.
+_LEGACY_CONFIG_ALIASES = {
+    "deletion_strategy": "deletion",
+    "split_strategy": "split",
+    "insertion_config": "insertion",
+}
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(QOCOConfig))
+
 
 def resolve_config(config: Optional[QOCOConfig], **overrides: Any) -> QOCOConfig:
     """Merge per-call keyword overrides into *config*.
 
     The keyword-compat seam behind the unified constructor signatures:
-    legacy per-class kwargs (``max_iterations=...``, ``seed=...``,
-    ``split_strategy=...``, ...) become targeted field replacements on
-    the shared :class:`QOCOConfig`.  ``None`` overrides are ignored, so
+    per-call kwargs (``max_iterations=...``, ``seed=...``,
+    ``split="mincut"``, ...) become targeted field replacements on the
+    shared :class:`QOCOConfig`.  ``None`` overrides are ignored, so
     plain ``Cleaner(db, oracle, config)`` passes through untouched.
+    Pre-redesign keyword names (``split_strategy=``,
+    ``deletion_strategy=``, ``insertion_config=``) are translated to
+    the canonical fields with a :class:`DeprecationWarning`; unknown
+    keywords raise :class:`TypeError`.
     """
     resolved = config if config is not None else QOCOConfig()
-    actual = {name: value for name, value in overrides.items() if value is not None}
+    actual: dict[str, Any] = {}
+    for name, value in overrides.items():
+        if value is None:
+            continue
+        target = _LEGACY_CONFIG_ALIASES.get(name)
+        if target is not None:
+            warnings.warn(
+                f"the {name}= keyword is deprecated; use {target}=... "
+                f"(a registry name or a strategy instance)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            name = target
+        if name not in _CONFIG_FIELDS:
+            raise TypeError(f"unknown QOCOConfig override {name!r}")
+        actual[name] = value
     if not actual:
         return resolved
     return dataclasses.replace(resolved, **actual)
+
+
+def resolve_planner(spec: Any, *, seed: Optional[int] = None) -> Optional[Any]:
+    """Build the planner a cleaning loop will drive, or ``None``.
+
+    A string resolves through the registry (lazy-importing
+    ``repro.plan``) and the fresh instance is seeded from the session
+    seed, so every stochastic planner choice flows from ``--repro-seed``.
+    An already-built instance is returned untouched — it may be shared
+    across sessions (its cost model accumulates), so its RNG belongs to
+    whoever constructed it.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        planner = REGISTRY.resolve("planner", spec)
+        from ..plan.planner import derive_seed
+
+        planner.reseed(derive_seed(seed, "planner"))
+        return planner
+    return REGISTRY.resolve("planner", spec)
 
 
 class QOCO:
@@ -107,7 +247,9 @@ class QOCO:
 
     Configure with a shared :class:`QOCOConfig` (third positional
     argument) or with per-field keyword overrides — ``QOCO(db, oracle,
-    seed=7)`` is shorthand for ``QOCO(db, oracle, QOCOConfig(seed=7))``.
+    seed=7)`` is shorthand for ``QOCO(db, oracle, QOCOConfig(seed=7))``,
+    and ``QOCO(db, oracle, split="mincut", planner="bandit")`` resolves
+    strategy names through the registry.
     """
 
     def __init__(
@@ -115,32 +257,17 @@ class QOCO:
         database: Database,
         oracle: Oracle,
         config: Optional[QOCOConfig] = None,
-        *,
-        deletion_strategy: Optional[DeletionStrategy] = None,
-        split_strategy: Optional[SplitStrategy] = None,
-        estimator_factory: Optional[Callable[[], CompletionEstimator]] = None,
-        insertion: Optional[InsertionConfig] = None,
-        max_iterations: Optional[int] = None,
-        max_completions_per_phase: Optional[int] = None,
-        minimize_query: Optional[bool] = None,
-        use_incremental: Optional[bool] = None,
-        backend: Optional[Union[str, EvalBackend]] = None,
-        seed: Optional[int] = None,
+        **overrides: Any,
     ) -> None:
         self.database = database
-        self.config = resolve_config(
-            config,
-            deletion_strategy=deletion_strategy,
-            split_strategy=split_strategy,
-            estimator_factory=estimator_factory,
-            insertion=insertion,
-            max_iterations=max_iterations,
-            max_completions_per_phase=max_completions_per_phase,
-            minimize_query=minimize_query,
-            use_incremental=use_incremental,
-            backend=backend,
-            seed=seed,
+        self.config = resolve_config(config, **overrides)
+        self.deletion_strategy: DeletionStrategy = REGISTRY.resolve(
+            "deletion", self.config.deletion
         )
+        self.split_strategy: SplitStrategy = REGISTRY.resolve(
+            "split", self.config.split
+        )
+        self.planner = resolve_planner(self.config.planner, seed=self.config.seed)
         self.backend = resolve_backend(self.config.backend)
         self.oracle = (
             oracle
@@ -251,7 +378,7 @@ class QOCO:
                     self.database,
                     answer,
                     self.oracle,
-                    strategy=self.config.deletion_strategy,
+                    strategy=self.deletion_strategy,
                     rng=self.rng,
                     witnesses=self._witnesses(query, answer),
                 )
@@ -285,20 +412,39 @@ class QOCO:
             if self._engine is not None and self._engine.query is query:
                 engine = self._engine
                 present = lambda m=missing: m in engine  # noqa: E731
+            split = self.split_strategy
+            choice = None
+            if self.planner is not None:
+                choice = self.planner.choose(query)
+                split = choice.strategy
+            cost_before = self.oracle.log.total_cost
+            questions_before = self.oracle.log.question_count
             try:
                 edits = crowd_add_missing_answer(
                     query,
                     self.database,
                     missing,
                     self.oracle,
-                    split=self.config.split_strategy,
+                    split=split,
                     rng=self.rng,
                     config=self.config.insertion,
                     present=present,
                 )
             except InsertionError:
                 report.converged = False
+                if choice is not None:
+                    self.planner.observe(
+                        choice,
+                        cost=self.oracle.log.total_cost - cost_before,
+                        questions=self.oracle.log.question_count - questions_before,
+                    )
                 continue
+            if choice is not None:
+                self.planner.observe(
+                    choice,
+                    cost=self.oracle.log.total_cost - cost_before,
+                    questions=self.oracle.log.question_count - questions_before,
+                )
             report.edits += edits
             report.missing_answers_added.append(missing)
             verified.add(missing)

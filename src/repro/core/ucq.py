@@ -35,7 +35,8 @@ from .deletion import (
     crowd_remove_wrong_answer,
 )
 from .insertion import InsertionConfig, InsertionError, crowd_add_missing_answer
-from .qoco import QOCOConfig, resolve_config
+from .qoco import QOCOConfig, resolve_config, resolve_planner
+from .registry import REGISTRY
 from .report import CleaningReport
 from .split import SplitStrategy
 
@@ -143,36 +144,30 @@ class UCQCleaner:
         database: Database,
         oracle: AccountingOracle,
         config: Optional[QOCOConfig] = None,
-        *,
-        deletion_strategy: Optional[DeletionStrategy] = None,
-        split_strategy: Optional[SplitStrategy] = None,
-        estimator_factory=None,
-        max_iterations: Optional[int] = None,
-        seed: Optional[int] = None,
+        **overrides,
     ) -> None:
         if config is not None and not isinstance(config, QOCOConfig):
             # the third positional argument used to be deletion_strategy
             warnings.warn(
                 "passing deletion_strategy positionally to the UCQ cleaner "
-                "is deprecated; pass a QOCOConfig or deletion_strategy=...",
+                "is deprecated; pass a QOCOConfig or deletion=...",
                 DeprecationWarning,
                 stacklevel=2,
             )
-            deletion_strategy, config = config, None
+            overrides.setdefault("deletion", config)
+            config = None
         self.database = database
         self.oracle = (
             oracle if isinstance(oracle, AccountingOracle) else AccountingOracle(oracle)
         )
-        self.config = resolve_config(
-            config,
-            deletion_strategy=deletion_strategy,
-            split_strategy=split_strategy,
-            estimator_factory=estimator_factory,
-            max_iterations=max_iterations,
-            seed=seed,
+        self.config = resolve_config(config, **overrides)
+        self.deletion_strategy: DeletionStrategy = REGISTRY.resolve(
+            "deletion", self.config.deletion
         )
-        self.deletion_strategy = self.config.deletion_strategy
-        self.split_strategy = self.config.split_strategy
+        self.split_strategy: SplitStrategy = REGISTRY.resolve(
+            "split", self.config.split
+        )
+        self.planner = resolve_planner(self.config.planner, seed=self.config.seed)
         self.estimator_factory = self.config.estimator_factory
         self.max_iterations = self.config.max_iterations
         self.rng = random.Random(self.config.seed)
@@ -232,14 +227,33 @@ class UCQCleaner:
                 continue
             if missing in current:
                 continue
+            split = self.split_strategy
+            choice = None
+            if self.planner is not None:
+                choice = self.planner.choose(union)
+                split = choice.strategy
+            cost_before = self.oracle.log.total_cost
+            questions_before = self.oracle.log.question_count
             try:
                 edits = add_missing_answer_union(
                     union, self.database, missing, self.oracle,
-                    self.split_strategy, self.rng,
+                    split, self.rng,
                 )
             except InsertionError:
                 report.converged = False
+                if choice is not None:
+                    self.planner.observe(
+                        choice,
+                        cost=self.oracle.log.total_cost - cost_before,
+                        questions=self.oracle.log.question_count - questions_before,
+                    )
                 continue
+            if choice is not None:
+                self.planner.observe(
+                    choice,
+                    cost=self.oracle.log.total_cost - cost_before,
+                    questions=self.oracle.log.question_count - questions_before,
+                )
             report.edits += edits
             report.missing_answers_added.append(missing)
             verified.add(missing)

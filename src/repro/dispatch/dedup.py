@@ -88,13 +88,24 @@ class AnswerBoard:
     simply means "ask the crowd yourself".  The board is keyed by
     :func:`question_key`, the same value-based identity the accounting
     cache uses, and is safe to share between session threads.
+
+    With ``similarity=True`` the board additionally indexes every
+    published entry by its :func:`repro.plan.similarity.similarity_key`
+    canonical class, so :meth:`get_similar` can serve a
+    variable-renamed twin of an already-answered question.  The index is
+    *derived* — rebuilt by :meth:`put` itself — so durability snapshots
+    and the :meth:`entries` cursor contract are untouched: recovery
+    replays ``put`` and the index reappears.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, similarity: bool = False) -> None:
         self._answers: dict[Hashable, Any] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.publishes = 0
+        self.similarity = similarity
+        self.similarity_hits = 0
+        self._canonical: dict[Hashable, Any] = {}
 
     def __len__(self) -> int:
         with self._lock:
@@ -110,6 +121,20 @@ class AnswerBoard:
                 self.hits += 1
             return value
 
+    def get_similar(self, key: Hashable) -> Optional[Any]:
+        """A published value for any question in *key*'s similarity
+        class, or ``None`` (disabled boards always miss)."""
+        if not self.similarity or key is None:
+            return None
+        ckey = _similarity_key(key)
+        if ckey is None:
+            return None
+        with self._lock:
+            value = self._canonical.get(ckey)
+            if value is not None:
+                self.similarity_hits += 1
+            return value
+
     def put(self, key: Hashable, value: Any) -> None:
         """Publish a final value for *key* (first writer wins)."""
         if key is None or value is None:
@@ -118,6 +143,10 @@ class AnswerBoard:
             if key not in self._answers:
                 self._answers[key] = value
                 self.publishes += 1
+                if self.similarity:
+                    ckey = _similarity_key(key)
+                    if ckey is not None and ckey not in self._canonical:
+                        self._canonical[ckey] = value
 
     def entries(self, start: int = 0) -> list[tuple[Hashable, Any]]:
         """The published ``(key, value)`` pairs, in publication order.
@@ -139,6 +168,14 @@ class AnswerBoard:
         with self._lock:
             items = list(self._answers.items())
         return items[start:]
+
+
+def _similarity_key(key: Hashable) -> Optional[Hashable]:
+    """The canonical similarity class of *key* (lazy import keeps this
+    module free of query-layer dependencies unless similarity is on)."""
+    from ..plan.similarity import similarity_key
+
+    return similarity_key(key)  # type: ignore[arg-type]
 
 
 __all__ = ["AnswerBoard", "DedupIndex", "question_key", "QuestionKind"]

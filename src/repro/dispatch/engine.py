@@ -64,6 +64,7 @@ class DispatchStats:
     cache_hits: int = 0           # answered free from the accounting cache
     dedup_coalesced: int = 0      # duplicates folded into a shared vote
     shared_hits: int = 0          # answered free from a cross-session board
+    similarity_hits: int = 0      # answered from a renamed twin's verdict
     member_answers: int = 0       # answers collected from workers (incl. discarded)
     discarded_answers: int = 0    # arrived past the timeout, thrown away
     late_answers: int = 0         # assignments that drew the LATE fault
@@ -241,6 +242,18 @@ class DispatchEngine:
                 commits.append((spec, published))
                 inflight[key] = published
                 return published
+            probe = getattr(self.shared, "get_similar", None)
+            similar = probe(key) if probe is not None else None
+            if similar is not None:
+                # a variable-renamed twin of this question was already
+                # answered; adopt its verdict, and republish under the
+                # exact key so later sessions hit directly
+                self.stats.similarity_hits += 1
+                self._count("dispatch.similarity_hits")
+                commits.append((spec, similar))
+                inflight[key] = similar
+                self.shared.put(key, similar)
+                return similar
         if self.budget is not None and (
             self.budget.cost_exhausted()
             or self.budget.time_exhausted(deadline_ref)

@@ -158,3 +158,9 @@ class Budget:
 
     def exhausted(self, clock: float) -> bool:
         return self.cost_exhausted() or self.time_exhausted(clock)
+
+
+# Tenant-aware lease scheduling for the service broker lives in
+# ``repro.plan.schedule`` (a leaf module); re-exported here because the
+# dispatch layer is where deployments pick their crowd policies.
+from ..plan.schedule import DEFAULT_KIND_COSTS, CapacityScheduler  # noqa: E402,F401

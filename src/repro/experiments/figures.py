@@ -354,8 +354,8 @@ def _run_crowd_trial(
     dirty = errors.dirty.copy()
     accounting = AccountingOracle(crowd)
     config = QOCOConfig(
-        deletion_strategy=make_strategy(algorithm),
-        split_strategy=make_split("Provenance"),
+        deletion=make_strategy(algorithm),
+        split=make_split("Provenance"),
         seed=seed,
         max_iterations=6,
     )

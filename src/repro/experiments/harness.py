@@ -233,8 +233,8 @@ def run_mixed(
     backend = oracle if oracle is not None else PerfectOracle(ground_truth)
     accounting = AccountingOracle(backend)
     config = QOCOConfig(
-        deletion_strategy=make_strategy(strategy_name),
-        split_strategy=make_split(split_name),
+        deletion=make_strategy(strategy_name),
+        split=make_split(split_name),
         seed=seed,
     )
     system = QOCO(dirty, accounting, config)

@@ -1,0 +1,50 @@
+"""Adaptive question planning (the strategy-policy layer).
+
+The cleaning loops in :mod:`repro.core` take a *static* split strategy;
+this package chooses one **per missing-answer episode** instead, from
+telemetry-backed cost statistics keyed by the query's structural shape:
+
+* :mod:`repro.plan.signature` — the shape key (variable-renaming- and
+  constant-invariant).
+* :mod:`repro.plan.cost`      — per-(shape, arm) cost statistics, warm-
+  startable from a telemetry snapshot.
+* :mod:`repro.plan.bandit`    — a seeded UCB1 selector minimising cost.
+* :mod:`repro.plan.planner`   — :class:`BanditPlanner`, the strategy
+  registered as ``QOCOConfig(planner="bandit")``.
+* :mod:`repro.plan.similarity` — sound canonical keys matching
+  variable-renamed questions for answer reuse.
+* :mod:`repro.plan.schedule`  — tenant-aware question scoring for the
+  service broker's shared crowd capacity.
+
+A planner pinned to a single arm is bit-identical to the corresponding
+static strategy (see ``docs/planner.md`` and ``tests/test_plan.py``).
+"""
+
+from .bandit import UCB1
+from .cost import ArmStats, CostModel
+from .planner import (
+    DEFAULT_ARMS,
+    BanditPlanner,
+    PlanChoice,
+    QuestionPlanner,
+    derive_seed,
+)
+from .schedule import DEFAULT_KIND_COSTS, CapacityScheduler
+from .signature import query_signature
+from .similarity import canonical_body, similarity_key
+
+__all__ = [
+    "ArmStats",
+    "BanditPlanner",
+    "CapacityScheduler",
+    "CostModel",
+    "DEFAULT_ARMS",
+    "DEFAULT_KIND_COSTS",
+    "PlanChoice",
+    "QuestionPlanner",
+    "UCB1",
+    "canonical_body",
+    "derive_seed",
+    "query_signature",
+    "similarity_key",
+]

@@ -1,0 +1,63 @@
+"""A seeded UCB1 selector, flipped to *minimise* cost.
+
+Standard UCB1 maximises reward; question planning minimises crowd cost,
+so the index is ``mean_cost - exploration * sqrt(ln(total) / pulls)``
+and the arm with the **lowest** index is pulled.  Unplayed arms go
+first, in registration order; exact index ties break through the
+instance's own seeded RNG so two same-seed runs replay identically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Mapping, Optional, Sequence
+
+from .cost import ArmStats
+
+
+class UCB1:
+    """One bandit instance (the planner keeps one per query shape)."""
+
+    def __init__(
+        self,
+        arms: Sequence[str],
+        *,
+        exploration: float = 2.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not arms:
+            raise ValueError("a bandit needs at least one arm")
+        self.arms = tuple(arms)
+        self.exploration = exploration
+        self._rng = random.Random(seed)
+
+    def reseed(self, seed: Optional[int]) -> None:
+        self._rng = random.Random(seed)
+
+    def select(self, stats: Mapping[str, ArmStats]) -> str:
+        """The arm to pull next given per-arm statistics."""
+        if len(self.arms) == 1:
+            # Pinned bandit: no exploration, no RNG consumption — the
+            # bit-identical-to-static guarantee depends on this.
+            return self.arms[0]
+        for arm in self.arms:
+            if stats.get(arm, _EMPTY).pulls == 0:
+                return arm
+        total = sum(stats[arm].pulls for arm in self.arms)
+        log_total = math.log(max(total, 2))
+
+        def index(arm: str) -> float:
+            s = stats[arm]
+            return s.mean_cost - self.exploration * math.sqrt(log_total / s.pulls)
+
+        best = min(index(arm) for arm in self.arms)
+        tied = sorted(arm for arm in self.arms if index(arm) == best)
+        if len(tied) == 1:
+            return tied[0]
+        return tied[self._rng.randrange(len(tied))]
+
+
+_EMPTY = ArmStats()
+
+__all__ = ["UCB1"]

@@ -1,0 +1,121 @@
+"""The planner's cost model.
+
+Accumulates per-(query shape, arm) statistics of what one insertion
+episode actually cost — crowd dollars and question count from the
+oracle's accounting log — and can warm-start from a telemetry snapshot
+(the ``plan.pulls.<arm>`` / ``plan.cost.<arm>`` counters an earlier
+session exported), so a fresh session starts from fleet experience
+instead of from zero.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional
+
+from .signature import Signature
+
+
+@dataclass
+class ArmStats:
+    """Aggregate outcome of the episodes one arm has run."""
+
+    pulls: int = 0
+    cost: float = 0.0
+    questions: int = 0
+
+    @property
+    def mean_cost(self) -> float:
+        return self.cost / self.pulls if self.pulls else 0.0
+
+    def add(self, cost: float, questions: int) -> None:
+        self.pulls += 1
+        self.cost += cost
+        self.questions += questions
+
+
+class CostModel:
+    """Thread-safe per-shape (and global) arm statistics."""
+
+    def __init__(self) -> None:
+        self._by_shape: dict[Signature, dict[str, ArmStats]] = {}
+        self._global: dict[str, ArmStats] = {}
+        self._lock = threading.Lock()
+
+    def record(
+        self, signature: Optional[Signature], arm: str, cost: float, questions: int
+    ) -> None:
+        """Fold one finished episode into the statistics."""
+        with self._lock:
+            if signature is not None:
+                table = self._by_shape.setdefault(signature, {})
+                table.setdefault(arm, ArmStats()).add(cost, questions)
+            self._global.setdefault(arm, ArmStats()).add(cost, questions)
+
+    def stats(self, signature: Signature, arms: Iterable[str]) -> dict[str, ArmStats]:
+        """Per-arm stats for *signature*, falling back to the global
+        (cross-shape) aggregate for arms this shape has not tried yet —
+        the prior that makes warm starts useful."""
+        with self._lock:
+            shaped = self._by_shape.get(signature, {})
+            out: dict[str, ArmStats] = {}
+            for arm in arms:
+                local = shaped.get(arm)
+                if local is not None and local.pulls:
+                    out[arm] = ArmStats(local.pulls, local.cost, local.questions)
+                else:
+                    prior = self._global.get(arm)
+                    out[arm] = (
+                        ArmStats(prior.pulls, prior.cost, prior.questions)
+                        if prior is not None
+                        else ArmStats()
+                    )
+            return out
+
+    def estimate(self, signature: Signature) -> float:
+        """Expected cost of one insertion episode for this shape: the
+        best observed per-arm mean (0.0 with no data — cheap until
+        proven otherwise, which keeps admission ordering stable)."""
+        with self._lock:
+            tables = [self._by_shape.get(signature, {}), self._global]
+            for table in tables:
+                means = [s.mean_cost for s in table.values() if s.pulls]
+                if means:
+                    return min(means)
+            return 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Global per-arm aggregates in telemetry-counter form."""
+        with self._lock:
+            counters: dict[str, float] = {}
+            for arm, stats in self._global.items():
+                counters[f"plan.pulls.{arm}"] = stats.pulls
+                counters[f"plan.cost.{arm}"] = stats.cost
+                counters[f"plan.questions.{arm}"] = stats.questions
+            return {"counters": counters}
+
+    def warm_start(self, snapshot: Mapping[str, Any], arms: Iterable[str]) -> int:
+        """Seed the global priors from a telemetry ``snapshot()`` dict.
+
+        Reads the ``plan.pulls.<arm>`` / ``plan.cost.<arm>`` /
+        ``plan.questions.<arm>`` counters this module (and
+        :class:`~repro.plan.planner.BanditPlanner`) emits.  Returns the
+        number of arms that received data.
+        """
+        counters = snapshot.get("counters", {}) or {}
+        seeded = 0
+        with self._lock:
+            for arm in arms:
+                pulls = int(counters.get(f"plan.pulls.{arm}", 0))
+                if pulls <= 0:
+                    continue
+                stats = self._global.setdefault(arm, ArmStats())
+                stats.pulls += pulls
+                stats.cost += float(counters.get(f"plan.cost.{arm}", 0.0))
+                stats.questions += int(counters.get(f"plan.questions.{arm}", 0))
+                seeded += 1
+        return seeded
+
+
+__all__ = ["ArmStats", "CostModel"]

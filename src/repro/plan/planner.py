@@ -1,0 +1,167 @@
+"""The adaptive question planner (``QOCOConfig(planner="bandit")``).
+
+One :class:`BanditPlanner` drives the insertion phase of any cleaning
+loop: per missing-answer episode the loop calls :meth:`choose` (which
+runs a per-query-shape UCB1 over the registered split strategies) and,
+once the episode finishes, :meth:`observe` with the crowd cost and
+question count actually spent.  The statistics live in a shared
+:class:`~repro.plan.cost.CostModel`, so a planner instance passed to
+several sessions keeps learning across them, and
+:meth:`warm_start` folds in a telemetry snapshot from earlier runs.
+
+Correctness anchor: a planner pinned to a single arm
+(``BanditPlanner(arms=("mincut",))``) consumes no randomness in
+:meth:`choose` and always returns that arm's strategy, so a pinned run
+is bit-identical (same edits, same ``state_digest``, same cost) to the
+equivalent static-strategy run.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+from ..core.registry import REGISTRY
+from ..core.split import SplitStrategy
+from ..telemetry import TELEMETRY as _TELEMETRY
+from .bandit import UCB1
+from .cost import CostModel
+from .signature import Signature, query_signature
+
+#: The default arm table: every registered split strategy.
+DEFAULT_ARMS = ("naive", "random", "mincut", "provenance")
+
+
+def derive_seed(seed: Optional[int], label: str) -> int:
+    """A deterministic child seed for *label* under the session seed."""
+    return zlib.crc32(label.encode("utf-8")) ^ (seed if seed is not None else 0)
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """One planner decision, handed back to :meth:`observe`."""
+
+    signature: Signature
+    arm: str
+    strategy: SplitStrategy
+
+
+class QuestionPlanner(ABC):
+    """The planner protocol the cleaning loops drive."""
+
+    @abstractmethod
+    def choose(self, query: Any) -> PlanChoice:
+        """Pick the split strategy for one insertion episode."""
+
+    @abstractmethod
+    def observe(self, choice: PlanChoice, *, cost: float, questions: int) -> None:
+        """Report what the episode actually cost."""
+
+    def estimate(self, query: Any) -> float:
+        """Expected episode cost for *query* (0.0 with no data)."""
+        return 0.0
+
+    def reseed(self, seed: Optional[int]) -> None:
+        """Re-derive every internal RNG from *seed*."""
+
+
+class BanditPlanner(QuestionPlanner):
+    """UCB1 over split strategies, one bandit per query shape."""
+
+    name = "bandit"
+
+    def __init__(
+        self,
+        arms: Sequence[str] = DEFAULT_ARMS,
+        *,
+        seed: Optional[int] = None,
+        exploration: float = 2.0,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        if not arms:
+            raise ValueError("BanditPlanner needs at least one arm")
+        self.arms = tuple(arms)
+        # Resolve once: unknown names fail loudly at construction, not
+        # mid-clean, and every episode reuses the same instances.
+        self._strategies: dict[str, SplitStrategy] = {
+            arm: REGISTRY.resolve("split", arm) for arm in self.arms
+        }
+        self.exploration = exploration
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self._seed = seed
+        self._bandits: dict[Signature, UCB1] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # QuestionPlanner protocol
+    # ------------------------------------------------------------------
+    def choose(self, query: Any) -> PlanChoice:
+        signature = query_signature(query)
+        if len(self.arms) == 1:
+            # Pinned planner: skip the bandit machinery entirely (no RNG,
+            # no stats read) so the run replays the static strategy.
+            arm = self.arms[0]
+        else:
+            bandit = self._bandit(signature)
+            stats = self.cost_model.stats(signature, self.arms)
+            with self._lock:
+                arm = bandit.select(stats)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("plan.decisions")
+        return PlanChoice(signature, arm, self._strategies[arm])
+
+    def observe(self, choice: PlanChoice, *, cost: float, questions: int) -> None:
+        self.cost_model.record(choice.signature, choice.arm, cost, questions)
+        tel = _TELEMETRY
+        if tel.enabled:
+            tel.count("plan.episodes")
+            tel.count(f"plan.pulls.{choice.arm}")
+            tel.count(f"plan.cost.{choice.arm}", cost)
+            tel.count(f"plan.questions.{choice.arm}", questions)
+            tel.observe("plan.episode_cost", cost)
+            tel.observe("plan.episode_questions", questions)
+
+    def estimate(self, query: Any) -> float:
+        return self.cost_model.estimate(query_signature(query))
+
+    def reseed(self, seed: Optional[int]) -> None:
+        with self._lock:
+            self._seed = seed
+            for signature, bandit in self._bandits.items():
+                bandit.reseed(self._shape_seed(signature))
+
+    def warm_start(self, snapshot: Mapping[str, Any]) -> int:
+        """Fold a telemetry/cost-model snapshot into the global priors."""
+        return self.cost_model.warm_start(snapshot, self.arms)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _shape_seed(self, signature: Signature) -> int:
+        return derive_seed(self._seed, repr(signature))
+
+    def _bandit(self, signature: Signature) -> UCB1:
+        with self._lock:
+            bandit = self._bandits.get(signature)
+            if bandit is None:
+                bandit = UCB1(
+                    self.arms,
+                    exploration=self.exploration,
+                    seed=self._shape_seed(signature),
+                )
+                self._bandits[signature] = bandit
+            return bandit
+
+
+REGISTRY.register("planner", "bandit", BanditPlanner, aliases=("Bandit", "ucb1"))
+
+__all__ = [
+    "BanditPlanner",
+    "DEFAULT_ARMS",
+    "PlanChoice",
+    "QuestionPlanner",
+    "derive_seed",
+]

@@ -1,0 +1,79 @@
+"""Tenant-aware question scoring for shared crowd capacity.
+
+The service broker leases questions to workers; with several tenants
+multiplexed over one worker pool, FIFO order spends capacity on whoever
+submitted first, not on whoever it *unblocks* most.
+:class:`CapacityScheduler` scores each pending question by
+
+    subscribers x priority / (kind cost x votes still needed)
+
+so a question that several coalesced sessions wait on, from a
+high-priority tenant, with a cheap kind and one vote to go, jumps the
+queue.  The broker falls back to FIFO age among equal scores, so
+single-tenant workloads behave exactly as before.
+
+This module is import-standalone (no dispatch/service imports):
+``repro.dispatch.policy`` re-exports it for the dispatch-facing surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+#: Relative crowd price per question kind — closed (yes/no) questions
+#: are cheap, open (fill-in) questions cost more.  Mirrors the default
+#: open/closed cost ratio of the accounting oracle.
+DEFAULT_KIND_COSTS: dict[str, float] = {
+    "verify_fact": 1.0,
+    "verify_answer": 1.0,
+    "verify_candidate": 1.0,
+    "complete": 2.0,
+    "complete_result": 2.0,
+}
+
+
+class CapacityScheduler:
+    """Scores broker questions: highest sessions-unblocked per unit cost.
+
+    *cost_model* (optional, duck-typed ``estimate(signature)``) lets the
+    planner's learned per-shape costs sharpen the denominator when the
+    question payload carries a query.
+    """
+
+    def __init__(
+        self,
+        kind_costs: Optional[Mapping[str, float]] = None,
+        cost_model: Any = None,
+    ) -> None:
+        self.kind_costs = dict(DEFAULT_KIND_COSTS)
+        if kind_costs:
+            self.kind_costs.update(kind_costs)
+        self.cost_model = cost_model
+
+    def score(self, question: Any, now: float) -> float:
+        """Bigger = lease sooner.  Reads broker ``_Question`` attributes
+        defensively so any queue item with ``kind`` works."""
+        subscribers = max(1, int(getattr(question, "subscribers", 1)))
+        priority = float(getattr(question, "priority", 1.0))
+        kind_cost = self.kind_costs.get(getattr(question, "kind", ""), 1.0)
+        if self.cost_model is not None:
+            kind_cost += self._episode_cost(question)
+        votes_needed = int(getattr(question, "votes_needed", 1))
+        votes_have = len(getattr(question, "votes", ()) or ())
+        remaining = max(1, votes_needed - votes_have)
+        return (subscribers * priority) / (kind_cost * remaining)
+
+    def _episode_cost(self, question: Any) -> float:
+        payload = getattr(question, "payload", None)
+        query = payload[0] if isinstance(payload, tuple) and payload else None
+        if query is None:
+            return 0.0
+        try:
+            from .signature import query_signature
+
+            return float(self.cost_model.estimate(query_signature(query)))
+        except Exception:
+            return 0.0
+
+
+__all__ = ["CapacityScheduler", "DEFAULT_KIND_COSTS"]

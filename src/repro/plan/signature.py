@@ -1,0 +1,85 @@
+"""Structural query-shape signatures.
+
+The planner's cost model keys its statistics by *what a query looks
+like*, not what it is named: two queries that differ only in variable
+names, constant values, or atom order should share statistics, because
+the split strategies' relative performance depends on the join structure
+(chain vs star vs clique, arity, inequality count), not on the payload.
+
+:func:`query_signature` produces that key: a hashable nested tuple that
+is invariant under variable renaming, constant substitution, and body
+reordering, and that distinguishes structurally different joins.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..query.ast import Atom, Query, Var
+
+#: Placeholder for any constant in the abstracted shape.
+_CONST = "c"
+
+Signature = tuple
+
+
+def query_signature(query: Any) -> Signature:
+    """The structural shape of *query* (CQ or union of CQs).
+
+    Unions are detected by duck-typing ``.disjuncts`` and signed as the
+    sorted tuple of their disjuncts' signatures.
+    """
+    disjuncts = getattr(query, "disjuncts", None)
+    if disjuncts is not None:
+        return ("union",) + tuple(sorted(query_signature(d) for d in disjuncts))
+    return _cq_signature(query)
+
+
+def _atom_shape(atom: Atom, negated: bool) -> tuple:
+    """A sort key for *atom* that ignores variable identity."""
+    mask = tuple("v" if isinstance(t, Var) else _CONST for t in atom.terms)
+    return (negated, atom.relation, mask)
+
+
+def _cq_signature(query: Query) -> Signature:
+    # Order atoms by their variable-blind shape, then number variables by
+    # first occurrence in that order — renaming-invariant by construction.
+    body = [(a, False) for a in query.atoms] + [
+        (a, True) for a in query.negated_atoms
+    ]
+    body.sort(key=lambda pair: _atom_shape(pair[0], pair[1]))
+    ids: dict[Var, int] = {}
+
+    def vid(var: Var) -> int:
+        return ids.setdefault(var, len(ids))
+
+    atoms = tuple(
+        (
+            negated,
+            atom.relation,
+            tuple(vid(t) if isinstance(t, Var) else _CONST for t in atom.terms),
+        )
+        for atom, negated in body
+    )
+    head = tuple(
+        ids.get(t, _CONST) if isinstance(t, Var) else _CONST for t in query.head
+    )
+    # Inequality vars are guaranteed to occur in positive atoms (query
+    # safety), so every variable side already has an id.
+    inequalities = tuple(
+        sorted(
+            tuple(
+                sorted(
+                    (
+                        ("v", ids[term]) if isinstance(term, Var) else ("c",)
+                        for term in (ineq.left, ineq.right)
+                    )
+                )
+            )
+            for ineq in query.inequalities
+        )
+    )
+    return ("cq", head, atoms, inequalities)
+
+
+__all__ = ["Signature", "query_signature"]

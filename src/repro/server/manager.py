@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional, Union
 
-from ..core.qoco import QOCOConfig
+from ..core.qoco import QOCOConfig, resolve_planner
 from ..db.database import Database
 from ..db.edits import EditKind
 from ..db.fork import DatabaseFork
@@ -158,6 +158,7 @@ class SessionManager:
         sync: str = "always",
         checkpoint_every: Optional[int] = None,
         checkpoint_interval: Optional[float] = None,
+        planner=None,
     ) -> None:
         if isinstance(database, DatabaseFork):
             raise ValueError("the shared base must not itself be a fork")
@@ -175,6 +176,11 @@ class SessionManager:
         self.pool = pool
         self.max_concurrent = max_concurrent
         self.max_replays = max_replays
+        #: Optional cost-aware admission: a planner (name or instance;
+        #: see ``QOCOConfig.planner``) whose ``estimate(query)`` orders
+        #: equal-priority sessions cheapest-expected-first in
+        #: :meth:`run_all`.  ``None`` keeps pure submission order.
+        self.planner = resolve_planner(planner)
         self.ledger = TenantLedger()
         self.commit_log: list[_CommitRecord] = []
         self._sessions: list[CleaningSession] = []
@@ -398,19 +404,37 @@ class SessionManager:
             _TELEMETRY.count("server.sessions_opened")
         return session
 
+    def _admission_cost(self, query: Query) -> float:
+        """The planner's expected episode cost for *query* (0.0 without
+        a planner or on any estimation failure — never blocks admission)."""
+        if self.planner is None:
+            return 0.0
+        try:
+            return float(self.planner.estimate(query))
+        except Exception:
+            return 0.0
+
     # ------------------------------------------------------------------
     # draining
     # ------------------------------------------------------------------
     def run_all(self) -> ServerReport:
         """Run every queued session to a terminal state; returns a report.
 
-        Admission order is (priority desc, submission order); the actual
-        interleaving under ``max_concurrent > 1`` is up to the scheduler,
-        which is exactly what the commit protocol makes safe.
+        Admission order is (priority desc, expected cost asc when a
+        planner is attached, submission order); the actual interleaving
+        under ``max_concurrent > 1`` is up to the scheduler, which is
+        exactly what the commit protocol makes safe.  Cheapest-first
+        among equal priorities minimises mean session wait for the
+        shared crowd (shortest-expected-job-first), and falls back to
+        0.0 — pure FIFO — for shapes the planner has no data on.
         """
         queued = sorted(
             self._queue,
-            key=lambda s: (-s.policy.priority, s.submitted_at),
+            key=lambda s: (
+                -s.policy.priority,
+                self._admission_cost(s.query),
+                s.submitted_at,
+            ),
         )
         self._queue = []
         if not queued:

@@ -57,6 +57,17 @@ class SharedOracle(AccountingOracle):
         if _TELEMETRY.enabled:
             _TELEMETRY.count("server.shared_hits")
 
+    def _similar(self, key: tuple) -> Optional[bool]:
+        """A renamed twin's published verdict (similarity-enabled boards
+        only); republished under the exact key on a hit."""
+        probe = getattr(self.board, "get_similar", None)
+        value = probe(key) if probe is not None else None
+        if value is not None:
+            if _TELEMETRY.enabled:
+                _TELEMETRY.count("server.similarity_hits")
+            self.board.put(key, value)
+        return value
+
     # -- closed questions, board-aware ----------------------------------
     def verify_fact(self, fact: Fact) -> bool:
         cached = self._fact_cache.get(fact)
@@ -79,7 +90,10 @@ class SharedOracle(AccountingOracle):
             if _TELEMETRY.enabled:
                 _TELEMETRY.count("oracle.cache_hits")
             return cached
-        published = self.board.get(("verify_answer", query, answer))
+        key = ("verify_answer", query, answer)
+        published = self.board.get(key)
+        if published is None:
+            published = self._similar(key)
         if published is not None:
             self._board_hit()
             self._answer_cache[(query, answer)] = published
@@ -91,6 +105,8 @@ class SharedOracle(AccountingOracle):
     def verify_candidate(self, query: Query, partial: Mapping[Var, Constant]) -> bool:
         key = ("verify_candidate", query, frozenset(partial.items()))
         published = self.board.get(key)
+        if published is None:
+            published = self._similar(key)
         if published is not None:
             self._board_hit()
             return published

@@ -40,6 +40,7 @@ from ..dispatch.policy import RetryPolicy
 from ..durability import codec
 from ..query.parser import parse_query
 from ..server.manager import SessionManager
+from ..server.policy import TenantPolicy
 from ..server.session import CleaningSession, SessionState
 from ..shard import wire
 from ..telemetry import TELEMETRY as _TELEMETRY
@@ -105,6 +106,8 @@ class CrowdService:
         read_timeout: float = 10.0,
         entry_retention: float = 300.0,
         tombstone_limit: int = 1024,
+        scheduler: Any = None,
+        similarity: bool = False,
     ) -> None:
         if manager is None and follower is None:
             raise ValueError("need a manager (primary) or a follower (standby)")
@@ -117,6 +120,8 @@ class CrowdService:
             policy=policy if policy is not None else RetryPolicy(timeout=30.0),
             votes_per_closed=votes_per_closed,
             tombstone_limit=tombstone_limit,
+            scheduler=scheduler,
+            similarity=similarity,
         )
         self.tick = tick
         self.http = HttpServer(read_timeout=read_timeout)
@@ -301,8 +306,16 @@ class CrowdService:
                 f"tenant {tenant!r} at its in-flight cap",
                 headers={"Retry-After": "1"},
             )
+        raw_priority = body.get("priority")
+        try:
+            priority = 1.0 if raw_priority is None else float(raw_priority)
+        except (TypeError, ValueError):
+            raise HttpError(400, "'priority' must be a number")
         session = manager.open_session(
-            query, BrokeredOracle(self.broker), tenant=tenant
+            query,
+            BrokeredOracle(self.broker, priority=priority),
+            tenant=tenant,
+            policy=None if raw_priority is None else TenantPolicy(priority=priority),
         )
         entry = _Entry(session=session, tenant=tenant, done=asyncio.Event())
         self._entries[session.session_id] = entry

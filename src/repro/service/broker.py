@@ -70,6 +70,14 @@ FALLBACKS: dict[str, Any] = {
 _CLOSED_KINDS = frozenset({"verify_fact", "verify_answer", "verify_candidate"})
 
 
+def _similarity_class(key: Hashable) -> Optional[Hashable]:
+    """The canonical similarity class of a question key (lazy import —
+    only similarity-enabled brokers pay for the plan package)."""
+    from ..plan.similarity import similarity_key
+
+    return similarity_key(key)  # type: ignore[arg-type]
+
+
 @dataclass
 class _Question:
     """One pending (or resolved) crowd question."""
@@ -79,6 +87,13 @@ class _Question:
     payload: dict  # wire-encoded, ready for the feed verbatim
     key: Optional[Hashable]
     votes_needed: int
+    #: sessions waiting on this resolution (coalesced askers included) —
+    #: the numerator of the capacity scheduler's unblocks-per-cost score
+    subscribers: int = 1
+    #: highest tenant priority among the subscribed askers
+    priority: float = 1.0
+    #: similarity class (set only on similarity-enabled brokers)
+    ckey: Optional[Hashable] = None
     #: accepted ``(worker_id, value)`` votes, in arrival order
     votes: list = field(default_factory=list)
     answered: set = field(default_factory=set)
@@ -109,6 +124,8 @@ class QuestionBroker:
         votes_per_closed: int = 1,
         ask_timeout: Optional[float] = None,
         tombstone_limit: int = 1024,
+        scheduler: Any = None,
+        similarity: bool = False,
     ) -> None:
         if votes_per_closed < 1:
             raise ValueError("votes_per_closed must be >= 1")
@@ -116,6 +133,15 @@ class QuestionBroker:
             raise ValueError("tombstone_limit must be >= 0")
         self.policy = policy if policy is not None else RetryPolicy(timeout=30.0)
         self.votes_per_closed = votes_per_closed
+        #: optional lease scoring (duck-typed ``score(question, now)``,
+        #: e.g. :class:`repro.plan.CapacityScheduler`): the lease picks
+        #: the highest-scoring eligible question instead of the oldest,
+        #: spending shared crowd capacity on questions that unblock the
+        #: most sessions per unit cost.  ``None`` keeps strict FIFO.
+        self.scheduler = scheduler
+        #: coalesce questions that are variable-renamed twins of an
+        #: in-flight question (see :mod:`repro.plan.similarity`)
+        self.similarity = similarity
         #: hard cap a session thread waits in :meth:`ask` before taking
         #: the fallback itself (``None`` = trust :meth:`expire` to
         #: resolve every question eventually)
@@ -128,6 +154,7 @@ class QuestionBroker:
         self._lock = threading.Lock()
         self._questions: dict[int, _Question] = {}
         self._by_key: dict[Hashable, _Question] = {}
+        self._by_ckey: dict[Hashable, _Question] = {}
         #: pending qids only, oldest first (the lease scan order);
         #: resolved questions move to the tombstone window
         self._order: list[int] = []
@@ -138,6 +165,7 @@ class QuestionBroker:
         # counters (read via :meth:`stats`)
         self.submitted = 0
         self.coalesced = 0
+        self.similarity_coalesced = 0
         self.resolved = 0
         self.fallbacks = 0
         self.expired_leases = 0
@@ -166,37 +194,75 @@ class QuestionBroker:
     # ------------------------------------------------------------------
     # session side (blocking)
     # ------------------------------------------------------------------
-    def submit(self, kind: str, payload: dict, key: Optional[Hashable]) -> _Question:
-        """Register a question (or coalesce into an in-flight twin)."""
+    def submit(
+        self,
+        kind: str,
+        payload: dict,
+        key: Optional[Hashable],
+        priority: float = 1.0,
+    ) -> _Question:
+        """Register a question (or coalesce into an in-flight twin).
+
+        Coalescing — exact-key or (on similarity-enabled brokers) a
+        variable-renamed twin — bumps the twin's subscriber count and
+        raises its priority to the highest subscribed tenant's, which is
+        what lets the capacity scheduler prefer widely-awaited work.
+        """
+        ckey = None
         with self._lock:
             if key is not None:
                 twin = self._by_key.get(key)
                 if twin is not None and not twin.gave_up:
                     self.coalesced += 1
+                    twin.subscribers += 1
+                    twin.priority = max(twin.priority, priority)
                     if _TELEMETRY.enabled:
                         _TELEMETRY.count("service.broker.coalesced")
                     return twin
+                if self.similarity:
+                    ckey = _similarity_class(key)
+                    if ckey is not None:
+                        twin = self._by_ckey.get(ckey)
+                        if twin is not None and not twin.gave_up and not twin.done:
+                            self.similarity_coalesced += 1
+                            twin.subscribers += 1
+                            twin.priority = max(twin.priority, priority)
+                            if _TELEMETRY.enabled:
+                                _TELEMETRY.count(
+                                    "service.broker.similarity_coalesced"
+                                )
+                            return twin
             question = _Question(
                 qid=self._next_qid,
                 kind=kind,
                 payload=payload,
                 key=key,
                 votes_needed=self.votes_per_closed if kind in _CLOSED_KINDS else 1,
+                priority=priority,
+                ckey=ckey,
             )
             self._next_qid += 1
             self._questions[question.qid] = question
             self._order.append(question.qid)
             if key is not None:
                 self._by_key[key] = question
+            if ckey is not None:
+                self._by_ckey[ckey] = question
             self.submitted += 1
             if _TELEMETRY.enabled:
                 _TELEMETRY.count("service.broker.questions")
         self._notify()
         return question
 
-    def ask(self, kind: str, payload: dict, key: Optional[Hashable]) -> Any:
+    def ask(
+        self,
+        kind: str,
+        payload: dict,
+        key: Optional[Hashable],
+        priority: float = 1.0,
+    ) -> Any:
         """Block until the question resolves; fallback on a dead crowd."""
-        question = self.submit(kind, payload, key)
+        question = self.submit(kind, payload, key, priority)
         if self._closed and not question.done:
             # the service is stopping: no worker will ever answer, so
             # degrade immediately instead of stranding the session thread
@@ -218,9 +284,15 @@ class QuestionBroker:
         worker has already failed are considered only when no other
         question is leasable — a reconnecting worker is better than no
         worker at all.
+
+        With a :attr:`scheduler` attached, the *highest-scoring*
+        eligible question is leased instead of the oldest (FIFO age
+        breaks exact score ties), within the same eligibility and
+        reroute tiers.
         """
         with self._lock:
-            fallback_choice: Optional[_Question] = None
+            eligible: list[_Question] = []
+            rerouted: list[_Question] = []
             for qid in self._order:
                 question = self._questions[qid]
                 if question.done or now < question.not_before:
@@ -232,12 +304,20 @@ class QuestionBroker:
                 if question.grants >= question.budget(self.policy):
                     continue
                 if self.policy.reroute and worker_id in question.failed:
-                    if fallback_choice is None:
-                        fallback_choice = question
+                    rerouted.append(question)
                     continue
-                return self._grant(question, worker_id, now)
-            if fallback_choice is not None:
-                return self._grant(fallback_choice, worker_id, now)
+                if self.scheduler is None:
+                    return self._grant(question, worker_id, now)
+                eligible.append(question)
+            for tier in (eligible, rerouted):
+                if not tier:
+                    continue
+                if self.scheduler is None:
+                    return self._grant(tier[0], worker_id, now)
+                best = max(
+                    tier, key=lambda q: (self.scheduler.score(q, now), -q.qid)
+                )
+                return self._grant(best, worker_id, now)
         return None
 
     def _grant(self, question: _Question, worker_id: str, now: float) -> dict:
@@ -354,6 +434,8 @@ class QuestionBroker:
             # asker goes through the accounting/board caches first, so
             # reaching the broker again means it wants a fresh vote
             del self._by_key[question.key]
+        if question.ckey is not None and self._by_ckey.get(question.ckey) is question:
+            del self._by_ckey[question.ckey]
         try:
             self._order.remove(question.qid)
         except ValueError:  # pragma: no cover - resolve is idempotent
@@ -409,6 +491,7 @@ class QuestionBroker:
             return {
                 "submitted": self.submitted,
                 "coalesced": self.coalesced,
+                "similarity_coalesced": self.similarity_coalesced,
                 "resolved": self.resolved,
                 "fallbacks": self.fallbacks,
                 "expired_leases": self.expired_leases,
@@ -432,18 +515,20 @@ class BrokeredOracle(Oracle):
     in-process run — the acceptance condition for cost parity.
     """
 
-    def __init__(self, broker: QuestionBroker) -> None:
+    def __init__(self, broker: QuestionBroker, priority: float = 1.0) -> None:
         self.broker = broker
+        #: tenant priority stamped on every submitted question — the
+        #: capacity scheduler's per-tenant weight
+        self.priority = priority
 
     def verify_fact(self, fact: Fact) -> bool:
         payload = wire.question_to_obj("verify_fact", fact=fact)
-        return bool(
-            self.broker.ask("verify_fact", payload, question_key(("verify_fact", fact)))
-        )
+        key = question_key(("verify_fact", fact))
+        return bool(self.broker.ask("verify_fact", payload, key, self.priority))
 
     def verify_facts(self, facts: Sequence[Fact]) -> dict[Fact, bool]:
         payload = wire.question_to_obj("verify_facts", facts=facts)
-        value = self.broker.ask("verify_facts", payload, None)
+        value = self.broker.ask("verify_facts", payload, None, self.priority)
         if value is None:  # crowd never answered: conservative per-fact default
             return {fact: True for fact in facts}
         return {fact: bool(value[fact]) for fact in facts}
@@ -451,12 +536,12 @@ class BrokeredOracle(Oracle):
     def verify_answer(self, query: Query, answer: Answer) -> bool:
         payload = wire.question_to_obj("verify_answer", query=query, answer=answer)
         key = question_key(("verify_answer", query, answer))
-        return bool(self.broker.ask("verify_answer", payload, key))
+        return bool(self.broker.ask("verify_answer", payload, key, self.priority))
 
     def verify_candidate(self, query: Query, partial: Mapping[Var, Constant]) -> bool:
         payload = wire.question_to_obj("verify_candidate", query=query, partial=partial)
         key = question_key(("verify_candidate", query, dict(partial)))
-        return bool(self.broker.ask("verify_candidate", payload, key))
+        return bool(self.broker.ask("verify_candidate", payload, key, self.priority))
 
     def complete_assignment(
         self, query: Query, partial: Mapping[Var, Constant]
@@ -464,14 +549,14 @@ class BrokeredOracle(Oracle):
         payload = wire.question_to_obj(
             "complete_assignment", query=query, partial=partial
         )
-        return self.broker.ask("complete_assignment", payload, None)
+        return self.broker.ask("complete_assignment", payload, None, self.priority)
 
     def complete_result(
         self, query: Query, known_answers: Iterable[Answer]
     ) -> Optional[Answer]:
         known = list(known_answers)
         payload = wire.question_to_obj("complete_result", query=query, known=known)
-        return self.broker.ask("complete_result", payload, None)
+        return self.broker.ask("complete_result", payload, None, self.priority)
 
 
 def decode_reply(kind: str, obj: dict) -> Any:

@@ -104,8 +104,14 @@ class ServiceClient:
         self.close()
 
     # -- sessions --------------------------------------------------------
-    def open(self, query: Union[Query, str], *, tenant: Optional[str] = None) -> int:
+    def open(
+        self, query: Union[Query, str], *, tenant: Optional[str] = None,
+        priority: Optional[float] = None,
+    ) -> int:
         """Open (and start) one cleaning session; returns its id.
+
+        ``priority`` weights this tenant in admission ordering and in
+        the broker's capacity scheduler (when one is configured).
 
         Raises :class:`ServiceError` with ``status == 429`` when
         admission control sheds the request — honour ``retry_after``.
@@ -114,17 +120,20 @@ class ServiceClient:
             "tenant": tenant if tenant is not None else self.tenant,
             "query": query if isinstance(query, str) else codec.query_to_obj(query),
         }
+        if priority is not None:
+            payload["priority"] = priority
         return int(self._http.request("POST", "/v1/sessions", payload)["session"])
 
     def open_when_admitted(
         self, query: Union[Query, str], *, tenant: Optional[str] = None,
+        priority: Optional[float] = None,
         deadline: float = 120.0,
     ) -> int:
         """Like :meth:`open`, but sleeps through 429s until admitted."""
         end = time.monotonic() + deadline
         while True:
             try:
-                return self.open(query, tenant=tenant)
+                return self.open(query, tenant=tenant, priority=priority)
             except ServiceError as error:
                 if error.status != 429 or time.monotonic() >= end:
                     raise

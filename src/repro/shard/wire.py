@@ -24,6 +24,7 @@ from typing import Any, Callable, Mapping, Sequence
 from ..core.deletion import DELETION_STRATEGIES
 from ..core.insertion import InsertionConfig
 from ..core.qoco import QOCOConfig
+from ..core.registry import REGISTRY, RegistryError
 from ..core.split import SPLIT_STRATEGIES
 from ..durability import codec
 from ..durability.codec import CodecError
@@ -45,6 +46,36 @@ def _registry_name(registry: Mapping[str, type], value: Any, what: str) -> str:
     raise ShardingError(
         f"{what} {value!r} has no registered wire name; sharded cleaning "
         f"needs one of {sorted(registry)}"
+    )
+
+
+def _strategy_name(kind: str, registry: Mapping[str, type], spec: Any, what: str) -> str:
+    """The wire name of a strategy field: strings validate against the
+    unified registry, instances reverse-map through the legacy table."""
+    if isinstance(spec, str):
+        try:
+            REGISTRY.resolve(kind, spec)
+        except RegistryError as error:
+            raise ShardingError(str(error)) from error
+        return spec
+    return _registry_name(registry, spec, what)
+
+
+def _planner_name(spec: Any) -> Any:
+    """Planner wire form: ``None`` or a registry name — live planner
+    instances hold locks, RNGs, and shared cost models; they do not
+    cross the process boundary."""
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        try:
+            REGISTRY.resolve("planner", spec)
+        except RegistryError as error:
+            raise ShardingError(str(error)) from error
+        return spec
+    raise ShardingError(
+        f"planner {spec!r} cannot cross the process boundary; pass a "
+        f"registry name (one of {REGISTRY.names('planner')})"
     )
 
 
@@ -72,12 +103,13 @@ def config_to_obj(config: QOCOConfig) -> dict:
             f"registered wire name; use one of {sorted(ESTIMATOR_FACTORIES)}"
         )
     return {
-        "deletion_strategy": _registry_name(
-            DELETION_STRATEGIES, config.deletion_strategy, "deletion strategy"
+        "deletion_strategy": _strategy_name(
+            "deletion", DELETION_STRATEGIES, config.deletion, "deletion strategy"
         ),
-        "split_strategy": _registry_name(
-            SPLIT_STRATEGIES, config.split_strategy, "split strategy"
+        "split_strategy": _strategy_name(
+            "split", SPLIT_STRATEGIES, config.split, "split strategy"
         ),
+        "planner": _planner_name(config.planner),
         "estimator": estimator_name,
         "insertion": {
             "max_candidates_per_subquery": config.insertion.max_candidates_per_subquery,
@@ -96,8 +128,9 @@ def config_to_obj(config: QOCOConfig) -> dict:
 def config_from_obj(obj: dict) -> QOCOConfig:
     try:
         return QOCOConfig(
-            deletion_strategy=DELETION_STRATEGIES[obj["deletion_strategy"]](),
-            split_strategy=SPLIT_STRATEGIES[obj["split_strategy"]](),
+            deletion=REGISTRY.resolve("deletion", obj["deletion_strategy"]),
+            split=REGISTRY.resolve("split", obj["split_strategy"]),
+            planner=obj.get("planner"),
             estimator_factory=ESTIMATOR_FACTORIES[obj["estimator"]],
             insertion=InsertionConfig(
                 max_candidates_per_subquery=obj["insertion"][
@@ -113,7 +146,7 @@ def config_from_obj(obj: dict) -> QOCOConfig:
             seed=obj["seed"],
             completion_width=obj["completion_width"],
         )
-    except (KeyError, TypeError) as error:
+    except (KeyError, TypeError, RegistryError) as error:
         raise CodecError(f"malformed config object {obj!r}") from error
 
 

@@ -35,11 +35,15 @@ API_SURFACE = [
 ]
 
 PACKAGE_SURFACE = [
+    "REGISTRY",
     "TELEMETRY",
     "AccountingOracle",
     "AnswerBoard",
     "Atom",
+    "BanditPlanner",
+    "CapacityScheduler",
     "Chao92Estimator",
+    "CostModel",
     "CleaningReport",
     "CleaningSession",
     "Crowd",
@@ -72,8 +76,10 @@ PACKAGE_SURFACE = [
     "QOCOMinusDeletion",
     "Query",
     "QuestionKind",
+    "QuestionPlanner",
     "RandomDeletion",
     "RandomSplit",
+    "RegistryError",
     "RelationSchema",
     "Report",
     "ReportLike",
@@ -82,6 +88,7 @@ PACKAGE_SURFACE = [
     "SessionManager",
     "SessionState",
     "ShardedQOCO",
+    "StrategyRegistry",
     "Telemetry",
     "TenantPolicy",
     "UCQCleaner",
@@ -97,6 +104,8 @@ PACKAGE_SURFACE = [
     "insert",
     "make_dirty",
     "parse_query",
+    "query_signature",
+    "resolve_strategy",
     "telemetry_session",
     "witnesses_for",
     "worldcup_database",
@@ -181,6 +190,78 @@ class TestUnifiedConfig:
         assert isinstance(report, ReportLike)
         assert report.total_cost == 0
         assert "q" in report.summary()
+
+
+class TestStrategyRegistry:
+    """One registry, string names accepted uniformly (the PR 9 redesign)."""
+
+    def test_string_names_resolve_everywhere(self, fig1_dirty, fig1_oracle):
+        from repro.core.deletion import QOCOMinusDeletion
+        from repro.core.heuristics import ResponsibilityDeletion
+        from repro.core.split import MinCutSplit
+        from repro.plan import BanditPlanner
+
+        config = QOCOConfig(
+            split="mincut", deletion="responsibility", planner="bandit", seed=3
+        )
+        qoco = QOCO(fig1_dirty, fig1_oracle, config)
+        assert isinstance(qoco.split_strategy, MinCutSplit)
+        assert isinstance(qoco.deletion_strategy, ResponsibilityDeletion)
+        assert isinstance(qoco.planner, BanditPlanner)
+
+        minus = QOCO(fig1_dirty, fig1_oracle, deletion="qoco-")
+        assert isinstance(minus.deletion_strategy, QOCOMinusDeletion)
+
+    def test_names_are_case_insensitive_legacy_spelling(self, fig1_dirty, fig1_oracle):
+        from repro.core.split import MinCutSplit
+
+        qoco = QOCO(fig1_dirty, fig1_oracle, split="MinCut")
+        assert isinstance(qoco.split_strategy, MinCutSplit)
+
+    def test_instances_still_work(self, fig1_dirty, fig1_oracle):
+        from repro.core.split import NaiveSplit
+
+        strategy = NaiveSplit()
+        qoco = QOCO(fig1_dirty, fig1_oracle, split=strategy)
+        assert qoco.split_strategy is strategy
+
+    def test_unknown_name_lists_alternatives(self):
+        from repro.core import REGISTRY, RegistryError
+
+        with pytest.raises(RegistryError, match="mincut"):
+            REGISTRY.resolve("split", "does-not-exist")
+        with pytest.raises(RegistryError):
+            QOCOConfig(split="does-not-exist").split_strategy
+
+    def test_registry_enumerates_kinds_and_names(self):
+        from repro.core import REGISTRY
+
+        assert {"split", "deletion", "planner"} <= set(REGISTRY.kinds())
+        assert "provenance" in REGISTRY.names("split")
+        assert "responsibility" in REGISTRY.names("deletion")
+        assert "bandit" in REGISTRY.names("planner")
+
+    def test_legacy_config_kwargs_warn_and_map(self):
+        from repro.core.split import NaiveSplit
+
+        with pytest.warns(DeprecationWarning, match="split_strategy"):
+            config = QOCOConfig(split_strategy=NaiveSplit())
+        assert isinstance(config.split_strategy, NaiveSplit)
+        with pytest.warns(DeprecationWarning, match="deletion_strategy"):
+            config = QOCOConfig(deletion_strategy="random")
+        assert config.deletion == "random"
+
+    def test_unknown_config_kwarg_is_a_type_error(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            QOCOConfig(not_a_field=1)
+
+    def test_parallel_and_ucq_accept_string_names(self, fig1_dirty, fig1_oracle):
+        from repro.core.split import RandomSplit
+
+        parallel = ParallelQOCO(fig1_dirty, fig1_oracle, split="random")
+        assert isinstance(parallel.split_strategy, RandomSplit)
+        ucq = UCQCleaner(fig1_dirty, fig1_oracle, deletion="qoco")
+        assert type(ucq.deletion_strategy).__name__ == "QOCODeletion"
 
 
 class TestFacadeParity:

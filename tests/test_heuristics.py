@@ -3,12 +3,16 @@
 import random
 
 
-from repro.core.deletion import crowd_remove_wrong_answer
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deletion import QOCODeletion, crowd_remove_wrong_answer
 from repro.core.heuristics import (
     ResponsibilityDeletion,
     TrustScoreDeletion,
     frequency_trust,
 )
+from repro.oracle.base import Oracle
 from repro.datasets.figure1 import ESP_EU, figure1_dirty
 from repro.db.tuples import fact
 from repro.oracle.base import AccountingOracle
@@ -97,3 +101,132 @@ class TestTrustScores:
             TrustScoreDeletion(lambda f: 0.5), random.Random(0),
         )
         assert ("ESP",) not in evaluate(EX1, fig1_dirty)
+
+
+class TestResponsibilityByHand:
+    """Responsibility values checked against hand-computed contingency
+    sets (Meliou et al.: responsibility = 1 / (1 + |Γ|))."""
+
+    SETS = [frozenset({1, 2}), frozenset({1, 3}), frozenset({4, 5})]
+
+    def test_counterfactual_fact_scores_one(self):
+        # 1 hits both of its witnesses, but {4, 5} survives: Γ = one of
+        # {4} or {5}, so responsibility is 1 / (1 + 1).
+        assert ResponsibilityDeletion.responsibility(1, self.SETS) == 0.5
+
+    def test_small_contingency_beats_large(self):
+        # For 4, the witnesses avoiding it are {1, 2} and {1, 3}; the
+        # single fact 1 hits both, so Γ = {1} and responsibility is 1/2.
+        assert ResponsibilityDeletion.responsibility(4, self.SETS) == 0.5
+        # For 2, {1, 3} and {4, 5} are disjoint: |Γ| = 2, so 1/3.
+        assert ResponsibilityDeletion.responsibility(2, self.SETS) == (
+            1.0 / 3.0
+        )
+
+    def test_fact_in_every_witness_needs_no_contingency(self):
+        sets = [frozenset({7, 1}), frozenset({7, 2}), frozenset({7})]
+        assert ResponsibilityDeletion.responsibility(7, sets) == 1.0
+
+    def test_choose_ranks_by_responsibility(self):
+        # 1 (resp 1/2) outranks 2 and 3 (1/3 each) and ties 4, 5 at 1/2
+        # broken by repr order.
+        choice = ResponsibilityDeletion().choose(self.SETS, random.Random(0))
+        assert ResponsibilityDeletion.responsibility(
+            choice, self.SETS
+        ) == max(
+            ResponsibilityDeletion.responsibility(f, self.SETS)
+            for s in self.SETS
+            for f in s
+        )
+
+
+class _MembershipOracle(Oracle):
+    """A fact oracle over an explicit false set, recording who was asked."""
+
+    def __init__(self, false_facts):
+        self.false_facts = set(false_facts)
+        self.asked = []
+
+    def verify_fact(self, fact):
+        self.asked.append(fact)
+        return fact not in self.false_facts
+
+    def verify_answer(self, query, answer):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def verify_candidate(self, query, partial):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def complete_assignment(self, query, partial):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def complete_result(self, query, known):  # pragma: no cover - unused
+        raise NotImplementedError
+
+
+@st.composite
+def witness_systems(draw):
+    """A witness system where every witness contains >= 1 false fact —
+    the precondition of Algorithm 1 (the answer *is* wrong)."""
+    false_pool = draw(
+        st.lists(st.integers(0, 3), min_size=1, max_size=4, unique=True)
+    )
+    true_pool = draw(
+        st.lists(st.integers(10, 15), min_size=0, max_size=4, unique=True)
+    )
+    n_witnesses = draw(st.integers(1, 5))
+    witnesses = []
+    for _ in range(n_witnesses):
+        false_part = draw(
+            st.lists(st.sampled_from(false_pool), min_size=1, max_size=2)
+        )
+        true_part = (
+            draw(st.lists(st.sampled_from(true_pool), min_size=0, max_size=2))
+            if true_pool
+            else []
+        )
+        witnesses.append(frozenset(false_part) | frozenset(true_part))
+    return set(false_pool), witnesses
+
+
+class TestTheorem45Property:
+    """Theorem 4.5 (the singleton rule), as a property over random
+    witness systems: every deletion Algorithm 1 emits is genuinely
+    false, every witness is destroyed, and a fact inferred through a
+    singleton witness is deleted without ever being asked."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(witness_systems(), st.sampled_from(["qoco", "resp", "trust"]))
+    def test_deletions_are_sound_and_complete(self, system, which):
+        false_facts, witnesses = system
+        strategy = {
+            "qoco": QOCODeletion(),
+            "resp": ResponsibilityDeletion(),
+            "trust": TrustScoreDeletion({}),
+        }[which]
+        oracle = AccountingOracle(_MembershipOracle(false_facts))
+        edits = crowd_remove_wrong_answer(
+            EX1, None, ("w",), oracle, strategy, random.Random(0),
+            apply=False, witnesses=witnesses,
+        )
+        deleted = {e.fact for e in edits}
+        assert deleted <= false_facts  # soundness: only false facts go
+        for witness in witnesses:  # completeness: every witness destroyed
+            assert witness & deleted
+
+    @settings(max_examples=60, deadline=None)
+    @given(witness_systems())
+    def test_singleton_witness_is_inferred_for_free(self, system):
+        false_facts, witnesses = system
+        # Plant a pure singleton witness around a fresh false fact: by
+        # Theorem 4.5 its fact must be false and is never worth a question.
+        planted = 99
+        witnesses = witnesses + [frozenset({planted})]
+        backend = _MembershipOracle(false_facts | {planted})
+        edits = crowd_remove_wrong_answer(
+            EX1, None, ("w",), AccountingOracle(backend),
+            ResponsibilityDeletion(), random.Random(0),
+            apply=False, witnesses=witnesses,
+        )
+        assert planted in {e.fact for e in edits}
+        assert planted not in backend.asked

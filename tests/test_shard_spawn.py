@@ -71,8 +71,8 @@ class TestConfigWire:
     @pytest.mark.parametrize("split", sorted(SPLIT_STRATEGIES))
     def test_roundtrip_all_registered_strategies(self, deletion, split):
         config = QOCOConfig(
-            deletion_strategy=DELETION_STRATEGIES[deletion](),
-            split_strategy=SPLIT_STRATEGIES[split](),
+            deletion=DELETION_STRATEGIES[deletion](),
+            split=SPLIT_STRATEGIES[split](),
             insertion=InsertionConfig(max_candidates_per_subquery=5, max_subqueries=9),
             max_iterations=17,
             seed=13,
@@ -83,6 +83,31 @@ class TestConfigWire:
         assert wire.config_to_obj(decoded) == obj
         assert type(decoded.deletion_strategy) is type(config.deletion_strategy)
         assert decoded.max_iterations == 17 and decoded.seed == 13
+
+    def test_roundtrip_string_names_and_planner(self):
+        config = QOCOConfig(
+            deletion="responsibility", split="mincut", planner="bandit", seed=3
+        )
+        obj = wire.config_to_obj(config)
+        assert obj["deletion_strategy"] == "responsibility"
+        assert obj["split_strategy"] == "mincut"
+        assert obj["planner"] == "bandit"
+        decoded = wire.config_from_obj(pickle.loads(pickle.dumps(obj)))
+        assert type(decoded.deletion_strategy).__name__ == "ResponsibilityDeletion"
+        assert type(decoded.split_strategy).__name__ == "MinCutSplit"
+        assert decoded.planner == "bandit"
+
+    def test_unknown_strategy_name_rejected(self):
+        with pytest.raises(ShardingError, match="split"):
+            wire.config_to_obj(QOCOConfig(split="no-such-split"))
+
+    def test_planner_instance_rejected(self):
+        from repro.plan import BanditPlanner
+
+        with pytest.raises(ShardingError, match="planner"):
+            wire.config_to_obj(
+                QOCOConfig(planner=BanditPlanner(arms=("mincut",)))
+            )
 
     def test_scheduler_factory_rejected(self):
         with pytest.raises(ShardingError, match="scheduler_factory"):

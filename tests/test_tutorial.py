@@ -106,11 +106,9 @@ class TestTutorialSteps:
         assert crowd.stats.total > 0
 
     def test_step6_strategy_config(self, dirty, ground_truth):
-        config = QOCOConfig(
-            deletion_strategy=QOCOMinusDeletion(),
-            split_strategy=MinCutSplit(),
-            seed=7,
-        )
+        config = QOCOConfig(deletion="qoco-", split="mincut", seed=7)
+        assert isinstance(config.deletion_strategy, QOCOMinusDeletion)
+        assert isinstance(config.split_strategy, MinCutSplit)
         oracle = AccountingOracle(PerfectOracle(ground_truth))
         QOCO(dirty, oracle, config).clean(AWARDED)
         assert evaluate(AWARDED, dirty) == evaluate(AWARDED, ground_truth)
