@@ -23,6 +23,10 @@ the gate (a silently dropped measurement is a regression in coverage);
 a new metric only in the fresh run is reported but passes — commit it
 with ``--update`` to start gating it.
 
+When ``$GITHUB_STEP_SUMMARY`` is set (always, on GitHub runners), the
+verdicts are also appended there as a markdown table, so a red gate is
+readable from the run's summary page without digging through logs.
+
 Exit status: 0 = within tolerance, 1 = regression (or missing/corrupt
 files), making it a plain CI step.
 """
@@ -32,9 +36,12 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import shutil
 import sys
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Optional
 
 BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
 
@@ -56,16 +63,49 @@ def exact_match(fresh, base) -> bool:
 
 def fmt(value) -> str:
     """One metric value for the verdict line (digests stay readable)."""
+    if value is None:
+        return "—"
     if isinstance(value, str):
         return value if len(value) <= 14 else value[:11] + "..."
     return f"{value:g}"
 
 
-def judge(name: str, base: dict, fresh: dict) -> tuple[bool, str]:
-    """(passed, human-readable verdict line) for one metric."""
+@dataclass(frozen=True)
+class Verdict:
+    """The gate's decision on one metric, renderable as text or markdown."""
+
+    name: str
+    status: str  # "ok" | "FAIL" | "new" | "missing"
+    baseline: object  # baseline value (None for "new" metrics)
+    measured: object  # fresh value (None when missing from the fresh run)
+    direction: str
+    band: str  # the acceptance band, e.g. "<= 12.6"
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "new")
+
+    def line(self) -> str:
+        """The console spelling (kept stable for log-scraping)."""
+        if self.status == "missing":
+            return f"FAIL {self.name}: present in baseline, missing from fresh run"
+        if self.status == "new":
+            return f"new  {self.name}: not in baseline yet (run with --update to gate it)"
+        status = "ok  " if self.status == "ok" else "FAIL"
+        return (
+            f"{status} {self.name:32s} {fmt(self.measured):>14s}  "
+            f"(baseline {fmt(self.baseline)}, {self.direction}, {self.band})"
+        )
+
+
+def verdict_for(name: str, base: dict, fresh: Optional[dict]) -> Verdict:
+    """Judge one metric of the baseline against the fresh run."""
     direction = base.get("direction", "exact")
     tolerance = base.get("tolerance", 0.0)
-    base_value, fresh_value = base["value"], fresh["value"]
+    base_value = base["value"]
+    if fresh is None:
+        return Verdict(name, "missing", base_value, None, direction, "")
+    fresh_value = fresh["value"]
     if direction == "exact":
         ok = exact_match(fresh_value, base_value)
         band = "== baseline"
@@ -78,30 +118,85 @@ def judge(name: str, base: dict, fresh: dict) -> tuple[bool, str]:
         ok = fresh_value >= bound
         band = f">= {bound:g}"
     else:
-        return False, f"{name}: unknown direction {direction!r} in baseline"
-    status = "ok  " if ok else "FAIL"
-    return ok, (
-        f"{status} {name:32s} {fmt(fresh_value):>14s}  "
-        f"(baseline {fmt(base_value)}, {direction}, {band})"
+        return Verdict(
+            name, "FAIL", base_value, fresh_value, direction,
+            f"unknown direction {direction!r} in baseline",
+        )
+    return Verdict(
+        name, "ok" if ok else "FAIL", base_value, fresh_value, direction, band
     )
+
+
+def judge(name: str, base: dict, fresh: dict) -> tuple[bool, str]:
+    """(passed, human-readable verdict line) for one metric."""
+    verdict = verdict_for(name, base, fresh)
+    return verdict.ok, verdict.line()
+
+
+def collect_verdicts(base_metrics: dict, fresh_metrics: dict) -> list[Verdict]:
+    """Every gated metric judged, plus ungated newcomers, in name order."""
+    verdicts = [
+        verdict_for(name, base_metrics[name], fresh_metrics.get(name))
+        for name in sorted(base_metrics)
+    ]
+    for name in sorted(set(fresh_metrics) - set(base_metrics)):
+        verdicts.append(
+            Verdict(name, "new", None, fresh_metrics[name]["value"], "", "")
+        )
+    return verdicts
+
+
+_BADGES = {"ok": "✅ ok", "FAIL": "❌ regressed", "new": "🆕 ungated", "missing": "❌ missing"}
+
+
+def markdown_table(verdicts: list[Verdict], *, title: str = "") -> str:
+    """The ``$GITHUB_STEP_SUMMARY`` rendering of one gate run."""
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| metric | baseline | measured | direction | band | verdict |")
+    lines.append("| --- | --- | --- | --- | --- | --- |")
+    for v in verdicts:
+        lines.append(
+            f"| `{v.name}` | {fmt(v.baseline)} | {fmt(v.measured)} "
+            f"| {v.direction or '—'} | {v.band or '—'} | {_BADGES[v.status]} |"
+        )
+    failures = sum(1 for v in verdicts if not v.ok)
+    lines.append("")
+    lines.append(
+        f"**{failures} regression(s)** out of {len(verdicts)} metric(s)."
+        if failures
+        else f"All {len(verdicts)} metric(s) within tolerance."
+    )
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(text: str, path: Optional[str] = None) -> bool:
+    """Append *text* to the GitHub step summary file, if one is set.
+
+    Returns whether anything was written (False outside Actions).
+    """
+    target = path if path is not None else os.environ.get("GITHUB_STEP_SUMMARY")
+    if not target:
+        return False
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write(text)
+        if not text.endswith("\n"):
+            handle.write("\n")
+    return True
 
 
 def compare(fresh_path: Path, baseline_path: Path) -> int:
     base_metrics = load_metrics(baseline_path)
     fresh_metrics = load_metrics(fresh_path)
-    failures = 0
-    for name in sorted(base_metrics):
-        if name not in fresh_metrics:
-            print(f"FAIL {name}: present in baseline, missing from fresh run")
-            failures += 1
-            continue
-        ok, line = judge(name, base_metrics[name], fresh_metrics[name])
-        print(line)
-        failures += 0 if ok else 1
-    for name in sorted(set(fresh_metrics) - set(base_metrics)):
-        print(f"new  {name}: not in baseline yet (run with --update to gate it)")
+    verdicts = collect_verdicts(base_metrics, fresh_metrics)
+    for verdict in verdicts:
+        print(verdict.line())
+    failures = sum(1 for v in verdicts if not v.ok)
     if failures:
         print(f"\n{failures} metric(s) regressed against {baseline_path}")
+    write_step_summary(markdown_table(verdicts, title=f"Bench gate: {fresh_path.name}"))
     return 1 if failures else 0
 
 

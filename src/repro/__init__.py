@@ -64,9 +64,28 @@ from .db import (
     fact,
     insert,
 )
+from .constraints import (
+    FD,
+    DenialConstraint,
+    OracleRepairer,
+    RepairBudget,
+    RepairReport,
+    Violation,
+    find_violations,
+    parse_fd,
+)
+from .ingest import (
+    DuplicateRows,
+    MixedFormats,
+    NoisePipeline,
+    Outliers,
+    TypePollution,
+    standard_noise,
+)
 from .server import (
     AnswerBoard,
     CleaningSession,
+    RepairSession,
     ServerReport,
     SessionManager,
     SessionState,
@@ -113,8 +132,11 @@ __all__ = [
     "Database",
     "DatabaseFork",
     "DeletionError",
+    "DenialConstraint",
+    "DuplicateRows",
     "Edit",
     "ExactCompletion",
+    "FD",
     "Fact",
     "ForkError",
     "ImperfectOracle",
@@ -126,9 +148,13 @@ __all__ = [
     "KeySpec",
     "MajorityVote",
     "MinCutSplit",
+    "MixedFormats",
     "NaiveSplit",
+    "NoisePipeline",
     "NoiseSpec",
     "Oracle",
+    "OracleRepairer",
+    "Outliers",
     "ParallelQOCO",
     "PartitionSpec",
     "PerfectOracle",
@@ -144,6 +170,9 @@ __all__ = [
     "RandomSplit",
     "RegistryError",
     "RelationSchema",
+    "RepairBudget",
+    "RepairReport",
+    "RepairSession",
     "Report",
     "ReportLike",
     "Schema",
@@ -154,8 +183,10 @@ __all__ = [
     "StrategyRegistry",
     "Telemetry",
     "TenantPolicy",
+    "TypePollution",
     "UCQCleaner",
     "Var",
+    "Violation",
     "api",
     "crowd_add_missing_answer",
     "crowd_remove_wrong_answer",
@@ -163,12 +194,15 @@ __all__ = [
     "delete",
     "evaluate",
     "fact",
+    "find_violations",
     "inject_result_errors",
     "insert",
     "make_dirty",
+    "parse_fd",
     "parse_query",
     "query_signature",
     "resolve_strategy",
+    "standard_noise",
     "telemetry_session",
     "witnesses_for",
     "worldcup_database",

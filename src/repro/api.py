@@ -46,9 +46,11 @@ __all__ = [
     "clean_union",
     "dispatch_clean",
     "evaluate",
+    "load_csv",
     "open_session",
     "recover",
     "recover_server",
+    "repair",
     "serve",
     "serve_http",
 ]
@@ -238,6 +240,54 @@ def recover_server(durable_path, **kwargs) -> SessionManager:
     from .durability.recovery import recover_manager as _recover_manager
 
     return _recover_manager(durable_path, **kwargs)
+
+
+def load_csv(path, *, relation=None, noise=None) -> Database:
+    """Load one bare headerful CSV into a single-relation database.
+
+    The schema is sniffed from the data (``repro.ingest``); *noise* — a
+    seeded :class:`~repro.ingest.NoisePipeline` — corrupts the table
+    reproducibly before loading, which is how the benchmarks fabricate
+    dirty workloads::
+
+        from repro.ingest import standard_noise
+
+        dirty = qoco.load_csv("games.csv", noise=standard_noise(seed=7))
+
+    Distinct from :func:`repro.db.io.load_csv`, which loads a CSV
+    *directory* with an explicit ``_schema.json`` sidecar.
+    """
+    from .ingest.loader import load_csv as _load_csv
+
+    return _load_csv(path, relation=relation, noise=noise)
+
+
+def repair(
+    database: Database,
+    constraints,
+    oracle: Oracle,
+    *,
+    strategy: str = "oracle",
+    **options,
+):
+    """Repair *database* until *constraints* hold, asking the oracle.
+
+    *constraints* are FD strings (``"games: date -> winner"``),
+    :class:`~repro.constraints.FD` / ``DenialConstraint`` objects, or an
+    iterable of either; *strategy* is a ``"repair"``-kind registry name
+    (``"oracle"`` default, ``"exhaustive"``, ``"greedy"``); remaining
+    keywords (``budget=``, ``updates=``, ``backend=``, ``max_rounds=``)
+    reach the repairer.  Returns a
+    :class:`~repro.constraints.RepairReport`::
+
+        report = qoco.repair(db, "games: date -> winner, result", oracle)
+        print(report.summary())
+
+    See ``docs/constraints.md``.
+    """
+    from .constraints.repairer import repair as _repair
+
+    return _repair(database, constraints, oracle, strategy=strategy, **options)
 
 
 def open_session(

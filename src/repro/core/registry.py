@@ -125,6 +125,7 @@ _KIND_MODULES: dict[str, tuple[str, ...]] = {
     "split": ("repro.core.split",),
     "deletion": ("repro.core.deletion", "repro.core.heuristics"),
     "planner": ("repro.plan.planner",),
+    "repair": ("repro.constraints.repairer",),
 }
 
 #: The process-wide registry every strategy module registers into.

@@ -1,0 +1,64 @@
+"""Dirty-CSV ingestion: typed sniffing plus seeded noise models.
+
+The paper's pipeline starts from a database that is *already* loaded
+and dirty; this package supplies the missing first mile.  A bare
+headerful CSV goes through:
+
+1. :mod:`repro.ingest.sniffer` — per-column type inference (int /
+   float / date / text by majority vote) producing a typed
+   :class:`~repro.db.schema.RelationSchema`;
+2. :mod:`repro.ingest.noise` — optional seeded, composable corruption
+   (:class:`TypePollution`, :class:`MixedFormats`, :class:`Outliers`,
+   :class:`DuplicateRows`) whose output is byte-deterministic per seed;
+3. :mod:`repro.ingest.loader` — :func:`load_csv` materializes the
+   (possibly noisy) table as a one-relation
+   :class:`~repro.db.database.Database`, ready for
+   :func:`repro.constraints.repair`.
+
+See ``docs/constraints.md`` for the end-to-end quickstart.
+"""
+
+from .loader import (
+    IngestError,
+    load_csv,
+    load_table,
+    make_noisy_csv,
+    read_table,
+    sniff_csv,
+    table_to_csv_bytes,
+    write_csv,
+)
+from .noise import (
+    DuplicateRows,
+    MixedFormats,
+    NoiseModel,
+    NoisePipeline,
+    Outliers,
+    TypePollution,
+    standard_noise,
+)
+from .sniffer import ColumnProfile, cell_kind, coerce_cell, sniff_column, sniff_table, sniffed_relation
+
+__all__ = [
+    "ColumnProfile",
+    "DuplicateRows",
+    "IngestError",
+    "MixedFormats",
+    "NoiseModel",
+    "NoisePipeline",
+    "Outliers",
+    "TypePollution",
+    "cell_kind",
+    "coerce_cell",
+    "load_csv",
+    "load_table",
+    "make_noisy_csv",
+    "read_table",
+    "sniff_column",
+    "sniff_csv",
+    "sniff_table",
+    "sniffed_relation",
+    "standard_noise",
+    "table_to_csv_bytes",
+    "write_csv",
+]

@@ -387,7 +387,14 @@ class ColumnarBackend(EvalBackend):
         table: _BindingTable,
         partial_codes: Mapping[Var, int],
     ) -> np.ndarray:
-        """The head projection as an (n_rows, len(head)) code matrix."""
+        """The head projection as an (n_rows, len(head)) code matrix.
+
+        A boolean query (empty head — e.g. a denial-constraint check)
+        projects to a zero-width matrix: every surviving row decodes to
+        the empty answer ``()``.
+        """
+        if not query.head:
+            return np.empty((table.size, 0), dtype=np.int64)
         columns = []
         for term in query.head:
             if isinstance(term, Var):

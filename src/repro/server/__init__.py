@@ -11,12 +11,13 @@ answers.  See ``docs/server.md``.
 
 from .manager import ServerReport, SessionManager
 from .policy import TenantLedger, TenantPolicy
-from .session import CleaningSession, SessionState
+from .session import CleaningSession, RepairSession, SessionState
 from .sharing import AnswerBoard, SharedOracle
 
 __all__ = [
     "AnswerBoard",
     "CleaningSession",
+    "RepairSession",
     "ServerReport",
     "SessionManager",
     "SessionState",

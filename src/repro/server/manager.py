@@ -404,6 +404,50 @@ class SessionManager:
             _TELEMETRY.count("server.sessions_opened")
         return session
 
+    def open_repair_session(
+        self,
+        constraints,
+        oracle: Oracle,
+        *,
+        tenant: str = "default",
+        policy: Optional[TenantPolicy] = None,
+        strategy: str = "oracle",
+        **repair_options,
+    ) -> "RepairSession":
+        """Queue one constraint-repair request; returns the session.
+
+        *constraints* is anything
+        :func:`repro.constraints.ast.as_constraints` accepts (FD
+        strings, :class:`~repro.constraints.ast.FD` /
+        ``DenialConstraint`` objects, or an iterable).  The session goes
+        through the same admission, fork/commit, WAL, and ledger paths
+        as a cleaning session — a committed repair is durable and
+        crash-recoverable exactly like a committed cleaning run.
+        Remaining keyword arguments (``budget=``, ``updates=``,
+        ``backend=``, ...) reach the repair strategy.
+        """
+        from .session import RepairSession
+
+        session = RepairSession(
+            self._next_id,
+            constraints,
+            oracle,
+            schema=self.database.schema,
+            strategy=strategy,
+            repair_options=repair_options,
+            tenant=tenant,
+            policy=policy,
+            config=self.config,
+            board=self.board,
+            submitted_at=self._next_id,
+        )
+        self._next_id += 1
+        self._sessions.append(session)
+        self._queue.append(session)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("server.repair_sessions_opened")
+        return session
+
     def _admission_cost(self, query: Query) -> float:
         """The planner's expected episode cost for *query* (0.0 without
         a planner or on any estimation failure — never blocks admission)."""

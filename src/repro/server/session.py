@@ -175,4 +175,60 @@ class CleaningSession:
         return cleaner.clean(self.query)
 
 
-__all__ = ["CleaningSession", "SessionState"]
+class RepairSession(CleaningSession):
+    """A constraint-repair request riding the session machinery.
+
+    Same lifecycle as a query-cleaning session — fork, run, optimistic
+    commit, WAL, tenant ledger — but the work inside :meth:`run` is
+    :class:`~repro.constraints.repairer.OracleRepairer` (or another
+    registered repair strategy) instead of QOCO.  ``query`` holds the
+    first violation query of the constraint set, purely so planner-based
+    admission has a shape to estimate; the oracle questions are
+    ``TRUE(R(ā))?`` fact verifications, which the shared
+    :class:`AnswerBoard` dedupes across tenants exactly as for cleaning.
+    """
+
+    def __init__(
+        self,
+        session_id: int,
+        constraints,
+        backend: Oracle,
+        *,
+        schema,
+        strategy: str = "oracle",
+        repair_options: Optional[dict] = None,
+        **kwargs,
+    ) -> None:
+        from ..constraints.ast import as_constraints
+        from ..constraints.violations import violation_queries
+
+        parsed = as_constraints(constraints)
+        if not parsed:
+            raise ValueError("a repair session needs at least one constraint")
+        representative, _ = violation_queries(parsed[0], schema)[0]
+        kwargs.pop("mode", None)  # repair runs are always synchronous
+        super().__init__(session_id, representative, backend, **kwargs)
+        self.constraints = parsed
+        self.strategy = strategy
+        self.repair_options = dict(repair_options or {})
+
+    def run(self, fork: DatabaseFork):
+        from ..core.registry import REGISTRY
+
+        self.fork = fork
+        self.state = SessionState.RUNNING
+        if _TELEMETRY.enabled:
+            _TELEMETRY.count("server.repair_runs")
+        if self.board is not None:
+            self.oracle = SharedOracle(self.backend, self.board)
+        else:
+            self.oracle = AccountingOracle(self.backend)
+        runner = REGISTRY.resolve("repair", self.strategy)
+        report = runner.repair(
+            fork, self.oracle, self.constraints, **self.repair_options
+        )
+        self.report = report
+        return report
+
+
+__all__ = ["CleaningSession", "RepairSession", "SessionState"]

@@ -27,9 +27,11 @@ API_SURFACE = [
     "clean_union",
     "dispatch_clean",
     "evaluate",
+    "load_csv",
     "open_session",
     "recover",
     "recover_server",
+    "repair",
     "serve",
     "serve_http",
 ]
@@ -50,8 +52,11 @@ PACKAGE_SURFACE = [
     "Database",
     "DatabaseFork",
     "DeletionError",
+    "DenialConstraint",
+    "DuplicateRows",
     "Edit",
     "ExactCompletion",
+    "FD",
     "Fact",
     "ForkError",
     "ImperfectOracle",
@@ -63,9 +68,13 @@ PACKAGE_SURFACE = [
     "KeySpec",
     "MajorityVote",
     "MinCutSplit",
+    "MixedFormats",
     "NaiveSplit",
+    "NoisePipeline",
     "NoiseSpec",
     "Oracle",
+    "OracleRepairer",
+    "Outliers",
     "ParallelQOCO",
     "PartitionSpec",
     "PerfectOracle",
@@ -81,6 +90,9 @@ PACKAGE_SURFACE = [
     "RandomSplit",
     "RegistryError",
     "RelationSchema",
+    "RepairBudget",
+    "RepairReport",
+    "RepairSession",
     "Report",
     "ReportLike",
     "Schema",
@@ -91,8 +103,10 @@ PACKAGE_SURFACE = [
     "StrategyRegistry",
     "Telemetry",
     "TenantPolicy",
+    "TypePollution",
     "UCQCleaner",
     "Var",
+    "Violation",
     "api",
     "crowd_add_missing_answer",
     "crowd_remove_wrong_answer",
@@ -100,12 +114,15 @@ PACKAGE_SURFACE = [
     "delete",
     "evaluate",
     "fact",
+    "find_violations",
     "inject_result_errors",
     "insert",
     "make_dirty",
+    "parse_fd",
     "parse_query",
     "query_signature",
     "resolve_strategy",
+    "standard_noise",
     "telemetry_session",
     "witnesses_for",
     "worldcup_database",

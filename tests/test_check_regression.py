@@ -1,0 +1,159 @@
+"""Unit tests for the CI bench gate (``benchmarks/check_regression.py``).
+
+The gate is a standalone script, not a package module, so it is loaded
+here by file path.  Covered: verdict logic per direction, markdown
+step-summary rendering, the ``$GITHUB_STEP_SUMMARY`` writer, and the
+``compare()`` / ``main()`` exit codes CI keys off.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+cr = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_regression", cr)
+_spec.loader.exec_module(cr)
+
+
+def metric(value, direction="exact", tolerance=0.0) -> dict:
+    return {"value": value, "direction": direction, "tolerance": tolerance}
+
+
+def payload(path: Path, metrics: dict) -> Path:
+    path.write_text(json.dumps({"metrics": metrics}), encoding="utf-8")
+    return path
+
+
+class TestVerdicts:
+    def test_exact_pass_and_fail(self):
+        assert cr.verdict_for("m", metric(7), metric(7)).status == "ok"
+        assert cr.verdict_for("m", metric(7), metric(8)).status == "FAIL"
+
+    def test_exact_float_tolerates_representation_noise(self):
+        v = cr.verdict_for("m", metric(0.3), metric(0.1 + 0.2))
+        assert v.ok
+
+    def test_lower_direction_uses_baseline_tolerance(self):
+        base = metric(10.0, "lower", 0.25)
+        assert cr.verdict_for("m", base, metric(12.5)).status == "ok"
+        assert cr.verdict_for("m", base, metric(12.6)).status == "FAIL"
+        assert cr.verdict_for("m", base, metric(12.6)).band == "<= 12.5"
+
+    def test_higher_direction_uses_baseline_tolerance(self):
+        base = metric(100, "higher", 0.1)
+        assert cr.verdict_for("m", base, metric(90)).status == "ok"
+        assert cr.verdict_for("m", base, metric(89)).status == "FAIL"
+
+    def test_fresh_run_cannot_loosen_the_gate(self):
+        # direction/tolerance come from the BASELINE, not the fresh payload
+        base = metric(10.0, "exact")
+        fresh = metric(15.0, "lower", 99.0)
+        assert cr.verdict_for("m", base, fresh).status == "FAIL"
+
+    def test_missing_metric_fails(self):
+        v = cr.verdict_for("m", metric(1), None)
+        assert v.status == "missing" and not v.ok
+        assert "missing" in v.line()
+
+    def test_unknown_direction_fails_closed(self):
+        assert not cr.verdict_for("m", metric(1, "sideways"), metric(1)).ok
+
+    def test_collect_orders_and_flags_newcomers(self):
+        base = {"b": metric(1), "a": metric(2)}
+        fresh = {"a": metric(2), "b": metric(1), "z_new": metric(9)}
+        verdicts = cr.collect_verdicts(base, fresh)
+        assert [v.name for v in verdicts] == ["a", "b", "z_new"]
+        assert verdicts[-1].status == "new"
+        assert verdicts[-1].ok  # new metrics report but pass
+        assert all(v.ok for v in verdicts)
+
+    def test_judge_wrapper_matches_verdict(self):
+        ok, line = cr.judge("m", metric(3), metric(4))
+        assert not ok and line.startswith("FAIL")
+
+
+class TestMarkdown:
+    def test_table_has_header_rows_and_badges(self):
+        verdicts = cr.collect_verdicts(
+            {"good": metric(1), "bad": metric(2)},
+            {"good": metric(1), "bad": metric(3), "extra": metric(5)},
+        )
+        text = cr.markdown_table(verdicts, title="Bench gate: BENCH_x.json")
+        assert text.startswith("### Bench gate: BENCH_x.json")
+        assert "| metric | baseline | measured | direction | band | verdict |" in text
+        assert "| `bad` | 2 | 3 | exact | == baseline | ❌ regressed |" in text
+        assert "✅ ok" in text and "🆕 ungated" in text
+        assert "**1 regression(s)** out of 3 metric(s)." in text
+
+    def test_all_green_summary_line(self):
+        text = cr.markdown_table(cr.collect_verdicts({"m": metric(1)}, {"m": metric(1)}))
+        assert "All 1 metric(s) within tolerance." in text
+
+    def test_missing_values_render_as_dash(self):
+        text = cr.markdown_table([cr.verdict_for("m", metric(1), None)])
+        assert "| `m` | 1 | — |" in text
+
+
+class TestStepSummary:
+    def test_appends_to_explicit_path(self, tmp_path):
+        target = tmp_path / "summary.md"
+        target.write_text("earlier\n", encoding="utf-8")
+        assert cr.write_step_summary("no newline", path=str(target))
+        assert target.read_text(encoding="utf-8") == "earlier\nno newline\n"
+
+    def test_env_var_path(self, tmp_path, monkeypatch):
+        target = tmp_path / "gh.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(target))
+        assert cr.write_step_summary("hello\n")
+        assert target.read_text(encoding="utf-8") == "hello\n"
+
+    def test_noop_outside_actions(self, monkeypatch):
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        assert not cr.write_step_summary("dropped")
+
+
+class TestCompareAndMain:
+    def test_compare_exit_codes_and_summary(self, tmp_path, monkeypatch, capsys):
+        summary = tmp_path / "s.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        base = payload(tmp_path / "base.json", {"q": metric(4)})
+        good = payload(tmp_path / "BENCH_x.json", {"q": metric(4)})
+        assert cr.compare(good, base) == 0
+        assert "Bench gate: BENCH_x.json" in summary.read_text(encoding="utf-8")
+        bad = payload(tmp_path / "BENCH_y.json", {"q": metric(5)})
+        assert cr.compare(bad, base) == 1
+        out = capsys.readouterr().out
+        assert "1 metric(s) regressed" in out
+
+    def test_compare_fails_on_dropped_metric(self, tmp_path):
+        base = payload(tmp_path / "base.json", {"kept": metric(1), "gone": metric(2)})
+        fresh = payload(tmp_path / "BENCH_z.json", {"kept": metric(1)})
+        assert cr.compare(fresh, base) == 1
+
+    def test_main_update_then_gate(self, tmp_path, capsys):
+        fresh = payload(tmp_path / "BENCH_m.json", {"q": metric(3)})
+        baseline_dir = tmp_path / "baselines"
+        argv = ["check_regression.py", str(fresh), "--baseline-dir", str(baseline_dir)]
+        assert cr.main(argv) == 1  # no baseline yet
+        assert cr.main(argv + ["--update"]) == 0
+        assert (baseline_dir / "BENCH_m.json").exists()
+        assert cr.main(argv) == 0  # now gated and green
+        payload(fresh, {"q": metric(4)})
+        assert cr.main(argv) == 1
+        capsys.readouterr()
+
+    def test_main_rejects_ungated_payload(self, tmp_path):
+        bogus = tmp_path / "BENCH_b.json"
+        bogus.write_text(json.dumps({"results": {}}), encoding="utf-8")
+        with pytest.raises(SystemExit):
+            cr.main(["check_regression.py", str(bogus), "--update"])
+
+    def test_main_missing_fresh_file(self, tmp_path):
+        assert cr.main(["check_regression.py", str(tmp_path / "nope.json")]) == 1

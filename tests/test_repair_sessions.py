@@ -1,0 +1,173 @@
+"""Repair sessions ride the full session machinery.
+
+A :class:`~repro.server.RepairSession` goes through the same admission,
+fork/run/commit, tenant-ledger, WAL, and recovery paths as a cleaning
+session — these tests pin each of those properties, ending with the
+byte-level crash-injection matrix over a durable repair run.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+import repro.api
+from repro.constraints import find_violations
+from repro.db.database import Database
+from repro.db.schema import RelationSchema, Schema
+from repro.db.tuples import fact
+from repro.durability import recover, recover_manager, run_crash_matrix
+from repro.oracle.perfect import PerfectOracle
+from repro.server import RepairSession, SessionManager, SessionState, TenantPolicy
+
+FDSPEC = "games: date -> winner, result"
+
+
+def games_db(rows) -> Database:
+    db = Database(Schema([RelationSchema("games", ("date", "winner", "result"))]))
+    for row in rows:
+        db.insert(fact("games", *row))
+    return db
+
+
+CLEAN = [
+    ("1998-07-12", "FRA", "3-0"),
+    ("2002-06-30", "BRA", "2-0"),
+    ("2006-07-09", "ITA", "1-1"),
+]
+
+
+def dirty_and_truth(extra=3):
+    truth = games_db(CLEAN)
+    dirty = copy.deepcopy(truth)
+    for i, row in enumerate(CLEAN[:extra]):
+        dirty.insert(fact("games", row[0], f"WRONG{i}", row[2]))
+    return dirty, truth
+
+
+class TestRepairSessionLifecycle:
+    def test_commit_applies_repair_to_base(self):
+        dirty, truth = dirty_and_truth()
+        manager = SessionManager(dirty)
+        session = manager.open_repair_session(FDSPEC, PerfectOracle(truth))
+        assert isinstance(session, RepairSession)
+        report = manager.run_all()
+        assert session.state is SessionState.COMMITTED
+        assert report.committed == 1
+        assert dirty == truth  # the base, not just the fork, is repaired
+        assert not find_violations(dirty, FDSPEC)
+        assert session.total_cost == session.report.questions_asked
+
+    def test_mixed_cleaning_and_repair_queue(self):
+        from repro.datasets.figure1 import figure1_dirty, figure1_ground_truth
+        from repro.workloads import EX1
+
+        truth = figure1_ground_truth()
+        dirty = figure1_dirty()
+        manager = SessionManager(dirty)
+        manager.open_session(EX1, PerfectOracle(truth))
+        manager.open_repair_session(
+            "teams: team -> continent", PerfectOracle(truth)
+        )
+        report = manager.run_all()
+        assert report.committed == 2
+
+    def test_tenant_budget_denies_repair_sessions(self):
+        dirty, truth = dirty_and_truth()
+        manager = SessionManager(dirty)
+        policy = TenantPolicy(cost_budget=1)
+        first = manager.open_repair_session(
+            FDSPEC, PerfectOracle(truth), tenant="t", policy=policy
+        )
+        manager.run_all()
+        assert first.state is SessionState.COMMITTED
+        assert manager.ledger.spent("t") >= 1
+        second = manager.open_repair_session(
+            FDSPEC, PerfectOracle(truth), tenant="t", policy=policy
+        )
+        manager.run_all()
+        assert second.state is SessionState.DENIED
+        assert second.total_cost == 0
+
+    def test_board_shares_fact_verdicts_across_repair_sessions(self):
+        dirty, truth = dirty_and_truth()
+        manager = SessionManager(dirty)  # share_answers=True default
+        first = manager.open_repair_session(FDSPEC, PerfectOracle(truth), tenant="a")
+        manager.run_all()
+        paid = first.total_cost
+        assert paid > 0
+        # un-repair the base: the same wrong facts come back
+        for i, row in enumerate(CLEAN):
+            dirty.insert(fact("games", row[0], f"WRONG{i}", row[2]))
+        second = manager.open_repair_session(FDSPEC, PerfectOracle(truth), tenant="b")
+        manager.run_all()
+        assert second.state is SessionState.COMMITTED
+        # every verdict the first session bought is free on the board
+        assert second.total_cost < paid or second.shared_hits > 0
+
+    def test_strategy_and_options_reach_the_repairer(self):
+        dirty, truth = dirty_and_truth()
+        manager = SessionManager(dirty)
+        session = manager.open_repair_session(
+            FDSPEC, PerfectOracle(truth), strategy="greedy"
+        )
+        manager.run_all()
+        assert session.state is SessionState.COMMITTED
+        assert session.report.questions_asked == 0
+        assert not find_violations(dirty, FDSPEC)
+
+    def test_empty_constraints_rejected(self):
+        dirty, truth = dirty_and_truth()
+        manager = SessionManager(dirty)
+        with pytest.raises(ValueError):
+            manager.open_repair_session([], PerfectOracle(truth))
+
+
+class TestRepairDurability:
+    def durable_repair_run(self, tmp_path, *, sessions=2):
+        dirty, truth = dirty_and_truth()
+        manager = repro.api.serve(dirty, durable_path=tmp_path / "state")
+        opened = [
+            manager.open_repair_session(
+                FDSPEC, PerfectOracle(truth), tenant=f"t{i}"
+            )
+            for i in range(sessions)
+        ]
+        report = manager.run_all()
+        return manager, dirty, truth, opened, report
+
+    def test_recovery_reaches_the_same_digest(self, tmp_path):
+        manager, dirty, truth, opened, report = self.durable_repair_run(tmp_path)
+        assert report.committed == len(opened)
+        manager.close()
+        state = recover(tmp_path / "state")
+        assert state.digest == dirty.state_digest()
+        assert state.database == truth
+        resumed = recover_manager(tmp_path / "state")
+        assert resumed.database == dirty
+        resumed.close()
+
+    def test_repair_commits_survive_every_crash_point(self, tmp_path):
+        manager, dirty, truth, opened, report = self.durable_repair_run(tmp_path)
+        assert report.committed == len(opened)
+        matrix = run_crash_matrix(
+            tmp_path / "state",
+            live_database=dirty,
+            live_ledger=manager.ledger.snapshot(),
+            stride=1,
+        )
+        assert matrix.wal_bytes > 0
+        assert matrix.ok, matrix.failures[:5]
+        manager.close()
+
+    def test_ledger_charges_persist(self, tmp_path):
+        dirty, truth = dirty_and_truth()
+        manager = repro.api.serve(dirty, durable_path=tmp_path / "state")
+        manager.open_repair_session(FDSPEC, PerfectOracle(truth), tenant="t")
+        manager.run_all()
+        spent = manager.ledger.spent("t")
+        assert spent > 0
+        manager.close()
+        state = recover(tmp_path / "state")
+        assert state.ledger.get("t") == spent
